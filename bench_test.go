@@ -1,0 +1,122 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§5). Each benchmark runs its experiment once per iteration
+// with reduced (but representative) durations; `go test -bench=. -benchmem`
+// prints the same rows/series the paper reports. cmd/kollaps-bench runs
+// the full-length versions.
+package main
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func BenchmarkTable2_BandwidthShaping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunTable2(2 * time.Second)
+		if i == 0 {
+			b.Log(t.String())
+		}
+	}
+}
+
+func BenchmarkTable3_Jitter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, mse := experiments.RunTable3(500)
+		if i == 0 {
+			b.Log(t.String())
+			b.ReportMetric(mse, "jitterMSE")
+		}
+	}
+}
+
+func BenchmarkFig3_MetadataTraffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunFig3(3*time.Second, []int{1, 2, 4}, experiments.Fig3Configs[:6])
+		if i == 0 {
+			b.Log(t.String())
+		}
+	}
+}
+
+func BenchmarkFig4_Memcached(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunFig4(5*time.Second, []int{1, 4, 16}, 1)
+		if i == 0 {
+			b.Log(t.String())
+		}
+	}
+}
+
+func BenchmarkFig5_FlowAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunFig5(8 * time.Second)
+		if i == 0 {
+			b.Log(t.String())
+		}
+	}
+}
+
+func BenchmarkFig6_ShortConnections(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunFig6(8 * time.Second)
+		if i == 0 {
+			b.Log(t.String())
+		}
+	}
+}
+
+func BenchmarkFig7_MixedFlows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunFig7(8 * time.Second)
+		if i == 0 {
+			b.Log(t.String())
+		}
+	}
+}
+
+func BenchmarkFig8_Throttling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunFig8(8 * time.Second)
+		if i == 0 {
+			b.Log(t.String())
+		}
+	}
+}
+
+func BenchmarkTable4_LargeScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunTable4([]int{1000}, 30, 10*time.Second)
+		if i == 0 {
+			b.Log(t.String())
+		}
+	}
+}
+
+func BenchmarkFig9_SMR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunFig9(20 * time.Second)
+		if i == 0 {
+			b.Log(t.String())
+		}
+	}
+}
+
+func BenchmarkFig10_Cassandra(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunFig10(6*time.Second, []float64{1000, 3000, 5000})
+		if i == 0 {
+			b.Log(t.String())
+		}
+	}
+}
+
+func BenchmarkFig11_WhatIf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunFig11(6*time.Second, []float64{1000, 3000})
+		if i == 0 {
+			b.Log(t.String())
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Command kollaps-bench regenerates the tables and figures of the paper's
+// evaluation (§5). Each experiment prints the same rows/series the paper
+// reports; EXPERIMENTS.md records paper-vs-measured values.
+//
+// Usage:
+//
+//	kollaps-bench -exp table2          # one experiment
+//	kollaps-bench -exp all             # everything (slow)
+//	kollaps-bench -exp fig8 -quick     # reduced durations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: table2 table3 table4 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 or all")
+	quick := flag.Bool("quick", false, "reduced durations (coarser numbers, much faster)")
+	flag.Parse()
+
+	d := func(full, fast time.Duration) time.Duration {
+		if *quick {
+			return fast
+		}
+		return full
+	}
+
+	runs := map[string]func(){
+		"table2": func() { experiments.RunTable2(d(30*time.Second, 3*time.Second)).Fprint(os.Stdout) },
+		"table3": func() {
+			t, _ := experiments.RunTable3(int(d(10000, 1000)))
+			t.Fprint(os.Stdout)
+		},
+		"table4": func() {
+			sizes := experiments.Table4Sizes
+			if *quick {
+				sizes = []int{1000}
+			}
+			experiments.RunTable4(sizes, 50, d(60*time.Second, 15*time.Second)).Fprint(os.Stdout)
+		},
+		"fig3": func() {
+			cfgs := experiments.Fig3Configs
+			if *quick {
+				cfgs = cfgs[:4]
+			}
+			experiments.RunFig3(d(10*time.Second, 3*time.Second), nil, cfgs).Fprint(os.Stdout)
+		},
+		"fig4": func() {
+			hosts := []int{1, 2, 4, 8, 16}
+			if *quick {
+				hosts = []int{1, 4}
+			}
+			experiments.RunFig4(d(15*time.Second, 5*time.Second), hosts, 1).Fprint(os.Stdout)
+			experiments.RunFig4(d(15*time.Second, 5*time.Second), hosts, 10).Fprint(os.Stdout)
+		},
+		"fig5":  func() { experiments.RunFig5(d(60*time.Second, 10*time.Second)).Fprint(os.Stdout) },
+		"fig6":  func() { experiments.RunFig6(d(50*time.Second, 10*time.Second)).Fprint(os.Stdout) },
+		"fig7":  func() { experiments.RunFig7(d(60*time.Second, 10*time.Second)).Fprint(os.Stdout) },
+		"fig8":  func() { experiments.RunFig8(d(30*time.Second, 10*time.Second)).Fprint(os.Stdout) },
+		"fig9":  func() { experiments.RunFig9(d(120*time.Second, 30*time.Second)).Fprint(os.Stdout) },
+		"fig10": func() { experiments.RunFig10(d(30*time.Second, 10*time.Second), nil).Fprint(os.Stdout) },
+		"fig11": func() { experiments.RunFig11(d(30*time.Second, 10*time.Second), nil).Fprint(os.Stdout) },
+	}
+	order := []string{"table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table4", "fig9", "fig10", "fig11"}
+
+	if *exp == "all" {
+		for _, id := range order {
+			fmt.Printf("\n[%s]\n", id)
+			runs[id]()
+		}
+		return
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		run, ok := runs[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n", id, strings.Join(order, " "))
+			os.Exit(2)
+		}
+		run()
+	}
+}

@@ -1,0 +1,99 @@
+// Command kollaps validates, collapses and dry-runs experiment
+// descriptions.
+//
+// Usage:
+//
+//	kollaps validate topology.yaml        # parse + validate
+//	kollaps collapse topology.yaml        # print the collapsed mesh
+//	kollaps plan -hosts 4 topology.yaml   # placement + orchestrator artifacts
+//	kollaps run -hosts 4 -for 60s topology.yaml  # deploy and idle-run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/orchestrator"
+	"repro/internal/topology"
+	"repro/kollaps"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	hosts := fs.Int("hosts", 4, "physical hosts")
+	runFor := fs.Duration("for", 60*time.Second, "virtual duration for run")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() < 1 {
+		usage()
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	exp, err := kollaps.Load(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	switch cmd {
+	case "validate":
+		states, err := exp.Topology.Precompute()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ok: %d services, %d bridges, %d links, %d dynamic states\n",
+			len(exp.Topology.Services), len(exp.Topology.Bridges), len(exp.Topology.Links), len(states))
+	case "collapse":
+		g, _, err := exp.Topology.Build()
+		if err != nil {
+			fatal(err)
+		}
+		col := topology.Collapse(g)
+		for _, src := range g.Services() {
+			for dst, p := range col.PathsFrom(src) {
+				fmt.Printf("%s -> %s: latency %v, jitter %v, bw %v, loss %.4f\n",
+					g.Node(src).Name, g.Node(dst).Name, p.Latency, p.Jitter, p.Bandwidth, p.Loss)
+			}
+		}
+	case "plan":
+		plan, err := orchestrator.Generate(exp.Topology, orchestrator.NewCluster(*hosts), orchestrator.RoundRobin)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("# placement")
+		for c, h := range plan.Assignment {
+			fmt.Printf("#   %s -> host%d\n", c, h)
+		}
+		for name, content := range plan.Artifacts {
+			fmt.Printf("\n--- %s ---\n%s", name, content)
+		}
+	case "run":
+		if err := exp.Deploy(*hosts, kollaps.Options{}); err != nil {
+			fatal(err)
+		}
+		exp.Run(*runFor)
+		sent, recv := exp.MetadataTraffic()
+		fmt.Printf("ran %v of virtual time on %d hosts; metadata %dB sent / %dB received\n",
+			*runFor, *hosts, sent, recv)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: kollaps {validate|collapse|plan|run} [-hosts N] [-for D] topology.{yaml,xml}")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kollaps:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,132 @@
+package apps
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// KVServer is the memcached substitute: a request/response server over
+// persistent connections with a fixed per-operation service time (an
+// M/D/1-style processing queue), so saturation behaviour matches an
+// in-memory store.
+type KVServer struct {
+	// Ops counts completed operations.
+	Ops int64
+
+	eng         *sim.Engine
+	reqSize     int
+	respSize    int
+	serviceTime time.Duration
+	busyUntil   time.Duration
+}
+
+// KVOptions size the protocol.
+type KVOptions struct {
+	// ReqSize/RespSize are the wire payload sizes (defaults 64/1100 —
+	// a small key and a ~1 KiB value).
+	ReqSize, RespSize int
+	// ServiceTime is the per-op processing cost (default 20µs).
+	ServiceTime time.Duration
+}
+
+func (o *KVOptions) defaults() {
+	if o.ReqSize <= 0 {
+		o.ReqSize = 64
+	}
+	if o.RespSize <= 0 {
+		o.RespSize = 1100
+	}
+	if o.ServiceTime <= 0 {
+		o.ServiceTime = 20 * time.Microsecond
+	}
+}
+
+// NewKVServer starts the server on the stack's port.
+func NewKVServer(eng *sim.Engine, st *transport.Stack, port uint16, opt KVOptions) *KVServer {
+	opt.defaults()
+	s := &KVServer{eng: eng, reqSize: opt.ReqSize, respSize: opt.RespSize, serviceTime: opt.ServiceTime}
+	st.Listen(port, &transport.Listener{OnAccept: func(c *transport.Conn) {
+		pending := 0
+		c.OnData = func(n int) {
+			pending += n
+			for pending >= s.reqSize {
+				pending -= s.reqSize
+				s.serve(c)
+			}
+		}
+	}})
+	return s
+}
+
+// serve queues one operation through the service-time queue and replies.
+func (s *KVServer) serve(c *transport.Conn) {
+	now := s.eng.Now()
+	start := now
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	finish := start + s.serviceTime
+	s.busyUntil = finish
+	s.eng.At(finish, func() {
+		s.Ops++
+		c.Write(s.respSize)
+	})
+}
+
+// MemtierClient is the memtier_benchmark substitute: a closed-loop client
+// with a configurable number of connections, each issuing the next
+// operation as soon as the previous completes.
+type MemtierClient struct {
+	// Completed counts finished operations.
+	Completed int64
+	// Latencies records operation latencies (ms).
+	Latencies metrics.Histogram
+
+	eng     *sim.Engine
+	opt     KVOptions
+	stopped bool
+}
+
+// NewMemtierClient opens conns connections and starts the loops.
+func NewMemtierClient(eng *sim.Engine, st *transport.Stack, dst packet.IP, port uint16,
+	conns int, opt KVOptions) *MemtierClient {
+	opt.defaults()
+	m := &MemtierClient{eng: eng, opt: opt}
+	for i := 0; i < conns; i++ {
+		conn := st.Dial(dst, port, transport.Cubic)
+		m.loop(conn)
+	}
+	return m
+}
+
+func (m *MemtierClient) loop(conn *transport.Conn) {
+	var issuedAt time.Duration
+	received := 0
+	issue := func() {
+		if m.stopped || conn.Closed() {
+			return
+		}
+		issuedAt = m.eng.Now()
+		conn.Write(m.opt.ReqSize)
+	}
+	conn.OnConnected = issue
+	conn.OnData = func(n int) {
+		if m.stopped {
+			return
+		}
+		received += n
+		for received >= m.opt.RespSize {
+			received -= m.opt.RespSize
+			m.Completed++
+			m.Latencies.AddDuration(m.eng.Now() - issuedAt)
+			issue()
+		}
+	}
+}
+
+// Stop halts the loops.
+func (m *MemtierClient) Stop() { m.stopped = true }

@@ -1,0 +1,184 @@
+// Package aws embeds the Amazon EC2 inter-region network measurements the
+// evaluation models. The paper drives Kollaps with measured latency/jitter
+// tables: Table 3's us-east-1 fan-out (printed in the paper, embedded here
+// verbatim), the 5-region mesh of the BFT-SMaRt/Wheat reproduction
+// (Figure 9, from [78] Table II — approximated from public inter-region
+// measurements since the original table is not in the Kollaps paper), and
+// the Frankfurt/Sydney/Seoul values behind the Cassandra experiments
+// (Figures 10 and 11).
+package aws
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// Region names an EC2 region.
+type Region string
+
+// Regions used across the evaluation.
+const (
+	USEast1      Region = "us-east-1" // Virginia
+	USEast2      Region = "us-east-2" // Ohio
+	CACentral1   Region = "ca-central-1"
+	USWest1      Region = "us-west-1" // N. California
+	USWest2      Region = "us-west-2" // Oregon
+	EUWest1      Region = "eu-west-1" // Ireland
+	EUWest2      Region = "eu-west-2" // London
+	EUNorth1     Region = "eu-north-1"
+	EUCentral1   Region = "eu-central-1" // Frankfurt
+	APNortheast1 Region = "ap-northeast-1"
+	APNortheast2 Region = "ap-northeast-2" // Seoul
+	APSouth1     Region = "ap-south-1"     // Mumbai
+	APSoutheast1 Region = "ap-southeast-1" // Singapore
+	APSoutheast2 Region = "ap-southeast-2" // Sydney
+	SAEast1      Region = "sa-east-1"      // São Paulo
+)
+
+// Link is one measured inter-region (or intra-region) link.
+type Link struct {
+	To      Region
+	Latency time.Duration
+	Jitter  time.Duration
+}
+
+// USEast1Fanout is Table 3 of the paper, embedded verbatim: one-way
+// latency and measured jitter from us-east-1 to each destination region.
+var USEast1Fanout = []Link{
+	{USEast1, 6 * time.Millisecond, 560700 * time.Nanosecond},
+	{USEast2, 17 * time.Millisecond, 1241100 * time.Nanosecond},
+	{CACentral1, 24 * time.Millisecond, 1245100 * time.Nanosecond},
+	{USWest1, 70 * time.Millisecond, 1362700 * time.Nanosecond},
+	{EUWest1, 78 * time.Millisecond, 1200000 * time.Nanosecond},
+	{EUWest2, 85 * time.Millisecond, 1660900 * time.Nanosecond},
+	{EUNorth1, 119 * time.Millisecond, 1285000 * time.Nanosecond},
+	{APNortheast1, 170 * time.Millisecond, 1421700 * time.Nanosecond},
+	{APSouth1, 194 * time.Millisecond, 2023300 * time.Nanosecond},
+	{APNortheast2, 200 * time.Millisecond, 1836400 * time.Nanosecond},
+	{APSoutheast2, 208 * time.Millisecond, 1427700 * time.Nanosecond},
+	{APSoutheast1, 249 * time.Millisecond, 1211100 * time.Nanosecond},
+}
+
+// wheatRegions are the five regions of the Figure 9 reproduction ([78]).
+var wheatRegions = []Region{USWest2, EUWest1, APSoutheast2, SAEast1, USEast1}
+
+// WheatRegions returns the Figure 9 regions in the paper's display order:
+// Oregon, Ireland, Sydney, SaoPaulo, Virginia.
+func WheatRegions() []Region { return append([]Region(nil), wheatRegions...) }
+
+// rttMS holds measured inter-region round-trip times in milliseconds,
+// symmetric; keys are ordered pairs with a < b lexicographically.
+var rttMS = map[[2]Region]float64{
+	{EUWest1, USWest2}:           130,
+	{USEast1, USWest2}:           59,
+	{APSoutheast2, USWest2}:      162,
+	{SAEast1, USWest2}:           182,
+	{EUWest1, USEast1}:           75,
+	{APSoutheast2, EUWest1}:      309,
+	{EUWest1, SAEast1}:           191,
+	{APSoutheast2, USEast1}:      229,
+	{SAEast1, USEast1}:           120,
+	{APSoutheast2, SAEast1}:      334,
+	{APSoutheast2, EUCentral1}:   291,
+	{APNortheast2, EUCentral1}:   146, // Frankfurt-Seoul: roughly half of Frankfurt-Sydney (the Fig. 11 what-if)
+	{APNortheast2, APSoutheast2}: 133,
+	{EUCentral1, USEast1}:        88,
+}
+
+// RTT returns the measured round-trip time between two regions. Same
+// region pairs return the intra-region RTT (~1 ms).
+func RTT(a, b Region) (time.Duration, error) {
+	if a == b {
+		return time.Millisecond, nil
+	}
+	key := [2]Region{a, b}
+	if b < a {
+		key = [2]Region{b, a}
+	}
+	if ms, ok := rttMS[key]; ok {
+		return time.Duration(ms * float64(time.Millisecond)), nil
+	}
+	return 0, fmt.Errorf("aws: no measurement for %s <-> %s", a, b)
+}
+
+// OneWay returns half the measured RTT — the per-direction link latency a
+// topology file uses.
+func OneWay(a, b Region) (time.Duration, error) {
+	rtt, err := RTT(a, b)
+	return rtt / 2, err
+}
+
+// DefaultJitter is the inter-region jitter used when no measurement
+// exists; EC2 WAN paths in the paper's tables hover between 1.2 and 2 ms.
+const DefaultJitter = 1400 * time.Microsecond
+
+// GeoService places replicas of a service in a region.
+type GeoService struct {
+	Name     string
+	Region   Region
+	Replicas int
+}
+
+// GeoTopology builds a topology with one bridge per referenced region,
+// inter-region links from the measurement tables (scaled by latencyScale;
+// 0.5 models the Figure 11 what-if of halving all latencies), and each
+// service attached to its region's bridge by a fast local link.
+func GeoTopology(services []GeoService, bandwidth units.Bandwidth, latencyScale float64) (*topology.Topology, error) {
+	if latencyScale <= 0 {
+		latencyScale = 1
+	}
+	top := &topology.Topology{}
+	regions := make(map[Region]bool)
+	for _, s := range services {
+		top.Services = append(top.Services, topology.ServiceDef{Name: s.Name, Replicas: s.Replicas, Image: "app"})
+		regions[s.Region] = true
+	}
+	var regionList []Region
+	for _, r := range allRegionsOrdered {
+		if regions[r] {
+			regionList = append(regionList, r)
+		}
+	}
+	if len(regionList) != len(regions) {
+		return nil, fmt.Errorf("aws: unknown region referenced")
+	}
+	for _, r := range regionList {
+		top.Bridges = append(top.Bridges, topology.BridgeDef{Name: "rg-" + string(r)})
+	}
+	for i, a := range regionList {
+		for _, b := range regionList[i+1:] {
+			ow, err := OneWay(a, b)
+			if err != nil {
+				return nil, err
+			}
+			top.Links = append(top.Links, topology.LinkDef{
+				Orig:    "rg-" + string(a),
+				Dest:    "rg-" + string(b),
+				Latency: time.Duration(float64(ow) * latencyScale),
+				Jitter:  DefaultJitter,
+				Up:      bandwidth,
+				Down:    bandwidth,
+			})
+		}
+	}
+	for _, s := range services {
+		top.Links = append(top.Links, topology.LinkDef{
+			Orig:    s.Name,
+			Dest:    "rg-" + string(s.Region),
+			Latency: 250 * time.Microsecond,
+			Jitter:  100 * time.Microsecond,
+			Up:      bandwidth,
+			Down:    bandwidth,
+		})
+	}
+	return top, nil
+}
+
+var allRegionsOrdered = []Region{
+	USEast1, USEast2, CACentral1, USWest1, USWest2, EUWest1, EUWest2,
+	EUNorth1, EUCentral1, APNortheast1, APNortheast2, APSouth1,
+	APSoutheast1, APSoutheast2, SAEast1,
+}

@@ -1,0 +1,158 @@
+package aws
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+func TestTable3Embedded(t *testing.T) {
+	if len(USEast1Fanout) != 12 {
+		t.Fatalf("Table 3 rows = %d, want 12", len(USEast1Fanout))
+	}
+	// Spot-check the first and last rows against the paper.
+	if USEast1Fanout[0].To != USEast1 || USEast1Fanout[0].Latency != 6*time.Millisecond {
+		t.Fatalf("row 0 = %+v", USEast1Fanout[0])
+	}
+	if USEast1Fanout[11].To != APSoutheast1 || USEast1Fanout[11].Latency != 249*time.Millisecond {
+		t.Fatalf("row 11 = %+v", USEast1Fanout[11])
+	}
+	// Latencies are ascending in the paper's table.
+	for i := 1; i < len(USEast1Fanout); i++ {
+		if USEast1Fanout[i].Latency < USEast1Fanout[i-1].Latency {
+			t.Fatalf("table not ascending at row %d", i)
+		}
+	}
+	// Jitters all in the 0.5-2.1ms band the paper reports.
+	for _, l := range USEast1Fanout {
+		if l.Jitter < 500*time.Microsecond || l.Jitter > 2100*time.Microsecond {
+			t.Fatalf("jitter %v out of the measured band", l.Jitter)
+		}
+	}
+}
+
+func TestRTTSymmetricAndComplete(t *testing.T) {
+	regions := WheatRegions()
+	if len(regions) != 5 {
+		t.Fatalf("wheat regions = %d", len(regions))
+	}
+	for _, a := range regions {
+		for _, b := range regions {
+			ab, err := RTT(a, b)
+			if err != nil {
+				t.Fatalf("RTT(%s,%s): %v", a, b, err)
+			}
+			ba, err := RTT(b, a)
+			if err != nil || ab != ba {
+				t.Fatalf("asymmetric RTT %s<->%s: %v vs %v", a, b, ab, ba)
+			}
+			if a == b && ab != time.Millisecond {
+				t.Fatalf("intra-region RTT = %v", ab)
+			}
+			if a != b && (ab < 50*time.Millisecond || ab > 400*time.Millisecond) {
+				t.Fatalf("implausible WAN RTT %s<->%s: %v", a, b, ab)
+			}
+		}
+	}
+}
+
+func TestRTTUnknownPair(t *testing.T) {
+	if _, err := RTT(USWest1, APSouth1); err == nil {
+		t.Fatal("expected error for unmeasured pair")
+	}
+}
+
+func TestOneWay(t *testing.T) {
+	rtt, _ := RTT(USEast1, EUWest1)
+	ow, err := OneWay(USEast1, EUWest1)
+	if err != nil || ow != rtt/2 {
+		t.Fatalf("OneWay = %v, want %v", ow, rtt/2)
+	}
+}
+
+func TestFrankfurtSeoulIsRoughlyHalvedSydney(t *testing.T) {
+	// The Figure 11 what-if: moving Sydney nodes to Seoul roughly halves
+	// the latency to Frankfurt.
+	syd, _ := RTT(EUCentral1, APSoutheast2)
+	seo, _ := RTT(EUCentral1, APNortheast2)
+	ratio := float64(seo) / float64(syd)
+	if ratio < 0.4 || ratio > 0.6 {
+		t.Fatalf("Seoul/Sydney ratio = %.2f, want ~0.5", ratio)
+	}
+}
+
+func TestGeoTopologyBuildsAndCollapses(t *testing.T) {
+	top, err := GeoTopology([]GeoService{
+		{Name: "server-or", Region: USWest2},
+		{Name: "server-ie", Region: EUWest1},
+		{Name: "client-or", Region: USWest2},
+	}, 100*units.Mbps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := top.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := topology.Collapse(g)
+	or, _ := g.Lookup("server-or")
+	ie, _ := g.Lookup("server-ie")
+	co, _ := g.Lookup("client-or")
+	p := col.Path(or, ie)
+	if p == nil {
+		t.Fatal("no cross-region path")
+	}
+	// Oregon-Ireland RTT 130ms -> one-way 65ms + 2×0.25ms access links.
+	want := 65*time.Millisecond + 500*time.Microsecond
+	if d := p.Latency - want; d > time.Millisecond || d < -time.Millisecond {
+		t.Fatalf("cross-region latency = %v, want ~%v", p.Latency, want)
+	}
+	// Intra-region path is sub-millisecond.
+	if p := col.Path(or, co); p == nil || p.Latency > time.Millisecond {
+		t.Fatalf("intra-region path = %+v", p)
+	}
+}
+
+func TestGeoTopologyLatencyScale(t *testing.T) {
+	svcs := []GeoService{
+		{Name: "a", Region: EUCentral1},
+		{Name: "b", Region: APSoutheast2},
+	}
+	full, err := GeoTopology(svcs, units.Gbps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := GeoTopology(svcs, units.Gbps, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fullLat, halfLat time.Duration
+	for _, l := range full.Links {
+		if l.Orig == "rg-"+string(EUCentral1) && l.Dest == "rg-"+string(APSoutheast2) {
+			fullLat = l.Latency
+		}
+	}
+	for _, l := range half.Links {
+		if l.Orig == "rg-"+string(EUCentral1) && l.Dest == "rg-"+string(APSoutheast2) {
+			halfLat = l.Latency
+		}
+	}
+	if fullLat == 0 || halfLat != fullLat/2 {
+		t.Fatalf("latencyScale broken: full=%v half=%v", fullLat, halfLat)
+	}
+}
+
+func TestGeoTopologyUnknownPair(t *testing.T) {
+	_, err := GeoTopology([]GeoService{
+		{Name: "a", Region: USWest1},
+		{Name: "b", Region: APSouth1},
+	}, units.Gbps, 1)
+	if err == nil {
+		t.Fatal("expected error for unmeasured region pair")
+	}
+}

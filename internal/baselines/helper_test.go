@@ -1,0 +1,11 @@
+package baselines
+
+import (
+	"repro/internal/fabric"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+func newFabric(eng *sim.Engine, g *graph.Graph) *fabric.Network {
+	return fabric.New(eng, g, fabric.Options{})
+}

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/metadata"
+	"repro/internal/netem"
+	"repro/internal/packet"
+	"repro/internal/transport"
+	"repro/internal/units"
+)
+
+// Manager is one host's Emulation Manager. It aggregates the local
+// Emulation Cores' measurements, disseminates them to peer Managers over
+// UDP (the Aeron substitute), and runs the §4.1 emulation loop:
+//
+//	(1) clear local flow state, (2) query TCAL usage, (3) disseminate,
+//	(4) compute global path/link usage, (5) enforce bandwidth.
+type Manager struct {
+	rt     *Runtime
+	host   int
+	locals []*Container
+	stack  *transport.Stack
+	peers  []packet.IP
+
+	// remote holds the latest report from each peer host plus the
+	// virtual time it arrived; entries older than three periods expire.
+	remote map[uint16]remoteReport
+
+	// ring receives local Emulation Core reports through shared memory.
+	ring *metadata.Ring
+
+	metaSent     int64
+	metaReceived int64
+
+	// Iterations counts completed emulation loops.
+	Iterations int64
+}
+
+type remoteReport struct {
+	msg *metadata.Message
+	at  time.Duration
+}
+
+// localFlow is one (source container, destination container) aggregate.
+type localFlow struct {
+	src    *Container
+	dstIP  packet.IP
+	rate   units.Bandwidth // observed egress rate over the last period
+	demand units.Bandwidth // observed ingress (requested) rate
+	alloc  units.Bandwidth // allocation currently enforced
+	links  []int
+	rtt    time.Duration
+}
+
+func newManager(rt *Runtime, host int, emIPs []packet.IP) *Manager {
+	m := &Manager{
+		rt:     rt,
+		host:   host,
+		remote: make(map[uint16]remoteReport),
+		ring:   metadata.NewRing(64),
+	}
+	for h, ip := range emIPs {
+		if h != host {
+			m.peers = append(m.peers, ip)
+		}
+	}
+	m.stack = transport.NewStack(rt.Eng, rt.Cluster, emIPs[host])
+	m.stack.HandleUDP(rt.opts.MetadataPort, m.onMetadata)
+	return m
+}
+
+// Host returns the manager's host index.
+func (m *Manager) Host() int { return m.host }
+
+// MetadataSent returns the cumulative metadata bytes this Manager sent.
+func (m *Manager) MetadataSent() int64 { return m.metaSent }
+
+func (m *Manager) start() {
+	m.rt.Eng.Every(m.rt.opts.Period, m.iterate)
+}
+
+func (m *Manager) onMetadata(src packet.IP, srcPort uint16, size int, payload any) {
+	raw, ok := payload.([]byte)
+	if !ok {
+		return
+	}
+	m.metaReceived += int64(size)
+	msg, err := metadata.Decode(raw, m.rt.wide)
+	if err != nil {
+		return // corrupted reports are ignored, next period repairs
+	}
+	m.remote[msg.Host] = remoteReport{msg: msg, at: m.rt.Eng.Now()}
+}
+
+// iterate is one emulation loop pass.
+func (m *Manager) iterate() {
+	m.Iterations++
+	period := m.rt.opts.Period
+
+	// (1)+(2): poll every local container's TCAL for usage since the
+	// last pass; Emulation Cores hand their reports to the Manager via
+	// the shared-memory ring.
+	flows := m.collectLocal(period)
+
+	// (3): disseminate the local aggregate. Only active flows are
+	// reported, which is what keeps metadata traffic proportional to
+	// hosts, not containers (§5.2).
+	m.disseminate(flows)
+
+	// (4): merge remote reports into the global flow set.
+	all := m.globalFlows(flows)
+
+	// (5): allocate and enforce on local flows.
+	m.enforce(flows, all)
+}
+
+// collectLocal builds the active local flow list from TCAL counters.
+func (m *Manager) collectLocal(period time.Duration) []localFlow {
+	var flows []localFlow
+	st := m.rt.State()
+	for _, c := range m.locals {
+		dsts := c.tcal.Destinations()
+		sort.Slice(dsts, func(i, j int) bool { return less(dsts[i], dsts[j]) })
+		for _, dstIP := range dsts {
+			sent := c.tcal.Usage(dstIP)
+			req := c.tcal.Requested(dstIP)
+			rate := units.Bandwidth(float64(sent*8) / period.Seconds())
+			demand := units.Bandwidth(float64(req*8) / period.Seconds())
+			// An ACK-clocked (or TSQ-parked) sender can offer nothing
+			// for one period while its queue still drains; activity and
+			// demand consider both directions of the qdisc.
+			if demand < rate {
+				demand = rate
+			}
+			if demand < m.rt.opts.ActiveThreshold {
+				// Idle: release the allocation back to the path max so
+				// a future flow starts unthrottled.
+				dst, ok := m.rt.byIP[dstIP]
+				if !ok {
+					continue
+				}
+				if p := st.Collapsed.Path(c.Node, dst.Node); p != nil {
+					if c.lastAlloc[dstIP] != p.Bandwidth {
+						_ = c.tcal.SetBandwidth(dstIP, p.Bandwidth)
+						_ = c.tcal.InjectCongestionLoss(dstIP, 0)
+						c.lastAlloc[dstIP] = p.Bandwidth
+					}
+				}
+				continue
+			}
+			dst, ok := m.rt.byIP[dstIP]
+			if !ok {
+				continue
+			}
+			p := st.Collapsed.Path(c.Node, dst.Node)
+			if p == nil {
+				continue
+			}
+			flows = append(flows, localFlow{
+				src: c, dstIP: dstIP, rate: rate, demand: demand,
+				links: p.Links, rtt: p.RTT(),
+				alloc: c.lastAlloc[dstIP],
+			})
+		}
+	}
+	// The Emulation Cores publish their reports to the Manager through
+	// shared memory; in-process this is the ring hand-off.
+	msg := &metadata.Message{Host: uint16(m.host)}
+	for _, f := range flows {
+		rec := metadata.FlowRecord{BPS: clampU32(int64(f.rate))}
+		for _, l := range f.links {
+			rec.Links = append(rec.Links, uint16(l))
+		}
+		msg.Flows = append(msg.Flows, rec)
+	}
+	m.ring.Publish(msg)
+	return flows
+}
+
+func (m *Manager) disseminate(flows []localFlow) {
+	msg := m.ring.Poll()
+	if msg == nil {
+		return
+	}
+	if len(m.peers) == 0 {
+		return // single host: shared memory only, zero network metadata
+	}
+	raw := metadata.Encode(msg, m.rt.wide)
+	for _, peer := range m.peers {
+		m.stack.SendUDP(peer, m.rt.opts.MetadataPort, m.rt.opts.MetadataPort, len(raw), raw)
+		m.metaSent += int64(len(raw))
+	}
+}
+
+// globalFlows merges local flows with fresh remote reports into the
+// allocator's input. Remote flows are identified by their link lists.
+func (m *Manager) globalFlows(local []localFlow) []FlowDemand {
+	now := m.rt.Eng.Now()
+	stale := 3 * m.rt.opts.Period
+	g := m.rt.State().Graph
+
+	var all []FlowDemand
+	for i, f := range local {
+		all = append(all, FlowDemand{
+			ID:     flowID(m.host, i),
+			Links:  f.links,
+			RTT:    f.rtt,
+			Demand: m.demandLocal(f),
+		})
+	}
+	hosts := make([]int, 0, len(m.remote))
+	for h := range m.remote {
+		hosts = append(hosts, int(h))
+	}
+	sort.Ints(hosts)
+	for _, h := range hosts {
+		rep := m.remote[uint16(h)]
+		if now-rep.at > stale {
+			delete(m.remote, uint16(h))
+			continue
+		}
+		for i, f := range rep.msg.Flows {
+			links := make([]int, len(f.Links))
+			var lat time.Duration
+			for j, l := range f.Links {
+				links[j] = int(l)
+				if int(l) < g.NumLinks() {
+					lat += g.Link(int(l)).Latency
+				}
+			}
+			all = append(all, FlowDemand{
+				ID:     flowID(h, i),
+				Links:  links,
+				RTT:    2 * lat,
+				Demand: m.demandOf(units.Bandwidth(f.BPS)),
+			})
+		}
+	}
+	return all
+}
+
+// demandLocal estimates a local flow's demand for the sharing model. A
+// flow using at least half of its current allocation is treated as greedy
+// (demand unbounded): it receives its full RTT-weighted share, which is
+// what makes greedy iperf flows land exactly on the Figure 8 break-points.
+// A flow using less is application-limited; it is capped at headroom ×
+// usage so the maximization step can hand the slack to competitors while
+// still letting the flow ramp exponentially if its demand grows (§3).
+func (m *Manager) demandLocal(f localFlow) units.Bandwidth {
+	if f.alloc <= 0 || f.demand*2 >= f.alloc {
+		return 0 // greedy
+	}
+	return units.Bandwidth(float64(f.demand) * m.rt.opts.DemandHeadroom)
+}
+
+// demandOf applies the same rule to remote flows, where only usage is
+// known: usage-based demand with headroom, switching to greedy once the
+// flow reports substantial usage. Remote allocations are computed by the
+// flow's own Manager anyway; this estimate only shapes how much of the
+// shared links we reserve for them.
+func (m *Manager) demandOf(usage units.Bandwidth) units.Bandwidth {
+	return units.Bandwidth(float64(usage) * m.rt.opts.DemandHeadroom)
+}
+
+// enforce applies the allocation to local flows: htb rate per destination
+// plus injected loss when the application demands more than its share.
+func (m *Manager) enforce(local []localFlow, all []FlowDemand) {
+	if len(all) == 0 {
+		return
+	}
+	caps := make(map[int]units.Bandwidth)
+	g := m.rt.State().Graph
+	for _, f := range all {
+		for _, l := range f.Links {
+			if _, ok := caps[l]; !ok && l < g.NumLinks() {
+				caps[l] = g.Link(l).Bandwidth
+			}
+		}
+	}
+	// Two passes of the sharing model. The demand-aware pass implements
+	// the §3 maximization step: application-limited flows release their
+	// surplus to competitors. The greedy pass computes each flow's
+	// entitlement — its RTT-weighted max-min share if it were saturating.
+	// A flow's own htb is set to the larger of the two, so an idle flow's
+	// ramp-up is never throttled below its fair share (the next period
+	// rebalances), while competitors enjoy the maximized allocation.
+	withDemand := Allocate(caps, all)
+	greedy := make([]FlowDemand, len(all))
+	copy(greedy, all)
+	for i := range greedy {
+		greedy[i].Demand = 0
+	}
+	entitled := Allocate(caps, greedy)
+	for i, f := range local {
+		// Local flows occupy the first len(local) slots.
+		rate := withDemand[i].Rate
+		if entitled[i].Rate > rate {
+			rate = entitled[i].Rate
+		}
+		if rate <= 0 {
+			rate = units.Kbps
+		}
+		if f.src.lastAlloc[f.dstIP] != rate {
+			_ = f.src.tcal.SetBandwidth(f.dstIP, rate)
+			f.src.lastAlloc[f.dstIP] = rate
+		}
+		// §3 "Congestion": expose oversubscription as packet loss so
+		// loss-based congestion control backs off. Off by default in
+		// this substrate (the tail-dropping htb already provides the
+		// signal; see Options.InjectLoss); when enabled it is gated on
+		// sustained oversubscription and capped so it cannot starve
+		// SACK recovery of retransmissions.
+		if m.rt.opts.InjectLoss {
+			var extra units.Loss
+			if f.demand > rate+rate/10 {
+				f.src.overSub[f.dstIP]++
+			} else {
+				f.src.overSub[f.dstIP] = 0
+			}
+			if f.src.overSub[f.dstIP] >= 3 {
+				extra = netem.LossForOversubscription(f.demand, rate)
+				if extra > 0.25 {
+					extra = 0.25
+				}
+			}
+			_ = f.src.tcal.InjectCongestionLoss(f.dstIP, extra)
+		}
+	}
+}
+
+func clampU32(v int64) uint32 {
+	if v < 0 {
+		return 0
+	}
+	if v > int64(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(v)
+}
+
+func less(a, b packet.IP) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func flowID(host, i int) string {
+	return "h" + itoa(host) + "f" + itoa(i)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,303 @@
+// The Kollaps runtime: containers, hosts, Emulation Managers and the
+// emulation loop of §3/§4.1. One Manager runs per physical host; it spawns
+// an Emulation Core per local container, polls each container's TCAL for
+// bandwidth usage, disseminates the aggregate to peer Managers through the
+// metadata driver, recomputes the RTT-aware min-max allocation, and
+// enforces it through htb rates and injected netem loss.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/graph"
+	"repro/internal/metadata"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/tcal"
+	"repro/internal/topology"
+	"repro/internal/transport"
+	"repro/internal/units"
+)
+
+// Options tune the runtime.
+type Options struct {
+	// Period is the emulation loop interval (default 50 ms — the
+	// released artifact's value; it bounds the shortest flows Kollaps
+	// can shape, §6).
+	Period time.Duration
+	// ActiveThreshold is the usage rate below which a flow is considered
+	// idle (default 10 Kb/s).
+	ActiveThreshold units.Bandwidth
+	// DemandHeadroom multiplies observed usage to form the demand
+	// estimate handed to the sharing model, letting growing flows claim
+	// more every period (default 2.0).
+	DemandHeadroom float64
+	// InjectLoss enables the §3 congestion-loss workaround: netem loss
+	// proportional to sustained oversubscription. On a Linux kernel this
+	// is the *only* loss signal because htb backpressures (TSQ) instead
+	// of dropping; this substrate's htb tail-drops like a router, so the
+	// signal already exists and the workaround defaults off. Enable it
+	// to study the paper's mechanism in isolation.
+	InjectLoss bool
+	// MetadataPort is the UDP port Managers exchange metadata on.
+	MetadataPort uint16
+}
+
+func (o *Options) defaults() {
+	if o.Period <= 0 {
+		o.Period = 50 * time.Millisecond
+	}
+	if o.ActiveThreshold <= 0 {
+		o.ActiveThreshold = 10 * units.Kbps
+	}
+	if o.DemandHeadroom <= 0 {
+		o.DemandHeadroom = 2.0
+	}
+	if o.MetadataPort == 0 {
+		o.MetadataPort = 7946
+	}
+}
+
+// Container is one deployed application container: an IP on the physical
+// cluster, a transport stack for its application, and a TCAL shaping its
+// egress to every destination.
+type Container struct {
+	Name string
+	IP   packet.IP
+	Host int
+	Node graph.NodeID // node in the emulated topology
+	// Stack is the container's transport endpoint; applications Listen
+	// and Dial on it.
+	Stack *transport.Stack
+
+	tcal *tcal.TCAL
+	rt   *Runtime
+	// lastAlloc remembers the allocation enforced toward each dst.
+	lastAlloc map[packet.IP]units.Bandwidth
+	// overSub counts consecutive emulation periods a destination's
+	// demand exceeded its allocation (congestion-loss gating).
+	overSub map[packet.IP]int
+}
+
+// TCAL exposes the container's shaping layer (tests, dashboard).
+func (c *Container) TCAL() *tcal.TCAL { return c.tcal }
+
+// Runtime is one Kollaps deployment: the emulated topology (with its
+// pre-computed dynamic states), the physical cluster, the containers and
+// one Emulation Manager per host.
+type Runtime struct {
+	Eng     *sim.Engine
+	Cluster *fabric.Network
+
+	states   []topology.State
+	stateIdx int
+	wide     bool
+
+	containers []*Container
+	byName     map[string]*Container
+	byIP       map[packet.IP]*Container
+	byNode     map[graph.NodeID]*Container
+
+	managers []*Manager
+	opts     Options
+	started  bool
+}
+
+// containerNet adapts a container's egress to its TCAL and its ingress to
+// the cluster fabric endpoint.
+type containerNet struct {
+	rt *Runtime
+	c  *Container
+}
+
+func (n containerNet) Send(p *packet.Packet) {
+	p.SentAt = n.rt.Eng.Now()
+	if !n.c.tcal.HasPath(p.Dst) {
+		// Lazy path installation: Emulation Cores only materialize the
+		// part of the collapsed mesh their container talks to (§3).
+		if !n.rt.installPath(n.c, p.Dst) {
+			return // unreachable in the current topology state
+		}
+	}
+	n.c.tcal.Send(p)
+}
+
+func (n containerNet) Register(ip packet.IP, h packet.Handler) {
+	n.rt.Cluster.Register(ip, h)
+}
+
+// Writable and NotifyWritable forward the container's TSQ backpressure to
+// its TCAL (packet.FlowControl). The source is always this container.
+func (n containerNet) Writable(src, dst packet.IP, b int) bool {
+	return n.c.tcal.Writable(dst, b)
+}
+
+func (n containerNet) NotifyWritable(src, dst packet.IP, fn func()) {
+	n.c.tcal.NotifyWritable(dst, fn)
+}
+
+// NewRuntime deploys the topology states over a cluster of nHosts physical
+// machines (40 GbE star, as in the paper's testbed). Containers are placed
+// round-robin unless placement maps a container name to a host index.
+func NewRuntime(eng *sim.Engine, states []topology.State, nHosts int, placement map[string]int, opts Options) (*Runtime, error) {
+	if len(states) == 0 {
+		return nil, fmt.Errorf("core: no topology states")
+	}
+	if nHosts < 1 {
+		return nil, fmt.Errorf("core: need at least one host")
+	}
+	opts.defaults()
+	cluster, hostNodes := fabric.Star(eng, nHosts, 40*units.Gbps, 15*time.Microsecond)
+	rt := &Runtime{
+		Eng:     eng,
+		Cluster: cluster,
+		states:  states,
+		wide:    metadata.Wide(states[0].Graph.NumLinks()),
+		byName:  make(map[string]*Container),
+		byIP:    make(map[packet.IP]*Container),
+		byNode:  make(map[graph.NodeID]*Container),
+		opts:    opts,
+	}
+
+	g := states[0].Graph
+	idx := 0
+	for _, node := range g.Nodes() {
+		if node.Kind != graph.Service {
+			continue
+		}
+		host := idx % nHosts
+		if placement != nil {
+			if h, ok := placement[node.Name]; ok {
+				if h < 0 || h >= nHosts {
+					return nil, fmt.Errorf("core: placement of %q on invalid host %d", node.Name, h)
+				}
+				host = h
+			}
+		}
+		ip := packet.MakeIP(byte(host+1), byte(idx/250), byte(idx%250))
+		c := &Container{
+			Name:      node.Name,
+			IP:        ip,
+			Host:      host,
+			Node:      node.ID,
+			rt:        rt,
+			lastAlloc: make(map[packet.IP]units.Bandwidth),
+			overSub:   make(map[packet.IP]int),
+		}
+		// Attach the container endpoint at its host's fabric node; the
+		// stack registers its handler through containerNet.
+		cluster.AttachEndpoint(hostNodes[host], ip, nil)
+		c.tcal = tcal.New(eng, cluster.Send)
+		c.Stack = transport.NewStack(eng, containerNet{rt: rt, c: c}, ip)
+		rt.containers = append(rt.containers, c)
+		rt.byName[node.Name] = c
+		rt.byIP[ip] = c
+		rt.byNode[node.ID] = c
+		idx++
+	}
+
+	// One Emulation Manager per host, with a metadata endpoint on the
+	// cluster fabric.
+	emIPs := make([]packet.IP, nHosts)
+	for h := 0; h < nHosts; h++ {
+		emIPs[h] = packet.IP{10, 255, 0, byte(h)}
+		cluster.AttachEndpoint(hostNodes[h], emIPs[h], nil)
+	}
+	for h := 0; h < nHosts; h++ {
+		m := newManager(rt, h, emIPs)
+		rt.managers = append(rt.managers, m)
+	}
+	for _, c := range rt.containers {
+		rt.managers[c.Host].locals = append(rt.managers[c.Host].locals, c)
+	}
+	return rt, nil
+}
+
+// Container returns the deployed container by topology node name.
+func (rt *Runtime) Container(name string) (*Container, bool) {
+	c, ok := rt.byName[name]
+	return c, ok
+}
+
+// Containers returns all deployed containers in topology order.
+func (rt *Runtime) Containers() []*Container { return rt.containers }
+
+// Managers returns the per-host Emulation Managers.
+func (rt *Runtime) Managers() []*Manager { return rt.managers }
+
+// State returns the currently active topology state.
+func (rt *Runtime) State() *topology.State { return &rt.states[rt.stateIdx] }
+
+// Start launches the Emulation Managers' loops and schedules the dynamic
+// topology swaps. Call once before Engine.Run.
+func (rt *Runtime) Start() {
+	if rt.started {
+		return
+	}
+	rt.started = true
+	for _, m := range rt.managers {
+		m.start()
+	}
+	for i := 1; i < len(rt.states); i++ {
+		i := i
+		rt.Eng.At(rt.states[i].At, func() { rt.applyState(i) })
+	}
+}
+
+// installPath materializes the TCAL chain from container c toward dstIP
+// under the current topology state. Reports false when the destination is
+// unknown or unreachable.
+func (rt *Runtime) installPath(c *Container, dstIP packet.IP) bool {
+	dst, ok := rt.byIP[dstIP]
+	if !ok {
+		return false
+	}
+	p := rt.State().Collapsed.Path(c.Node, dst.Node)
+	if p == nil {
+		return false
+	}
+	c.tcal.InstallPath(dstIP, tcal.PathProps{
+		Latency: p.Latency, Jitter: p.Jitter, Loss: p.Loss, Bandwidth: p.Bandwidth,
+	})
+	c.lastAlloc[dstIP] = p.Bandwidth
+	return true
+}
+
+// applyState switches to pre-computed state i: every installed chain is
+// re-pointed at the new collapsed path (or removed when the destination
+// became unreachable).
+func (rt *Runtime) applyState(i int) {
+	rt.stateIdx = i
+	st := &rt.states[i]
+	for _, c := range rt.containers {
+		for _, dstIP := range c.tcal.Destinations() {
+			dst, ok := rt.byIP[dstIP]
+			if !ok {
+				c.tcal.RemovePath(dstIP)
+				continue
+			}
+			p := st.Collapsed.Path(c.Node, dst.Node)
+			if p == nil {
+				c.tcal.RemovePath(dstIP)
+				delete(c.lastAlloc, dstIP)
+				continue
+			}
+			// Preserve counters: update in place.
+			_ = c.tcal.SetNetem(dstIP, p.Latency, p.Jitter, p.Loss)
+			_ = c.tcal.SetBandwidth(dstIP, p.Bandwidth)
+			c.lastAlloc[dstIP] = p.Bandwidth
+		}
+	}
+}
+
+// MetadataTraffic sums the metadata bytes sent and received across all
+// Managers — the quantity Figures 3 and 4 report.
+func (rt *Runtime) MetadataTraffic() (sent, received int64) {
+	for _, m := range rt.managers {
+		sent += m.metaSent
+		received += m.metaReceived
+	}
+	return sent, received
+}

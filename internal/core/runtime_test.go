@@ -1,0 +1,502 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// fig8YAML is the §5.4 decentralized-throttling topology.
+const fig8YAML = `
+experiment:
+  services:
+    name: c1
+    name: c2
+    name: c3
+    name: c4
+    name: c5
+    name: c6
+    name: s1
+    name: s2
+    name: s3
+    name: s4
+    name: s5
+    name: s6
+  bridges:
+    name: b1
+    name: b2
+    name: b3
+  links:
+    orig: c1
+    dest: b1
+    latency: 10
+    up: 50Mbps
+    orig: c2
+    dest: b1
+    latency: 5
+    up: 50Mbps
+    orig: c3
+    dest: b1
+    latency: 5
+    up: 10Mbps
+    orig: c4
+    dest: b2
+    latency: 10
+    up: 50Mbps
+    orig: c5
+    dest: b2
+    latency: 5
+    up: 50Mbps
+    orig: c6
+    dest: b2
+    latency: 5
+    up: 10Mbps
+    orig: b1
+    dest: b2
+    latency: 10
+    up: 50Mbps
+    orig: b2
+    dest: b3
+    latency: 10
+    up: 100Mbps
+    orig: s1
+    dest: b3
+    latency: 5
+    up: 50Mbps
+    orig: s2
+    dest: b3
+    latency: 5
+    up: 50Mbps
+    orig: s3
+    dest: b3
+    latency: 5
+    up: 50Mbps
+    orig: s4
+    dest: b3
+    latency: 5
+    up: 50Mbps
+    orig: s5
+    dest: b3
+    latency: 5
+    up: 50Mbps
+    orig: s6
+    dest: b3
+    latency: 5
+    up: 50Mbps
+`
+
+func buildRuntime(t testing.TB, yaml string, hosts int, opts Options) *Runtime {
+	t.Helper()
+	top, err := topology.ParseYAML(yaml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, err := top.Precompute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(42)
+	rt, err := NewRuntime(eng, states, hosts, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// greedySender keeps a TCP connection's buffer topped up — an iperf3
+// client.
+type greedySender struct {
+	conn *transport.Conn
+}
+
+func startGreedy(eng *sim.Engine, from, to *Container, cc transport.CongestionControl) *greedySender {
+	gs := &greedySender{}
+	to.Stack.Listen(5201, &transport.Listener{})
+	gs.conn = from.Stack.Dial(to.IP, 5201, cc)
+	gs.conn.Write(1 << 30)
+	eng.Every(time.Second, func() {
+		if gs.conn.Established() && !gs.conn.Closed() && gs.conn.Buffered() < 1<<29 {
+			gs.conn.Write(1 << 29)
+		}
+	})
+	return gs
+}
+
+func TestRuntimeBasicConnectivity(t *testing.T) {
+	rt := buildRuntime(t, fig8YAML, 2, Options{})
+	rt.Start()
+	c1, _ := rt.Container("c1")
+	s1, _ := rt.Container("s1")
+	var got int64
+	s1.Stack.Listen(80, &transport.Listener{OnAccept: func(c *transport.Conn) {
+		c.OnData = func(n int) { got += int64(n) }
+	}})
+	conn := c1.Stack.Dial(s1.IP, 80, transport.Cubic)
+	conn.Write(100_000)
+	rt.Eng.Run(10 * time.Second)
+	if got != 100_000 {
+		t.Fatalf("transferred %d/100000 across emulated topology", got)
+	}
+	// RTT reflects the collapsed path (35ms one way) plus htb queueing
+	// delay while the 10Mb/s shaper drains the transfer.
+	if srtt := conn.SRTT(); srtt < 68*time.Millisecond || srtt > 130*time.Millisecond {
+		t.Fatalf("SRTT = %v, want 70ms + shaper queueing", srtt)
+	}
+}
+
+func TestRuntimeLatencyEmulation(t *testing.T) {
+	// Ping across the emulated topology matches the theoretical
+	// collapsed RTT within the container/cluster overhead (Table 4).
+	rt := buildRuntime(t, fig8YAML, 4, Options{})
+	rt.Start()
+	c1, _ := rt.Container("c1")
+	s1, _ := rt.Container("s1")
+	var rtts []time.Duration
+	for i := 0; i < 100; i++ {
+		at := time.Duration(i) * 100 * time.Millisecond
+		rt.Eng.At(at, func() {
+			c1.Stack.Ping(s1.IP, 64, func(d time.Duration) { rtts = append(rtts, d) })
+		})
+	}
+	rt.Eng.Run(11 * time.Second)
+	if len(rtts) != 100 {
+		t.Fatalf("got %d/100 replies", len(rtts))
+	}
+	var sum float64
+	for _, r := range rtts {
+		sum += r.Seconds() * 1000
+	}
+	mean := sum / float64(len(rtts))
+	// Theoretical 70ms + small physical-cluster overhead (<1ms).
+	if mean < 69.9 || mean > 71.5 {
+		t.Fatalf("mean RTT = %.3fms, want 70ms + sub-ms overhead", mean)
+	}
+}
+
+func TestRuntimeUnreachableDestination(t *testing.T) {
+	// Two disconnected groups: traffic must be dropped, not delivered.
+	const yaml = `
+experiment:
+  services:
+    name: a
+    name: b
+    name: x
+    name: y
+  links:
+    orig: a
+    dest: b
+    latency: 5
+    up: 10Mbps
+    orig: x
+    dest: y
+    latency: 5
+    up: 10Mbps
+`
+	rt := buildRuntime(t, yaml, 2, Options{})
+	rt.Start()
+	a, _ := rt.Container("a")
+	y, _ := rt.Container("y")
+	y.Stack.Listen(80, &transport.Listener{OnAccept: func(c *transport.Conn) {
+		t.Fatal("connection across disconnected topology")
+	}})
+	conn := a.Stack.Dial(y.IP, 80, transport.Reno)
+	rt.Eng.Run(5 * time.Second)
+	if conn.Established() {
+		t.Fatal("established across partition")
+	}
+}
+
+// TestFigure8EndToEnd drives the full §5.4 experiment through the
+// deployed runtime: six greedy TCP flows starting at 20s intervals, with
+// allocations measured from the servers' receive rates. Expected values
+// are the paper's (Figure 8), tolerance ±20% — TCP dynamics plus 50ms
+// emulation periods wobble around the model's exact fixed point.
+func TestFigure8EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	rt := buildRuntime(t, fig8YAML, 4, Options{})
+	rt.Start()
+	eng := rt.Eng
+
+	const phase = 20 * time.Second
+	received := make([]int64, 6)
+	for i := 0; i < 6; i++ {
+		i := i
+		srv, _ := rt.Container(fmt.Sprintf("s%d", i+1))
+		srv.Stack.Listen(5201, &transport.Listener{OnAccept: func(c *transport.Conn) {
+			c.OnData = func(n int) { received[i] += int64(n) }
+		}})
+	}
+	for i := 0; i < 6; i++ {
+		i := i
+		at := time.Duration(i) * phase
+		eng.At(at, func() {
+			cli, _ := rt.Container(fmt.Sprintf("c%d", i+1))
+			srv, _ := rt.Container(fmt.Sprintf("s%d", i+1))
+			conn := cli.Stack.Dial(srv.IP, 5201, transport.Cubic)
+			conn.Write(1 << 30)
+			eng.Every(time.Second, func() {
+				if !conn.Closed() && conn.Buffered() < 1<<29 {
+					conn.Write(1 << 28)
+				}
+			})
+		})
+	}
+
+	// Sample each flow's goodput over the last 10s of each phase.
+	measure := func(i int) float64 { return float64(received[i]) }
+	type snapshot [6]float64
+	var before, after [6]snapshot
+	for p := 0; p < 6; p++ {
+		p := p
+		eng.At(time.Duration(p)*phase+phase-10*time.Second, func() {
+			for i := 0; i < 6; i++ {
+				before[p][i] = measure(i)
+			}
+		})
+		eng.At(time.Duration(p)*phase+phase-100*time.Millisecond, func() {
+			for i := 0; i < 6; i++ {
+				after[p][i] = measure(i)
+			}
+		})
+	}
+	eng.Run(6 * phase)
+
+	rates := func(p int) []float64 {
+		out := make([]float64, 6)
+		for i := range out {
+			out[i] = (after[p][i] - before[p][i]) * 8 / 9.9 / 1e6 // Mb/s
+		}
+		return out
+	}
+	check := func(p int, want []float64, tol float64) {
+		got := rates(p)
+		for i, w := range want {
+			if w == 0 {
+				continue
+			}
+			if math.Abs(got[i]-w) > tol*w {
+				t.Errorf("phase %d flow c%d: %.2f Mb/s, want %.2f ±%d%%",
+					p+1, i+1, got[i], w, int(tol*100))
+			}
+		}
+		t.Logf("phase %d rates: %.2f", p+1, got)
+	}
+
+	// Goodput ≈ 95.6% of the allocation (header overhead).
+	const e = 0.956
+	check(0, []float64{50 * e}, 0.20)
+	check(1, []float64{23.08 * e, 26.92 * e}, 0.20)
+	check(2, []float64{18.45 * e, 21.55 * e, 10 * e}, 0.20)
+	check(3, []float64{18.45 * e, 21.55 * e, 10 * e, 50 * e}, 0.20)
+	check(4, []float64{16.93 * e, 19.75 * e, 10 * e, 23.70 * e, 29.62 * e}, 0.20)
+	check(5, []float64{15.04 * e, 17.55 * e, 10 * e, 21.06 * e, 26.33 * e, 10 * e}, 0.20)
+}
+
+func TestRuntimeMetadataScalesWithHostsNotContainers(t *testing.T) {
+	// Single host: zero metadata on the wire (shared memory only).
+	rt1 := buildRuntime(t, fig8YAML, 1, Options{})
+	rt1.Start()
+	c1, _ := rt1.Container("c1")
+	s1, _ := rt1.Container("s1")
+	startGreedy(rt1.Eng, c1, s1, transport.Cubic)
+	rt1.Eng.Run(5 * time.Second)
+	sent1, _ := rt1.MetadataTraffic()
+	if sent1 != 0 {
+		t.Fatalf("single-host deployment sent %d metadata bytes, want 0", sent1)
+	}
+
+	// Four hosts: metadata flows, but stays small.
+	rt4 := buildRuntime(t, fig8YAML, 4, Options{})
+	rt4.Start()
+	c14, _ := rt4.Container("c1")
+	s14, _ := rt4.Container("s1")
+	startGreedy(rt4.Eng, c14, s14, transport.Cubic)
+	rt4.Eng.Run(5 * time.Second)
+	sent4, recv4 := rt4.MetadataTraffic()
+	if sent4 == 0 || recv4 == 0 {
+		t.Fatal("multi-host deployment exchanged no metadata")
+	}
+	// One active flow reported by 1 EM to 3 peers every 50ms: tiny.
+	rate := float64(sent4) / 5
+	if rate > 4096 {
+		t.Fatalf("metadata rate = %.0f B/s, unexpectedly high", rate)
+	}
+}
+
+func TestRuntimeDynamicStateSwap(t *testing.T) {
+	// A latency change mid-experiment must be visible to pings.
+	const yaml = `
+experiment:
+  services:
+    name: a
+    name: b
+  links:
+    orig: a
+    dest: b
+    latency: 10
+    up: 100Mbps
+dynamic:
+  orig: a
+  dest: b
+  latency: 50
+  time: 5
+`
+	rt := buildRuntime(t, yaml, 2, Options{})
+	rt.Start()
+	a, _ := rt.Container("a")
+	b, _ := rt.Container("b")
+	var early, late []float64
+	for i := 0; i < 40; i++ {
+		at := time.Duration(i) * 250 * time.Millisecond
+		rt.Eng.At(at, func() {
+			sentAt := rt.Eng.Now()
+			a.Stack.Ping(b.IP, 64, func(d time.Duration) {
+				if sentAt < 5*time.Second {
+					early = append(early, d.Seconds()*1000)
+				} else {
+					late = append(late, d.Seconds()*1000)
+				}
+			})
+		})
+	}
+	rt.Eng.Run(11 * time.Second)
+	if len(early) == 0 || len(late) == 0 {
+		t.Fatal("missing samples")
+	}
+	meanOf := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if m := meanOf(early); m < 19 || m > 22 {
+		t.Fatalf("pre-event RTT = %.2fms, want ~20", m)
+	}
+	if m := meanOf(late); m < 99 || m > 102 {
+		t.Fatalf("post-event RTT = %.2fms, want ~100", m)
+	}
+}
+
+func TestRuntimeLinkRemovalPartitions(t *testing.T) {
+	const yaml = `
+experiment:
+  services:
+    name: a
+    name: b
+  links:
+    orig: a
+    dest: b
+    latency: 5
+    up: 100Mbps
+dynamic:
+  action: leave
+  orig: a
+  dest: b
+  time: 3
+`
+	rt := buildRuntime(t, yaml, 2, Options{})
+	rt.Start()
+	a, _ := rt.Container("a")
+	b, _ := rt.Container("b")
+	replies := 0
+	for i := 0; i < 20; i++ {
+		at := time.Duration(i) * 500 * time.Millisecond
+		rt.Eng.At(at, func() {
+			a.Stack.Ping(b.IP, 64, func(d time.Duration) { replies++ })
+		})
+	}
+	rt.Eng.Run(11 * time.Second)
+	// Pings at 0, 0.5, ..., 2.5s succeed (6); later ones are dropped.
+	if replies < 5 || replies > 7 {
+		t.Fatalf("replies = %d, want ~6 (partition at t=3s)", replies)
+	}
+}
+
+func TestRuntimePlacementValidation(t *testing.T) {
+	top, err := topology.ParseYAML(fig8YAML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, err := top.Precompute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(1)
+	if _, err := NewRuntime(eng, states, 2, map[string]int{"c1": 99}, Options{}); err == nil {
+		t.Fatal("expected invalid placement error")
+	}
+	if _, err := NewRuntime(eng, nil, 2, nil, Options{}); err == nil {
+		t.Fatal("expected no-states error")
+	}
+	if _, err := NewRuntime(eng, states, 0, nil, Options{}); err == nil {
+		t.Fatal("expected no-hosts error")
+	}
+}
+
+func TestRuntimeExplicitPlacement(t *testing.T) {
+	top, err := topology.ParseYAML(fig8YAML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, err := top.Precompute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(1)
+	rt, err := NewRuntime(eng, states, 3, map[string]int{"c1": 2, "s1": 2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := rt.Container("c1")
+	s1, _ := rt.Container("s1")
+	if c1.Host != 2 || s1.Host != 2 {
+		t.Fatalf("placement ignored: c1@%d s1@%d", c1.Host, s1.Host)
+	}
+	// Co-located containers still reach each other through the TCAL.
+	rt.Start()
+	var got int64
+	s1.Stack.Listen(80, &transport.Listener{OnAccept: func(c *transport.Conn) {
+		c.OnData = func(n int) { got += int64(n) }
+	}})
+	conn := c1.Stack.Dial(s1.IP, 80, transport.Reno)
+	conn.Write(50_000)
+	eng.Run(10 * time.Second)
+	if got != 50_000 {
+		t.Fatalf("co-located transfer moved %d/50000", got)
+	}
+}
+
+func TestUniqueContainerIPs(t *testing.T) {
+	rt := buildRuntime(t, fig8YAML, 3, Options{})
+	seen := make(map[packet.IP]bool)
+	for _, c := range rt.Containers() {
+		if seen[c.IP] {
+			t.Fatalf("duplicate IP %v", c.IP)
+		}
+		seen[c.IP] = true
+	}
+	if len(seen) != 12 {
+		t.Fatalf("containers = %d, want 12", len(seen))
+	}
+}
+
+func TestFlowIDHelpers(t *testing.T) {
+	if flowID(3, 7) != "h3f7" {
+		t.Fatalf("flowID = %q", flowID(3, 7))
+	}
+	if itoa(0) != "0" || itoa(255) != "255" {
+		t.Fatal("itoa broken")
+	}
+	if clampU32(-1) != 0 || clampU32(1<<40) != ^uint32(0) || clampU32(77) != 77 {
+		t.Fatal("clampU32 broken")
+	}
+}

@@ -1,0 +1,225 @@
+// Package core implements the paper's primary contribution: the Kollaps
+// emulation model and the decentralized Emulation Manager / Emulation Core
+// machinery that maintains it (§3).
+//
+// This file contains the RTT-Aware Min-Max bandwidth sharing model [49, 57].
+// Each flow's share of a contended link is proportional to the inverse of
+// its round-trip time, mimicking TCP Reno's steady state:
+//
+//	Share(f) = ( RTT(f) · Σ 1/RTT(fi) )⁻¹
+//
+// followed by the maximization step of §3: when a flow cannot use its full
+// share (because another link on its path, or its own demand, limits it
+// further), the surplus is redistributed to the remaining flows
+// proportionally to their original shares. Iterating this to a fixed point
+// is exactly weighted max-min fairness with weights 1/RTT, which we compute
+// with progressive filling. The unit tests check the resulting allocations
+// against every break-point published in Figure 8 of the paper.
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/units"
+)
+
+// minRTT floors the RTT used for weighting so that co-located containers
+// (near-zero latency paths) cannot claim unbounded weight.
+const minRTT = 100 * time.Microsecond
+
+// FlowDemand describes one entry in the bandwidth sharing computation.
+// Kollaps shares bandwidth per destination, not per transport connection
+// (§3), so a FlowDemand aggregates all traffic from one container to one
+// destination container.
+type FlowDemand struct {
+	ID string
+	// Links lists the physical link ids the collapsed path traverses.
+	Links []int
+	// RTT is the round-trip time of the path (twice the one-way latency).
+	RTT time.Duration
+	// Demand is the bandwidth the flow is currently trying to use;
+	// 0 means greedy (take any share offered).
+	Demand units.Bandwidth
+}
+
+// Allocation is the result of the sharing model for one flow.
+type Allocation struct {
+	ID string
+	// Rate is the bandwidth the flow is entitled to.
+	Rate units.Bandwidth
+	// Bottleneck is the link id that capped the flow, or -1 when the
+	// flow was capped by its own demand.
+	Bottleneck int
+}
+
+// Allocate computes the RTT-aware min-max allocation for the given flows
+// over links with the given capacities. Links not present in capacities are
+// treated as unconstrained. The returned slice is ordered like flows.
+//
+// The algorithm is progressive filling: repeatedly find the most contended
+// constraint (link capacity divided by the total weight of its unfrozen
+// flows, where weight = 1/RTT; a flow's demand acts as a private virtual
+// constraint), freeze the flows it saturates at weight-proportional shares,
+// subtract their allocation from every link they cross, and continue until
+// every flow is frozen. This is the fixed point of the paper's
+// share-then-maximize iteration.
+func Allocate(capacities map[int]units.Bandwidth, flows []FlowDemand) []Allocation {
+	n := len(flows)
+	out := make([]Allocation, n)
+	if n == 0 {
+		return out
+	}
+
+	weight := make([]float64, n)
+	for i, f := range flows {
+		rtt := f.RTT
+		if rtt < minRTT {
+			rtt = minRTT
+		}
+		weight[i] = 1 / rtt.Seconds()
+		out[i] = Allocation{ID: f.ID, Bottleneck: -1}
+	}
+
+	// capLeft holds remaining capacity (bits/s) per constrained link.
+	capLeft := make(map[int]float64, len(capacities))
+	for id, c := range capacities {
+		capLeft[id] = float64(c)
+	}
+	// flowsOn maps each constrained link to the unfrozen flows crossing it.
+	flowsOn := make(map[int][]int)
+	for i, f := range flows {
+		seen := make(map[int]bool, len(f.Links))
+		for _, l := range f.Links {
+			if _, constrained := capLeft[l]; !constrained || seen[l] {
+				continue
+			}
+			seen[l] = true
+			flowsOn[l] = append(flowsOn[l], i)
+		}
+	}
+
+	frozen := make([]bool, n)
+	remaining := n
+	for remaining > 0 {
+		// Find the tightest constraint: the link (or flow demand) whose
+		// fill level theta = capacity / Σ weights is smallest.
+		bestTheta := math.Inf(1)
+		bestLink := -1 // -2 means a demand constraint
+		bestFlow := -1
+		// Deterministic iteration: sort link ids.
+		linkIDs := make([]int, 0, len(flowsOn))
+		for l := range flowsOn {
+			if len(flowsOn[l]) > 0 {
+				linkIDs = append(linkIDs, l)
+			}
+		}
+		sort.Ints(linkIDs)
+		for _, l := range linkIDs {
+			sumW := 0.0
+			for _, fi := range flowsOn[l] {
+				sumW += weight[fi]
+			}
+			if sumW == 0 {
+				continue
+			}
+			c := capLeft[l]
+			if c < 0 {
+				c = 0
+			}
+			theta := c / sumW
+			if theta < bestTheta {
+				bestTheta, bestLink, bestFlow = theta, l, -1
+			}
+		}
+		for i, f := range flows {
+			if frozen[i] || f.Demand <= 0 {
+				continue
+			}
+			theta := float64(f.Demand) / weight[i]
+			if theta < bestTheta {
+				bestTheta, bestLink, bestFlow = theta, -2, i
+			}
+		}
+
+		if bestLink == -1 && bestFlow == -1 {
+			// No constraint applies to the remaining flows: they are
+			// unbounded. Freeze them at +inf conceptually; report 0 demand
+			// flows as unconstrained max.
+			for i := range flows {
+				if !frozen[i] {
+					frozen[i] = true
+					remaining--
+					out[i].Rate = units.Bandwidth(math.MaxInt64 / 2)
+					out[i].Bottleneck = -1
+				}
+			}
+			break
+		}
+
+		freeze := func(fi int, rate float64, bottleneck int) {
+			frozen[fi] = true
+			remaining--
+			if rate < 0 {
+				rate = 0
+			}
+			out[fi].Rate = units.Bandwidth(rate + 0.5)
+			out[fi].Bottleneck = bottleneck
+			// Subtract from every constrained link on the path and drop
+			// the flow from the unfrozen sets.
+			seen := make(map[int]bool)
+			for _, l := range flows[fi].Links {
+				if _, constrained := capLeft[l]; !constrained || seen[l] {
+					continue
+				}
+				seen[l] = true
+				capLeft[l] -= rate
+				if capLeft[l] < 0 {
+					capLeft[l] = 0
+				}
+				ff := flowsOn[l][:0]
+				for _, x := range flowsOn[l] {
+					if x != fi {
+						ff = append(ff, x)
+					}
+				}
+				flowsOn[l] = ff
+			}
+		}
+
+		if bestFlow >= 0 {
+			// A demand constraint binds first: the flow takes exactly its
+			// demand and stops competing.
+			freeze(bestFlow, float64(flows[bestFlow].Demand), -1)
+			continue
+		}
+		// The link bestLink saturates: all its unfrozen flows freeze at
+		// weight-proportional shares of what is left.
+		for _, fi := range append([]int(nil), flowsOn[bestLink]...) {
+			freeze(fi, weight[fi]*bestTheta, bestLink)
+		}
+	}
+	return out
+}
+
+// ShareOnLink computes the paper's closed-form single-link share for flow f
+// among flows on one link: Share(f) = (RTT(f) · Σ 1/RTT(fi))⁻¹, as a
+// fraction of the link capacity. Exposed for documentation/tests; Allocate
+// generalizes it across whole paths.
+func ShareOnLink(f time.Duration, all []time.Duration) float64 {
+	if f < minRTT {
+		f = minRTT
+	}
+	var sum float64
+	for _, r := range all {
+		if r < minRTT {
+			r = minRTT
+		}
+		sum += 1 / r.Seconds()
+	}
+	if sum == 0 {
+		return 0
+	}
+	return 1 / (f.Seconds() * sum)
+}

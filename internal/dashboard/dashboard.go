@@ -1,0 +1,98 @@
+// Package dashboard exposes a running experiment's state over HTTP — the
+// paper's web dashboard (§3), headless: a JSON snapshot of the topology
+// state, containers, per-destination shaping and metadata traffic, plus a
+// minimal text index.
+package dashboard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Snapshot is the dashboard's JSON document.
+type Snapshot struct {
+	VirtualTime   string          `json:"virtual_time"`
+	StateIndex    int             `json:"topology_state"`
+	Containers    []ContainerInfo `json:"containers"`
+	MetadataSent  int64           `json:"metadata_sent_bytes"`
+	MetadataRecvd int64           `json:"metadata_received_bytes"`
+}
+
+// ContainerInfo describes one container's shaping state.
+type ContainerInfo struct {
+	Name  string     `json:"name"`
+	IP    string     `json:"ip"`
+	Host  int        `json:"host"`
+	Paths []PathInfo `json:"paths"`
+}
+
+// PathInfo is one installed per-destination chain.
+type PathInfo struct {
+	Dst       string  `json:"dst"`
+	Latency   string  `json:"latency"`
+	Bandwidth string  `json:"bandwidth"`
+	Loss      float64 `json:"loss"`
+	SentBytes int64   `json:"sent_bytes"`
+}
+
+// Server serves the dashboard for one runtime.
+type Server struct {
+	rt *core.Runtime
+}
+
+// New creates a dashboard over a runtime.
+func New(rt *core.Runtime) *Server { return &Server{rt: rt} }
+
+// Snapshot captures the current experiment state.
+func (s *Server) Snapshot() Snapshot {
+	snap := Snapshot{
+		VirtualTime: s.rt.Eng.Now().String(),
+	}
+	snap.MetadataSent, snap.MetadataRecvd = s.rt.MetadataTraffic()
+	for _, c := range s.rt.Containers() {
+		ci := ContainerInfo{Name: c.Name, IP: c.IP.String(), Host: c.Host}
+		for _, dst := range c.TCAL().Destinations() {
+			props, _ := c.TCAL().Props(dst)
+			ci.Paths = append(ci.Paths, PathInfo{
+				Dst:       dst.String(),
+				Latency:   props.Latency.String(),
+				Bandwidth: props.Bandwidth.String(),
+				Loss:      float64(props.Loss),
+				SentBytes: c.TCAL().TotalSent(dst),
+			})
+		}
+		snap.Containers = append(snap.Containers, ci)
+	}
+	return snap
+}
+
+// Handler returns the HTTP mux: /state (JSON) and / (text summary).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/state", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(s.Snapshot())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		snap := s.Snapshot()
+		fmt.Fprintf(w, "Kollaps experiment @ %s\n", snap.VirtualTime)
+		fmt.Fprintf(w, "metadata: %dB sent / %dB received\n\n", snap.MetadataSent, snap.MetadataRecvd)
+		for _, c := range snap.Containers {
+			fmt.Fprintf(w, "%-12s %-14s host%d, %d paths\n", c.Name, c.IP, c.Host, len(c.Paths))
+		}
+	})
+	return mux
+}
+
+// ListenAndServe starts the dashboard on addr; it blocks like
+// http.ListenAndServe. Experiments normally run the simulation on the
+// main goroutine and query Snapshot directly; serving over HTTP is for
+// interactive inspection of paused runs.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{Addr: addr, Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	return srv.ListenAndServe()
+}

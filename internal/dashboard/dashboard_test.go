@@ -1,0 +1,92 @@
+package dashboard
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+func testRuntime(t *testing.T) *core.Runtime {
+	t.Helper()
+	top, err := topology.ParseYAML(`
+experiment:
+  services:
+    name: a
+    name: b
+  links:
+    orig: a
+    dest: b
+    latency: 5
+    up: 10Mbps
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, err := top.Precompute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := core.NewRuntime(sim.NewEngine(1), states, 2, nil, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	return rt
+}
+
+func TestSnapshotAndHandlers(t *testing.T) {
+	rt := testRuntime(t)
+	a, _ := rt.Container("a")
+	b, _ := rt.Container("b")
+	b.Stack.Listen(80, &transport.Listener{})
+	conn := a.Stack.Dial(b.IP, 80, transport.Cubic)
+	conn.Write(10_000)
+	rt.Eng.Run(2 * time.Second)
+
+	s := New(rt)
+	snap := s.Snapshot()
+	if len(snap.Containers) != 2 {
+		t.Fatalf("containers = %d", len(snap.Containers))
+	}
+	// Container a has an installed path toward b with traffic counted.
+	var found bool
+	for _, c := range snap.Containers {
+		if c.Name != "a" {
+			continue
+		}
+		for _, p := range c.Paths {
+			if p.SentBytes > 0 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no traffic recorded in snapshot")
+	}
+
+	// JSON endpoint.
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/state", nil))
+	var decoded Snapshot
+	if err := json.NewDecoder(rec.Body).Decode(&decoded); err != nil {
+		t.Fatalf("bad /state JSON: %v", err)
+	}
+	if decoded.VirtualTime != "2s" {
+		t.Fatalf("virtual time = %q", decoded.VirtualTime)
+	}
+
+	// Text index.
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, "Kollaps experiment") || !strings.Contains(body, "a ") {
+		t.Fatalf("index missing content:\n%s", body)
+	}
+}

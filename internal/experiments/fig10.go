@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/aws"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/kollaps"
+)
+
+// fig10Topology builds the §5.6 Cassandra deployment: 4 replica pairs
+// (local coordinator in Frankfurt, remote copy in Sydney — or Seoul for
+// the what-if) plus 4 YCSB clients in Frankfurt.
+func fig10Topology(latencyScale float64) *kollaps.Experiment {
+	var services []aws.GeoService
+	for i := 0; i < 4; i++ {
+		services = append(services,
+			aws.GeoService{Name: fmt.Sprintf("local-%d", i), Region: aws.EUCentral1},
+			aws.GeoService{Name: fmt.Sprintf("remote-%d", i), Region: aws.APSoutheast2},
+			aws.GeoService{Name: fmt.Sprintf("ycsb-%d", i), Region: aws.EUCentral1},
+		)
+	}
+	top, err := aws.GeoTopology(services, units.Gbps, latencyScale)
+	if err != nil {
+		panic(err)
+	}
+	exp := &kollaps.Experiment{Topology: top}
+	if err := exp.Deploy(5, kollaps.Options{}); err != nil {
+		panic(err)
+	}
+	return exp
+}
+
+// fig10Point runs the YCSB workload at one aggregate target rate and
+// returns (achieved ops/s, mean read ms, mean update ms, overall ms).
+func fig10Point(provider apps.StackProvider, eng *sim.Engine, totalRate float64, duration time.Duration) (float64, float64, float64, float64) {
+	cl, err := apps.DeployCassandra(eng, provider, 4, totalRate/4, apps.CassandraOptions{})
+	if err != nil {
+		panic(err)
+	}
+	eng.Run(duration)
+	var done int64
+	var readSum, updSum, n float64
+	for _, y := range cl.Clients {
+		done += y.Completed
+		readSum += y.ReadLat.Mean() * float64(y.ReadLat.Count())
+		updSum += y.UpdateLat.Mean() * float64(y.UpdateLat.Count())
+		n += float64(y.ReadLat.Count() + y.UpdateLat.Count())
+	}
+	if n == 0 {
+		return 0, 0, 0, 0
+	}
+	reads := readSum / (n / 2)
+	upds := updSum / (n / 2)
+	return float64(done) / duration.Seconds(), reads, upds, (readSum + updSum) / n
+}
+
+// RunFig10 reproduces Figure 10: the throughput/latency curve of the
+// geo-replicated Cassandra on "EC2" (the bare-metal ground truth fabric)
+// versus Kollaps.
+func RunFig10(duration time.Duration, targets []float64) *Table {
+	if duration <= 0 {
+		duration = 20 * time.Second
+	}
+	if targets == nil {
+		targets = []float64{500, 1000, 2000, 3000, 4000, 5000}
+	}
+	t := &Table{
+		Title:   "Figure 10: geo-replicated Cassandra + YCSB, EC2 vs Kollaps",
+		Columns: []string{"EC2 ops/s", "EC2 lat(ms)", "Kollaps ops/s", "Kollaps lat(ms)"},
+	}
+	for _, target := range targets {
+		// "EC2": the target topology as a physical network.
+		bmExp := fig10Baremetal()
+		e2tp, _, _, e2lat := fig10Point(bmExp, bmExp.Eng, target, duration)
+		// Kollaps emulation.
+		kExp := fig10Topology(1)
+		ktp, _, _, klat := fig10Point(kExp, kExp.Eng, target, duration)
+		t.Rows = append(t.Rows, Row{
+			Label: fmt.Sprintf("target %.0f", target),
+			Values: []string{
+				fmt.Sprintf("%.0f", e2tp), fmt.Sprintf("%.1f", e2lat),
+				fmt.Sprintf("%.0f", ktp), fmt.Sprintf("%.1f", klat),
+			},
+		})
+	}
+	return t
+}
+
+func fig10Baremetal() *kollaps.Baremetal {
+	var services []aws.GeoService
+	for i := 0; i < 4; i++ {
+		services = append(services,
+			aws.GeoService{Name: fmt.Sprintf("local-%d", i), Region: aws.EUCentral1},
+			aws.GeoService{Name: fmt.Sprintf("remote-%d", i), Region: aws.APSoutheast2},
+			aws.GeoService{Name: fmt.Sprintf("ycsb-%d", i), Region: aws.EUCentral1},
+		)
+	}
+	top, err := aws.GeoTopology(services, units.Gbps, 1)
+	if err != nil {
+		panic(err)
+	}
+	bm, err := kollaps.NewBaremetal(top, 42)
+	if err != nil {
+		panic(err)
+	}
+	return bm
+}
+
+// RunFig11 reproduces Figure 11: the what-if of halving all inter-region
+// latencies (moving the Sydney replicas to Seoul): read/update latencies
+// at the original and halved topologies.
+func RunFig11(duration time.Duration, targets []float64) *Table {
+	if duration <= 0 {
+		duration = 20 * time.Second
+	}
+	if targets == nil {
+		targets = []float64{500, 1000, 2000, 3000, 4000}
+	}
+	t := &Table{
+		Title:   "Figure 11: what-if halved latency (Sydney -> Seoul)",
+		Columns: []string{"orig read(ms)", "orig update(ms)", "halved read(ms)", "halved update(ms)", "orig ops/s", "halved ops/s"},
+	}
+	for _, target := range targets {
+		full := fig10Topology(1)
+		ftp, fr, fu, _ := fig10Point(full, full.Eng, target, duration)
+		half := fig10Topology(0.5)
+		htp, hr, hu, _ := fig10Point(half, half.Eng, target, duration)
+		t.Rows = append(t.Rows, Row{
+			Label: fmt.Sprintf("target %.0f", target),
+			Values: []string{
+				fmt.Sprintf("%.1f", fr), fmt.Sprintf("%.1f", fu),
+				fmt.Sprintf("%.1f", hr), fmt.Sprintf("%.1f", hu),
+				fmt.Sprintf("%.0f", ftp), fmt.Sprintf("%.0f", htp),
+			},
+		})
+	}
+	return t
+}

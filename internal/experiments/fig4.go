@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/aws"
+	"repro/internal/units"
+	"repro/kollaps"
+)
+
+// RunFig4 reproduces Figure 4: a geo-distributed memcached deployment
+// (4 emulated AWS regions, one server and three clients per region, each
+// server handling two local clients and one remote) emulated on an
+// increasing number of physical hosts. The aggregate client throughput
+// must stay constant as the emulation spreads over more hosts, while
+// metadata traffic per host stays modest.
+func RunFig4(duration time.Duration, hostCounts []int, connsPerClient int) *Table {
+	if duration <= 0 {
+		duration = 10 * time.Second
+	}
+	if hostCounts == nil {
+		hostCounts = []int{1, 2, 4, 8, 16}
+	}
+	if connsPerClient <= 0 {
+		connsPerClient = 1
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 4: geo-distributed memcached, %d conn/client", connsPerClient),
+		Columns: []string{"agg ops/s", "metadata KB/s/host"},
+	}
+	regions := aws.WheatRegions()[:4]
+	var services []aws.GeoService
+	for i, r := range regions {
+		services = append(services, aws.GeoService{Name: fmt.Sprintf("mc%d", i), Region: r})
+		for j := 0; j < 3; j++ {
+			services = append(services, aws.GeoService{Name: fmt.Sprintf("cl%d-%d", i, j), Region: r})
+		}
+	}
+	top, err := aws.GeoTopology(services, 10*units.Gbps, 1)
+	if err != nil {
+		panic(err)
+	}
+	for _, hosts := range hostCounts {
+		exp := &kollaps.Experiment{Topology: top}
+		if err := exp.Deploy(hosts, kollaps.Options{}); err != nil {
+			panic(err)
+		}
+		var clients []*apps.MemtierClient
+		for i := range regions {
+			srv, _ := exp.Container(fmt.Sprintf("mc%d", i))
+			apps.NewKVServer(exp.Eng, srv.Stack, 11211, apps.KVOptions{})
+			// Two local clients and one remote (from the next region).
+			for j := 0; j < 2; j++ {
+				cl, _ := exp.Container(fmt.Sprintf("cl%d-%d", i, j))
+				clients = append(clients, apps.NewMemtierClient(exp.Eng, cl.Stack, srv.IP, 11211, connsPerClient, apps.KVOptions{}))
+			}
+			remote, _ := exp.Container(fmt.Sprintf("cl%d-2", (i+1)%len(regions)))
+			clients = append(clients, apps.NewMemtierClient(exp.Eng, remote.Stack, srv.IP, 11211, connsPerClient, apps.KVOptions{}))
+		}
+		exp.Run(duration)
+		var total int64
+		for _, c := range clients {
+			total += c.Completed
+		}
+		sent, _ := exp.MetadataTraffic()
+		t.Rows = append(t.Rows, Row{
+			Label: fmt.Sprintf("%d hosts", hosts),
+			Values: []string{
+				fmt.Sprintf("%.0f", float64(total)/duration.Seconds()),
+				fmt.Sprintf("%.2f", float64(sent)/duration.Seconds()/1024/float64(hosts)),
+			},
+		})
+	}
+	return t
+}

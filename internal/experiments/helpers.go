@@ -1,0 +1,20 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/kollaps"
+)
+
+// mustKollaps loads and deploys a topology; experiment code treats
+// malformed built-in topologies as programming errors.
+func mustKollaps(yaml string, hosts int) *kollaps.Experiment {
+	exp, err := kollaps.Load(yaml)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: bad built-in topology: %v", err))
+	}
+	if err := exp.Deploy(hosts, kollaps.Options{}); err != nil {
+		panic(fmt.Sprintf("experiments: deploy failed: %v", err))
+	}
+	return exp
+}

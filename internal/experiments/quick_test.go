@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// TestSmokeRemaining exercises the experiment harnesses at tiny durations
+// so regressions surface in the ordinary test run; full-length numbers
+// come from cmd/kollaps-bench and the root benchmarks.
+func TestSmokeRemaining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are not short")
+	}
+	RunFig3(2*time.Second, []int{1, 2}, Fig3Configs[:2]).Fprint(os.Stdout)
+	RunFig4(3*time.Second, []int{1, 4}, 1).Fprint(os.Stdout)
+	RunFig9(10 * time.Second).Fprint(os.Stdout)
+	RunFig10(4*time.Second, []float64{1000, 4000}).Fprint(os.Stdout)
+	RunFig11(4*time.Second, []float64{1000}).Fprint(os.Stdout)
+	tb, mse := RunTable3(300)
+	tb.Fprint(os.Stdout)
+	if mse > 1.0 {
+		t.Errorf("Table 3 jitter MSE = %.3f, expected < 1", mse)
+	}
+	RunFig7(5 * time.Second).Fprint(os.Stdout)
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/baselines"
+	"repro/internal/fabric"
+	"repro/internal/graph"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/units"
+)
+
+// Table2Rates are the emulated link capacities of Table 2.
+var Table2Rates = []units.Bandwidth{
+	128 * units.Kbps, 256 * units.Kbps, 512 * units.Kbps,
+	128 * units.Mbps, 256 * units.Mbps, 512 * units.Mbps,
+	1 * units.Gbps, 2 * units.Gbps, 4 * units.Gbps,
+}
+
+// RunTable2 reproduces Table 2: bandwidth shaping accuracy of Kollaps,
+// Mininet and Trickle (default and tuned) on a point-to-point client/server
+// topology, one iperf flow per target rate.
+func RunTable2(duration time.Duration) *Table {
+	if duration <= 0 {
+		duration = 10 * time.Second
+	}
+	t := &Table{
+		Title:   "Table 2: bandwidth shaping accuracy (iperf goodput vs nominal)",
+		Columns: []string{"Kollaps", "Mininet", "trickle(def.)", "trickle(tuned)"},
+	}
+	for _, rate := range Table2Rates {
+		k := table2Kollaps(rate, duration)
+		m, mOK := table2Mininet(rate, duration)
+		td := table2Trickle(rate, duration, baselines.TrickleOptions{Window: 5 * time.Second})
+		tt := table2Trickle(rate, duration, baselines.Tuned(rate))
+		mCell := "N/A"
+		if mOK {
+			mCell = fmt.Sprintf("%s (%s)", mbps(m), pct(m, float64(rate)))
+		}
+		t.Rows = append(t.Rows, Row{
+			Label: rate.String(),
+			Values: []string{
+				fmt.Sprintf("%s (%s)", mbps(k), pct(k, float64(rate))),
+				mCell,
+				fmt.Sprintf("%s (%s)", mbps(td), pct(td, float64(rate))),
+				fmt.Sprintf("%s (%s)", mbps(tt), pct(tt, float64(rate))),
+			},
+		})
+	}
+	return t
+}
+
+// table2Topology is the point-to-point client/server description.
+func table2Topology(rate units.Bandwidth) string {
+	return fmt.Sprintf(`
+experiment:
+  services:
+    name: c1
+    image: "iperf"
+    name: sv
+    image: "iperf"
+  links:
+    orig: c1
+    dest: sv
+    latency: 1
+    up: %s
+    down: %s
+`, rate, rate)
+}
+
+func table2Kollaps(rate units.Bandwidth, d time.Duration) float64 {
+	exp := mustKollaps(table2Topology(rate), 2)
+	cli, _ := exp.Container("c1")
+	srv, _ := exp.Container("sv")
+	server := apps.NewIperfServer(exp.Eng, srv.Stack, 5201, false)
+	apps.NewIperfClient(exp.Eng, cli.Stack, srv.IP, 5201, transport.Cubic)
+	exp.Run(d)
+	return float64(server.Received) * 8 / d.Seconds()
+}
+
+func table2Mininet(rate units.Bandwidth, d time.Duration) (float64, bool) {
+	eng := sim.NewEngine(42)
+	g := graph.New()
+	a := g.MustAddNode("c1", graph.Service)
+	b := g.MustAddNode("sv", graph.Service)
+	g.AddBiLink(a, b, graph.LinkProps{Latency: time.Millisecond, Bandwidth: rate})
+	mn, err := baselines.NewMininet(eng, g, baselines.MininetOptions{})
+	if err != nil {
+		return 0, false // >1Gb/s: the real tool refuses too
+	}
+	ipA, ipB := packet.MakeIP(0, 0, 1), packet.MakeIP(0, 0, 2)
+	mn.AttachEndpoint(a, ipA, nil)
+	mn.AttachEndpoint(b, ipB, nil)
+	cli := transport.NewStack(eng, mn.Network, ipA)
+	srv := transport.NewStack(eng, mn.Network, ipB)
+	server := apps.NewIperfServer(eng, srv, 5201, false)
+	apps.NewIperfClient(eng, cli, ipB, 5201, transport.Cubic)
+	eng.Run(d)
+	return float64(server.Received) * 8 / d.Seconds(), true
+}
+
+func table2Trickle(rate units.Bandwidth, d time.Duration, opt baselines.TrickleOptions) float64 {
+	// Trickle shapes in userspace over an *unshaped* fat path.
+	eng := sim.NewEngine(42)
+	g := graph.New()
+	a := g.MustAddNode("c1", graph.Service)
+	b := g.MustAddNode("sv", graph.Service)
+	g.AddBiLink(a, b, graph.LinkProps{Latency: time.Millisecond, Bandwidth: 10 * units.Gbps})
+	nw := fabric.New(eng, g, fabric.Options{})
+	ipA, ipB := packet.MakeIP(0, 0, 1), packet.MakeIP(0, 0, 2)
+	nw.AttachEndpoint(a, ipA, nil)
+	nw.AttachEndpoint(b, ipB, nil)
+	cli := transport.NewStack(eng, nw, ipA)
+	srv := transport.NewStack(eng, nw, ipB)
+	server := apps.NewIperfServer(eng, srv, 5201, false)
+	conn := cli.Dial(ipB, 5201, transport.Cubic)
+	sh := baselines.NewTrickle(eng, conn, rate, opt)
+	need := int64(rate.Bps()*d.Seconds()*4) + 1<<20
+	sh.Write(int(need))
+	eng.Run(d)
+	return float64(server.Received) * 8 / d.Seconds()
+}

@@ -1,0 +1,430 @@
+// Package graph implements the topology graph machinery Kollaps builds on:
+// a weighted directed graph of services and bridges, Dijkstra all-pairs
+// shortest paths, the end-to-end path property composition of §3, and the
+// topology generators used by the evaluation (Barabási–Albert scale-free
+// networks, dumbbells).
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/units"
+)
+
+// NodeID identifies a node within a Graph.
+type NodeID int
+
+// NodeKind distinguishes application endpoints from network elements.
+type NodeKind int
+
+// Node kinds. Services host application containers; bridges are the
+// switches/routers that the collapsing step removes.
+const (
+	Service NodeKind = iota
+	Bridge
+)
+
+func (k NodeKind) String() string {
+	if k == Service {
+		return "service"
+	}
+	return "bridge"
+}
+
+// Node is a vertex in the topology graph.
+type Node struct {
+	ID   NodeID
+	Name string
+	Kind NodeKind
+}
+
+// LinkProps are the shapeable properties of a unidirectional link
+// (§3: latency, bandwidth, jitter, packet loss).
+type LinkProps struct {
+	Latency   time.Duration
+	Jitter    time.Duration
+	Bandwidth units.Bandwidth
+	Loss      units.Loss
+}
+
+// Link is a unidirectional edge. Bidirectional links in topology files are
+// expanded into two Links (§3).
+type Link struct {
+	ID   int
+	From NodeID
+	To   NodeID
+	LinkProps
+}
+
+// Graph is a directed multigraph of services and bridges. It is the
+// in-memory structure the Emulation Manager maintains throughout an
+// experiment.
+type Graph struct {
+	nodes  []Node
+	links  []Link
+	out    map[NodeID][]int // node -> outgoing link indices
+	byName map[string]NodeID
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{out: make(map[NodeID][]int), byName: make(map[string]NodeID)}
+}
+
+// AddNode adds a named node and returns its id. Duplicate names are an
+// error: topology files identify endpoints by name.
+func (g *Graph) AddNode(name string, kind NodeKind) (NodeID, error) {
+	if _, dup := g.byName[name]; dup {
+		return 0, fmt.Errorf("graph: duplicate node name %q", name)
+	}
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Name: name, Kind: kind})
+	g.byName[name] = id
+	return id, nil
+}
+
+// MustAddNode is AddNode for programmatic construction where duplicates
+// indicate a bug.
+func (g *Graph) MustAddNode(name string, kind NodeKind) NodeID {
+	id, err := g.AddNode(name, kind)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// AddLink adds a unidirectional link and returns its id.
+func (g *Graph) AddLink(from, to NodeID, p LinkProps) int {
+	id := len(g.links)
+	g.links = append(g.links, Link{ID: id, From: from, To: to, LinkProps: p})
+	g.out[from] = append(g.out[from], id)
+	return id
+}
+
+// AddBiLink adds two opposite links with identical properties and returns
+// both ids (forward, reverse).
+func (g *Graph) AddBiLink(a, b NodeID, p LinkProps) (int, int) {
+	return g.AddLink(a, b, p), g.AddLink(b, a, p)
+}
+
+// RemoveLink marks a link as removed. Removed links are skipped by path
+// computations. (The dynamic topology engine removes and re-adds links.)
+func (g *Graph) RemoveLink(id int) {
+	if id >= 0 && id < len(g.links) {
+		g.links[id].Bandwidth = -1 // tombstone
+	}
+}
+
+// LinkRemoved reports whether the link is tombstoned.
+func (g *Graph) LinkRemoved(id int) bool {
+	return id >= 0 && id < len(g.links) && g.links[id].Bandwidth < 0
+}
+
+// SetLinkProps replaces the properties of a live link.
+func (g *Graph) SetLinkProps(id int, p LinkProps) {
+	if id >= 0 && id < len(g.links) {
+		l := &g.links[id]
+		l.LinkProps = p
+	}
+}
+
+// Node returns the node with the given id.
+func (g *Graph) Node(id NodeID) Node { return g.nodes[id] }
+
+// Link returns the link with the given id.
+func (g *Graph) Link(id int) Link { return g.links[id] }
+
+// Lookup finds a node by name.
+func (g *Graph) Lookup(name string) (NodeID, bool) {
+	id, ok := g.byName[name]
+	return id, ok
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumLinks returns the number of links including tombstones.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// Nodes returns all nodes.
+func (g *Graph) Nodes() []Node { return g.nodes }
+
+// Services returns the ids of all service nodes.
+func (g *Graph) Services() []NodeID {
+	var out []NodeID
+	for _, n := range g.nodes {
+		if n.Kind == Service {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy; the dynamic topology engine pre-computes one
+// graph per event (§3).
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		nodes:  append([]Node(nil), g.nodes...),
+		links:  append([]Link(nil), g.links...),
+		out:    make(map[NodeID][]int, len(g.out)),
+		byName: make(map[string]NodeID, len(g.byName)),
+	}
+	for k, v := range g.out {
+		c.out[k] = append([]int(nil), v...)
+	}
+	for k, v := range g.byName {
+		c.byName[k] = v
+	}
+	return c
+}
+
+// Path is a shortest path between two services: the ordered link ids it
+// traverses plus the composed end-to-end properties of §3:
+//
+//	Latency(P)  = Σ Latency(li)
+//	Jitter(P)   = sqrt(Σ Jitter(li)²)
+//	Loss(P)     = 1 − Π (1 − Loss(li))
+//	Bandwidth(P)= min Bandwidth(li)
+type Path struct {
+	From, To NodeID
+	Links    []int
+	LinkProps
+}
+
+// RTT returns the round-trip time implied by the one-way latency. The
+// RTT-aware fair-sharing model of §3 keys on this.
+func (p *Path) RTT() time.Duration { return 2 * p.Latency }
+
+// ComposeProps folds link properties along a path per the §3 formulas.
+func ComposeProps(links []Link) LinkProps {
+	var out LinkProps
+	if len(links) == 0 {
+		return out
+	}
+	out.Bandwidth = links[0].Bandwidth
+	keep := 1.0
+	jitterSq := 0.0
+	for _, l := range links {
+		out.Latency += l.Latency
+		jitterSq += float64(l.Jitter) * float64(l.Jitter)
+		keep *= 1 - float64(l.Loss)
+		if l.Bandwidth < out.Bandwidth {
+			out.Bandwidth = l.Bandwidth
+		}
+	}
+	out.Jitter = time.Duration(math.Sqrt(jitterSq))
+	out.Loss = units.Loss(1 - keep)
+	return out
+}
+
+// ShortestPaths runs Dijkstra from src (weight = link latency, ties broken
+// by hop count then link id for determinism) and returns a Path for every
+// reachable node. Tombstoned links are skipped.
+func (g *Graph) ShortestPaths(src NodeID) map[NodeID]*Path {
+	const inf = math.MaxInt64
+	type state struct {
+		dist time.Duration
+		hops int
+		prev NodeID
+		via  int // link id used to arrive
+		done bool
+		seen bool
+	}
+	st := make([]state, len(g.nodes))
+	for i := range st {
+		st[i].dist = time.Duration(inf)
+		st[i].via = -1
+	}
+	st[src].dist = 0
+	st[src].seen = true
+
+	pq := &nodeQueue{}
+	heap.Push(pq, nodeDist{id: src, dist: 0, hops: 0})
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(nodeDist)
+		s := &st[cur.id]
+		if s.done {
+			continue
+		}
+		s.done = true
+		for _, li := range g.out[cur.id] {
+			l := &g.links[li]
+			if l.Bandwidth < 0 { // tombstone
+				continue
+			}
+			nd := cur.dist + l.Latency
+			nh := cur.hops + 1
+			ns := &st[l.To]
+			better := false
+			switch {
+			case !ns.seen || nd < ns.dist:
+				better = true
+			case nd == ns.dist && nh < ns.hops:
+				better = true
+			case nd == ns.dist && nh == ns.hops && ns.via >= 0 && li < ns.via:
+				better = true
+			}
+			if better && !ns.done {
+				ns.dist, ns.hops, ns.prev, ns.via, ns.seen = nd, nh, cur.id, li, true
+				heap.Push(pq, nodeDist{id: l.To, dist: nd, hops: nh})
+			}
+		}
+	}
+
+	out := make(map[NodeID]*Path)
+	for id := range g.nodes {
+		nid := NodeID(id)
+		if nid == src || !st[id].seen {
+			continue
+		}
+		// Rebuild the link chain backwards.
+		var rev []int
+		for at := nid; at != src; at = st[at].prev {
+			rev = append(rev, st[at].via)
+		}
+		links := make([]int, len(rev))
+		lobjs := make([]Link, len(rev))
+		for i := range rev {
+			links[i] = rev[len(rev)-1-i]
+			lobjs[i] = g.links[links[i]]
+		}
+		out[nid] = &Path{From: src, To: nid, Links: links, LinkProps: ComposeProps(lobjs)}
+	}
+	return out
+}
+
+// AllPairsServicePaths computes shortest paths between every ordered pair
+// of services — the "network collapsing" input (§3, Figure 1).
+func (g *Graph) AllPairsServicePaths() map[NodeID]map[NodeID]*Path {
+	out := make(map[NodeID]map[NodeID]*Path)
+	for _, src := range g.Services() {
+		all := g.ShortestPaths(src)
+		m := make(map[NodeID]*Path)
+		for dst, p := range all {
+			if g.nodes[dst].Kind == Service {
+				m[dst] = p
+			}
+		}
+		out[src] = m
+	}
+	return out
+}
+
+type nodeDist struct {
+	id   NodeID
+	dist time.Duration
+	hops int
+}
+
+type nodeQueue []nodeDist
+
+func (q nodeQueue) Len() int { return len(q) }
+func (q nodeQueue) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	if q[i].hops != q[j].hops {
+		return q[i].hops < q[j].hops
+	}
+	return q[i].id < q[j].id
+}
+func (q nodeQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x any)   { *q = append(*q, x.(nodeDist)) }
+func (q *nodeQueue) Pop() (x any) { old := *q; n := len(old); x = old[n-1]; *q = old[:n-1]; return }
+
+// ScaleFreeOptions configures the Barabási–Albert generator used by the
+// Table 4 experiment.
+type ScaleFreeOptions struct {
+	Elements     int // total nodes + switches (paper: 1000/2000/4000)
+	EdgesPerNode int // m parameter; 1 yields a tree, 2 the usual BA graph
+	ServiceRatio float64
+	LinkProps    LinkProps
+	Rand         *rand.Rand
+}
+
+// ScaleFree generates a preferential-attachment topology (Barabási–Albert
+// [26]). Switches form the scale-free core; services attach to switches.
+// The split follows the paper's Table 4 ratio (~2/3 end nodes, ~1/3
+// switches).
+func ScaleFree(opt ScaleFreeOptions) *Graph {
+	if opt.Elements < 4 {
+		panic("graph: ScaleFree needs at least 4 elements")
+	}
+	if opt.EdgesPerNode <= 0 {
+		opt.EdgesPerNode = 1
+	}
+	if opt.ServiceRatio <= 0 || opt.ServiceRatio >= 1 {
+		opt.ServiceRatio = 2.0 / 3.0
+	}
+	rng := opt.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	nServices := int(float64(opt.Elements) * opt.ServiceRatio)
+	nSwitches := opt.Elements - nServices
+	if nSwitches < 2 {
+		nSwitches = 2
+		nServices = opt.Elements - 2
+	}
+
+	g := New()
+	switches := make([]NodeID, nSwitches)
+	for i := range switches {
+		switches[i] = g.MustAddNode(fmt.Sprintf("s%d", i), Bridge)
+	}
+	// Preferential attachment among switches: repeated-endpoint urn.
+	var urn []int
+	g.AddBiLink(switches[0], switches[1], opt.LinkProps)
+	urn = append(urn, 0, 1)
+	for i := 2; i < nSwitches; i++ {
+		attached := make(map[int]bool)
+		m := opt.EdgesPerNode
+		if m > i {
+			m = i
+		}
+		for len(attached) < m {
+			t := urn[rng.Intn(len(urn))]
+			if t == i || attached[t] {
+				continue
+			}
+			attached[t] = true
+			g.AddBiLink(switches[i], switches[t], opt.LinkProps)
+			urn = append(urn, t)
+		}
+		for range attached {
+			urn = append(urn, i)
+		}
+	}
+	// Services attach preferentially too: hubs serve more machines.
+	for i := 0; i < nServices; i++ {
+		t := urn[rng.Intn(len(urn))]
+		n := g.MustAddNode(fmt.Sprintf("n%d", i), Service)
+		g.AddBiLink(n, switches[t], opt.LinkProps)
+	}
+	return g
+}
+
+// Dumbbell builds the classic dumbbell used by the Figure 3 experiment:
+// nClients on one side, nServers on the other, two bridges joined by a
+// shared link.
+func Dumbbell(nClients, nServers int, edge, shared LinkProps) (*Graph, []NodeID, []NodeID) {
+	g := New()
+	b1 := g.MustAddNode("b1", Bridge)
+	b2 := g.MustAddNode("b2", Bridge)
+	g.AddBiLink(b1, b2, shared)
+	clients := make([]NodeID, nClients)
+	servers := make([]NodeID, nServers)
+	for i := range clients {
+		clients[i] = g.MustAddNode(fmt.Sprintf("c%d", i), Service)
+		g.AddBiLink(clients[i], b1, edge)
+	}
+	for i := range servers {
+		servers[i] = g.MustAddNode(fmt.Sprintf("sv%d", i), Service)
+		g.AddBiLink(servers[i], b2, edge)
+	}
+	return g, clients, servers
+}

@@ -1,0 +1,350 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/units"
+)
+
+func props(lat time.Duration, bw units.Bandwidth) LinkProps {
+	return LinkProps{Latency: lat, Bandwidth: bw}
+}
+
+// paperTopology builds Figure 1 (left): c1, sv1, sv2, s1, s2.
+func paperTopology(t *testing.T) (*Graph, NodeID, NodeID, NodeID) {
+	t.Helper()
+	g := New()
+	c1 := g.MustAddNode("c1", Service)
+	sv1 := g.MustAddNode("sv1", Service)
+	sv2 := g.MustAddNode("sv2", Service)
+	s1 := g.MustAddNode("s1", Bridge)
+	s2 := g.MustAddNode("s2", Bridge)
+	g.AddBiLink(c1, s1, props(10*time.Millisecond, 10*units.Mbps))
+	g.AddBiLink(s1, s2, props(20*time.Millisecond, 100*units.Mbps))
+	g.AddBiLink(s2, sv1, props(5*time.Millisecond, 50*units.Mbps))
+	g.AddBiLink(s2, sv2, props(5*time.Millisecond, 50*units.Mbps))
+	return g, c1, sv1, sv2
+}
+
+func TestFigure1Collapse(t *testing.T) {
+	// The collapsed topology of Figure 1 (right): c1->sv{1,2} is
+	// 10Mb/s / 35ms; sv1->sv2 is 50Mb/s / 10ms.
+	g, c1, sv1, sv2 := paperTopology(t)
+	paths := g.ShortestPaths(c1)
+	for _, dst := range []NodeID{sv1, sv2} {
+		p := paths[dst]
+		if p == nil {
+			t.Fatalf("no path c1->%d", dst)
+		}
+		if p.Latency != 35*time.Millisecond {
+			t.Errorf("latency c1->%v = %v, want 35ms", dst, p.Latency)
+		}
+		if p.Bandwidth != 10*units.Mbps {
+			t.Errorf("bandwidth c1->%v = %v, want 10Mbps", dst, p.Bandwidth)
+		}
+		if len(p.Links) != 3 {
+			t.Errorf("hops c1->%v = %d, want 3", dst, len(p.Links))
+		}
+	}
+	p := g.ShortestPaths(sv1)[sv2]
+	if p.Latency != 10*time.Millisecond || p.Bandwidth != 50*units.Mbps {
+		t.Errorf("sv1->sv2 = %v/%v, want 10ms/50Mbps", p.Latency, p.Bandwidth)
+	}
+}
+
+func TestPathRTT(t *testing.T) {
+	p := &Path{LinkProps: LinkProps{Latency: 35 * time.Millisecond}}
+	if p.RTT() != 70*time.Millisecond {
+		t.Fatalf("RTT = %v", p.RTT())
+	}
+}
+
+func TestComposeProps(t *testing.T) {
+	links := []Link{
+		{LinkProps: LinkProps{Latency: 10 * time.Millisecond, Jitter: 3 * time.Millisecond, Bandwidth: 100 * units.Mbps, Loss: 0.01}},
+		{LinkProps: LinkProps{Latency: 20 * time.Millisecond, Jitter: 4 * time.Millisecond, Bandwidth: 10 * units.Mbps, Loss: 0.02}},
+	}
+	got := ComposeProps(links)
+	if got.Latency != 30*time.Millisecond {
+		t.Errorf("latency = %v", got.Latency)
+	}
+	// sqrt(3^2+4^2) = 5ms
+	if got.Jitter != 5*time.Millisecond {
+		t.Errorf("jitter = %v, want 5ms", got.Jitter)
+	}
+	if got.Bandwidth != 10*units.Mbps {
+		t.Errorf("bandwidth = %v", got.Bandwidth)
+	}
+	want := 1 - 0.99*0.98
+	if math.Abs(float64(got.Loss)-want) > 1e-12 {
+		t.Errorf("loss = %v, want %v", got.Loss, want)
+	}
+	if zero := ComposeProps(nil); zero != (LinkProps{}) {
+		t.Errorf("empty compose = %+v", zero)
+	}
+}
+
+func TestComposePropsProperties(t *testing.T) {
+	// Property: for random chains, composed loss >= max individual loss,
+	// composed bandwidth == min individual bandwidth, latency == sum.
+	f := func(lat []uint16, seed int64) bool {
+		if len(lat) == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var links []Link
+		var sumLat time.Duration
+		minBW := units.Bandwidth(math.MaxInt64)
+		maxLoss := units.Loss(0)
+		for _, l := range lat {
+			lp := LinkProps{
+				Latency:   time.Duration(l) * time.Microsecond,
+				Bandwidth: units.Bandwidth(1 + rng.Int63n(int64(units.Gbps))),
+				Loss:      units.Loss(rng.Float64() * 0.2),
+			}
+			links = append(links, Link{LinkProps: lp})
+			sumLat += lp.Latency
+			if lp.Bandwidth < minBW {
+				minBW = lp.Bandwidth
+			}
+			if lp.Loss > maxLoss {
+				maxLoss = lp.Loss
+			}
+		}
+		got := ComposeProps(links)
+		return got.Latency == sumLat && got.Bandwidth == minBW &&
+			got.Loss >= maxLoss-1e-12 && got.Loss <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDuplicateNodeName(t *testing.T) {
+	g := New()
+	g.MustAddNode("a", Service)
+	if _, err := g.AddNode("a", Bridge); err == nil {
+		t.Fatal("expected duplicate-name error")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	g := New()
+	id := g.MustAddNode("x", Service)
+	got, ok := g.Lookup("x")
+	if !ok || got != id {
+		t.Fatalf("Lookup = %v,%v", got, ok)
+	}
+	if _, ok := g.Lookup("missing"); ok {
+		t.Fatal("Lookup of missing name succeeded")
+	}
+}
+
+func TestRemoveLinkReroutes(t *testing.T) {
+	// a - b via a fast direct link and a slow detour through r. Removing
+	// the direct link must reroute via the detour; restoring is done via
+	// SetLinkProps on a tombstone-free clone in the dynamics engine, so
+	// here we just verify tombstone behavior.
+	g := New()
+	a := g.MustAddNode("a", Service)
+	b := g.MustAddNode("b", Service)
+	r := g.MustAddNode("r", Bridge)
+	direct, _ := g.AddBiLink(a, b, props(5*time.Millisecond, 100*units.Mbps))
+	g.AddBiLink(a, r, props(10*time.Millisecond, 10*units.Mbps))
+	g.AddBiLink(r, b, props(10*time.Millisecond, 10*units.Mbps))
+
+	if p := g.ShortestPaths(a)[b]; p.Latency != 5*time.Millisecond {
+		t.Fatalf("pre-removal latency = %v", p.Latency)
+	}
+	g.RemoveLink(direct)
+	if !g.LinkRemoved(direct) {
+		t.Fatal("LinkRemoved = false")
+	}
+	p := g.ShortestPaths(a)[b]
+	if p == nil || p.Latency != 20*time.Millisecond {
+		t.Fatalf("post-removal path = %+v, want 20ms detour", p)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := New()
+	a := g.MustAddNode("a", Service)
+	g.MustAddNode("b", Service)
+	paths := g.ShortestPaths(a)
+	if len(paths) != 0 {
+		t.Fatalf("expected no paths, got %d", len(paths))
+	}
+}
+
+func TestAllPairsServicePaths(t *testing.T) {
+	g, c1, sv1, sv2 := paperTopology(t)
+	ap := g.AllPairsServicePaths()
+	if len(ap) != 3 {
+		t.Fatalf("sources = %d, want 3", len(ap))
+	}
+	for _, src := range []NodeID{c1, sv1, sv2} {
+		if len(ap[src]) != 2 {
+			t.Fatalf("paths from %v = %d, want 2 (bridges excluded)", src, len(ap[src]))
+		}
+	}
+	if ap[sv2][sv1].Latency != 10*time.Millisecond {
+		t.Fatalf("sv2->sv1 latency = %v", ap[sv2][sv1].Latency)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g, c1, sv1, _ := paperTopology(t)
+	c := g.Clone()
+	// Mutate the clone; original must be unaffected.
+	c.SetLinkProps(0, props(time.Hour, units.Kbps))
+	if g.Link(0).Latency == time.Hour {
+		t.Fatal("Clone shares link storage")
+	}
+	if c.Link(0).Latency != time.Hour {
+		t.Fatal("SetLinkProps on clone had no effect")
+	}
+	// Clone keeps routing identical before mutation.
+	p1 := g.ShortestPaths(c1)[sv1]
+	if p1 == nil || p1.Latency != 35*time.Millisecond {
+		t.Fatal("original graph corrupted by clone")
+	}
+}
+
+func TestDeterministicPaths(t *testing.T) {
+	// With two equal-latency routes, tie-break must be stable across runs.
+	build := func() *Graph {
+		g := New()
+		a := g.MustAddNode("a", Service)
+		b := g.MustAddNode("b", Service)
+		r1 := g.MustAddNode("r1", Bridge)
+		r2 := g.MustAddNode("r2", Bridge)
+		g.AddBiLink(a, r1, props(10*time.Millisecond, 100*units.Mbps))
+		g.AddBiLink(r1, b, props(10*time.Millisecond, 100*units.Mbps))
+		g.AddBiLink(a, r2, props(10*time.Millisecond, 100*units.Mbps))
+		g.AddBiLink(r2, b, props(10*time.Millisecond, 100*units.Mbps))
+		return g
+	}
+	g1, g2 := build(), build()
+	a1, _ := g1.Lookup("a")
+	b1, _ := g1.Lookup("b")
+	p1 := g1.ShortestPaths(a1)[b1]
+	p2 := g2.ShortestPaths(a1)[b1]
+	if len(p1.Links) != len(p2.Links) {
+		t.Fatal("nondeterministic path length")
+	}
+	for i := range p1.Links {
+		if p1.Links[i] != p2.Links[i] {
+			t.Fatalf("nondeterministic tie-break: %v vs %v", p1.Links, p2.Links)
+		}
+	}
+	_ = g2
+}
+
+func TestScaleFree(t *testing.T) {
+	for _, n := range []int{100, 1000} {
+		g := ScaleFree(ScaleFreeOptions{
+			Elements:     n,
+			EdgesPerNode: 2,
+			LinkProps:    props(5*time.Millisecond, 100*units.Mbps),
+			Rand:         rand.New(rand.NewSource(7)),
+		})
+		if g.NumNodes() != n {
+			t.Fatalf("nodes = %d, want %d", g.NumNodes(), n)
+		}
+		svc := g.Services()
+		wantSvc := int(float64(n) * 2.0 / 3.0)
+		if len(svc) != wantSvc {
+			t.Fatalf("services = %d, want %d", len(svc), wantSvc)
+		}
+		// Connectivity: every service reachable from the first service.
+		paths := g.ShortestPaths(svc[0])
+		reach := 0
+		for _, dst := range svc[1:] {
+			if paths[dst] != nil {
+				reach++
+			}
+		}
+		if reach != len(svc)-1 {
+			t.Fatalf("reachable services = %d/%d", reach, len(svc)-1)
+		}
+	}
+}
+
+func TestScaleFreeHubs(t *testing.T) {
+	// Scale-free signature: max switch degree far above the mean.
+	g := ScaleFree(ScaleFreeOptions{
+		Elements:     1500,
+		EdgesPerNode: 2,
+		LinkProps:    props(time.Millisecond, units.Gbps),
+		Rand:         rand.New(rand.NewSource(3)),
+	})
+	deg := make(map[NodeID]int)
+	for i := 0; i < g.NumLinks(); i++ {
+		deg[g.Link(i).From]++
+	}
+	maxDeg, sum, n := 0, 0, 0
+	for _, node := range g.Nodes() {
+		if node.Kind != Bridge {
+			continue
+		}
+		d := deg[node.ID]
+		sum += d
+		n++
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := float64(sum) / float64(n)
+	if float64(maxDeg) < 5*mean {
+		t.Fatalf("no hubs: max degree %d vs mean %.1f", maxDeg, mean)
+	}
+}
+
+func TestScaleFreeDeterministic(t *testing.T) {
+	a := ScaleFree(ScaleFreeOptions{Elements: 200, EdgesPerNode: 2, Rand: rand.New(rand.NewSource(9))})
+	b := ScaleFree(ScaleFreeOptions{Elements: 200, EdgesPerNode: 2, Rand: rand.New(rand.NewSource(9))})
+	if a.NumLinks() != b.NumLinks() {
+		t.Fatal("nondeterministic generator")
+	}
+	for i := 0; i < a.NumLinks(); i++ {
+		if a.Link(i).From != b.Link(i).From || a.Link(i).To != b.Link(i).To {
+			t.Fatalf("link %d differs", i)
+		}
+	}
+}
+
+func TestDumbbell(t *testing.T) {
+	edge := props(5*time.Millisecond, 100*units.Mbps)
+	shared := props(10*time.Millisecond, 50*units.Mbps)
+	g, clients, servers := Dumbbell(4, 4, edge, shared)
+	if len(clients) != 4 || len(servers) != 4 {
+		t.Fatal("wrong endpoint counts")
+	}
+	p := g.ShortestPaths(clients[0])[servers[0]]
+	if p == nil {
+		t.Fatal("no path across dumbbell")
+	}
+	if p.Bandwidth != 50*units.Mbps {
+		t.Fatalf("bottleneck = %v, want shared 50Mbps", p.Bandwidth)
+	}
+	if p.Latency != 20*time.Millisecond {
+		t.Fatalf("latency = %v, want 20ms", p.Latency)
+	}
+	// All client-server pairs share the b1->b2 link.
+	shared01 := g.ShortestPaths(clients[1])[servers[2]]
+	found := false
+	for _, l := range shared01.Links {
+		for _, m := range p.Links {
+			if l == m {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("dumbbell paths do not share the bottleneck link")
+	}
+}

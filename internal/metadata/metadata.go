@@ -1,0 +1,159 @@
+// Package metadata implements Kollaps' decentralized metadata
+// dissemination (§4.2): the wire encoding that packs per-flow bandwidth
+// usage and path link identifiers into single UDP datagrams, the
+// shared-memory ring used between Emulation Cores on one host, and the
+// media driver (the Aeron substitute) that broadcasts each Emulation
+// Manager's aggregate to its peers over the cluster network.
+//
+// The wire format follows the paper byte for byte: (i) number of flows,
+// 2 bytes; (ii) used bandwidth per flow, 4 bytes; (iii) number of links
+// per flow; (iv) the link identifiers — 1 byte each for topologies with
+// ≤ 256 links, 2 bytes otherwise.
+package metadata
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// FlowRecord reports one active flow: its current usage and the physical
+// link ids its collapsed path traverses. Flows are identified by their
+// link lists — the only state peers need to run the sharing model.
+type FlowRecord struct {
+	// BPS is the observed bandwidth usage in bits per second.
+	BPS uint32
+	// Links are the topology link ids on the flow's path.
+	Links []uint16
+}
+
+// Message is one Emulation Manager's report: all active flows whose source
+// containers it hosts.
+type Message struct {
+	// Host identifies the sending Emulation Manager.
+	Host uint16
+	// Flows are the sender's active flows.
+	Flows []FlowRecord
+}
+
+// Wide reports whether the topology needs 2-byte link identifiers
+// (more than 256 distinct links).
+func Wide(numLinks int) bool { return numLinks > 256 }
+
+// Encode serializes the message. wide selects 2-byte link ids.
+func Encode(m *Message, wide bool) []byte {
+	size := 2 + 2 // host + flow count
+	idw := 1
+	if wide {
+		idw = 2
+	}
+	for _, f := range m.Flows {
+		size += 4 + 1 + idw*len(f.Links)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.BigEndian.AppendUint16(buf, m.Host)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Flows)))
+	for _, f := range m.Flows {
+		buf = binary.BigEndian.AppendUint32(buf, f.BPS)
+		buf = append(buf, byte(len(f.Links)))
+		for _, l := range f.Links {
+			if wide {
+				buf = binary.BigEndian.AppendUint16(buf, l)
+			} else {
+				buf = append(buf, byte(l))
+			}
+		}
+	}
+	return buf
+}
+
+// Decode parses a message encoded with the same width.
+func Decode(b []byte, wide bool) (*Message, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("metadata: short message (%d bytes)", len(b))
+	}
+	m := &Message{Host: binary.BigEndian.Uint16(b)}
+	n := int(binary.BigEndian.Uint16(b[2:]))
+	off := 4
+	idw := 1
+	if wide {
+		idw = 2
+	}
+	if n > 0 {
+		m.Flows = make([]FlowRecord, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		if off+5 > len(b) {
+			return nil, fmt.Errorf("metadata: truncated flow %d", i)
+		}
+		f := FlowRecord{BPS: binary.BigEndian.Uint32(b[off:])}
+		nl := int(b[off+4])
+		off += 5
+		if off+nl*idw > len(b) {
+			return nil, fmt.Errorf("metadata: truncated links of flow %d", i)
+		}
+		f.Links = make([]uint16, nl)
+		for j := 0; j < nl; j++ {
+			if wide {
+				f.Links[j] = binary.BigEndian.Uint16(b[off:])
+				off += 2
+			} else {
+				f.Links[j] = uint16(b[off])
+				off++
+			}
+		}
+		m.Flows = append(m.Flows, f)
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("metadata: %d trailing bytes", len(b)-off)
+	}
+	return m, nil
+}
+
+// Ring is the bounded shared-memory ring Emulation Cores use to hand their
+// local measurements to the host's Emulation Manager without touching the
+// network (§4.2: "For containers on the same machine, the metadata is
+// exchanged through shared memory").
+type Ring struct {
+	slots []*Message
+	head  int // next write
+	tail  int // next read
+	count int
+	// Dropped counts messages discarded because the ring was full (the
+	// EM fell behind); the writer overwrites the oldest entry.
+	Dropped int64
+}
+
+// NewRing creates a ring with the given capacity (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{slots: make([]*Message, capacity)}
+}
+
+// Publish appends a message, overwriting the oldest when full.
+func (r *Ring) Publish(m *Message) {
+	if r.count == len(r.slots) {
+		r.tail = (r.tail + 1) % len(r.slots)
+		r.count--
+		r.Dropped++
+	}
+	r.slots[r.head] = m
+	r.head = (r.head + 1) % len(r.slots)
+	r.count++
+}
+
+// Poll removes and returns the oldest message, or nil when empty.
+func (r *Ring) Poll() *Message {
+	if r.count == 0 {
+		return nil
+	}
+	m := r.slots[r.tail]
+	r.slots[r.tail] = nil
+	r.tail = (r.tail + 1) % len(r.slots)
+	r.count--
+	return m
+}
+
+// Len returns the number of queued messages.
+func (r *Ring) Len() int { return r.count }

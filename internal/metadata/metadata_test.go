@@ -1,0 +1,190 @@
+package metadata
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Message {
+	return &Message{
+		Host: 3,
+		Flows: []FlowRecord{
+			{BPS: 50_000_000, Links: []uint16{0, 6, 7, 8}},
+			{BPS: 10_000_000, Links: []uint16{2, 6, 7, 10}},
+			{BPS: 125_000, Links: []uint16{1}},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, wide := range []bool{false, true} {
+		m := sample()
+		b := Encode(m, wide)
+		got, err := Decode(b, wide)
+		if err != nil {
+			t.Fatalf("wide=%v: %v", wide, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("wide=%v: round trip mismatch:\n%+v\n%+v", wide, m, got)
+		}
+	}
+}
+
+func TestEncodedSizeMatchesPaperFormat(t *testing.T) {
+	// (i) 2 bytes host id is our framing; flow count 2 bytes;
+	// per flow: 4 bytes bandwidth + 1 byte link count + 1 byte per link
+	// (narrow) per §4.2.
+	m := sample()
+	b := Encode(m, false)
+	want := 2 + 2 + (4 + 1 + 4) + (4 + 1 + 4) + (4 + 1 + 1)
+	if len(b) != want {
+		t.Fatalf("narrow size = %d, want %d", len(b), want)
+	}
+	bw := Encode(m, true)
+	wantWide := 2 + 2 + (4 + 1 + 8) + (4 + 1 + 8) + (4 + 1 + 2)
+	if len(bw) != wantWide {
+		t.Fatalf("wide size = %d, want %d", len(bw), wantWide)
+	}
+}
+
+func TestFitsSingleDatagram(t *testing.T) {
+	// A dumbbell host with 40 local flows, 4-hop paths: must fit in one
+	// UDP datagram (< 1472 bytes payload).
+	m := &Message{Host: 1}
+	for i := 0; i < 40; i++ {
+		m.Flows = append(m.Flows, FlowRecord{BPS: 50_000_000, Links: []uint16{1, 2, 3, 4}})
+	}
+	if n := len(Encode(m, false)); n > 1472 {
+		t.Fatalf("40-flow message is %d bytes, exceeds one datagram", n)
+	}
+}
+
+func TestEmptyMessage(t *testing.T) {
+	m := &Message{Host: 9}
+	got, err := Decode(Encode(m, false), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Host != 9 || len(got.Flows) != 0 {
+		t.Fatalf("empty round trip = %+v", got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1},
+		{0, 1, 0, 1},                          // one flow promised, no data
+		{0, 1, 0, 1, 0, 0, 0, 1},              // truncated mid-flow
+		append(Encode(sample(), false), 0xFF), // trailing garbage
+	}
+	for i, b := range cases {
+		if _, err := Decode(b, false); err == nil {
+			t.Errorf("case %d: expected decode error", i)
+		}
+	}
+	// Width mismatch on a multi-link message must error or mis-parse,
+	// never panic.
+	b := Encode(sample(), true)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("width mismatch panicked: %v", r)
+			}
+		}()
+		_, _ = Decode(b, false)
+	}()
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(host uint16, raw [][3]uint16, bps []uint32) bool {
+		m := &Message{Host: host}
+		for i, r := range raw {
+			if i >= 20 {
+				break
+			}
+			var b uint32 = 1000
+			if i < len(bps) {
+				b = bps[i]
+			}
+			m.Flows = append(m.Flows, FlowRecord{BPS: b, Links: []uint16{r[0], r[1], r[2]}})
+		}
+		got, err := Decode(Encode(m, true), true)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRing(t *testing.T) {
+	r := NewRing(3)
+	if r.Poll() != nil || r.Len() != 0 {
+		t.Fatal("empty ring should poll nil")
+	}
+	a, b, c, d := &Message{Host: 1}, &Message{Host: 2}, &Message{Host: 3}, &Message{Host: 4}
+	r.Publish(a)
+	r.Publish(b)
+	r.Publish(c)
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	// Overflow drops the oldest.
+	r.Publish(d)
+	if r.Dropped != 1 {
+		t.Fatalf("Dropped = %d", r.Dropped)
+	}
+	if got := r.Poll(); got != b {
+		t.Fatalf("Poll = %+v, want host 2", got)
+	}
+	if got := r.Poll(); got != c {
+		t.Fatalf("Poll = %+v, want host 3", got)
+	}
+	if got := r.Poll(); got != d {
+		t.Fatalf("Poll = %+v, want host 4", got)
+	}
+	if r.Poll() != nil {
+		t.Fatal("drained ring should poll nil")
+	}
+	// Reuse after wraparound.
+	r.Publish(a)
+	if got := r.Poll(); got != a {
+		t.Fatal("ring broken after wraparound")
+	}
+}
+
+func TestRingCapacityFloor(t *testing.T) {
+	r := NewRing(0)
+	r.Publish(&Message{Host: 1})
+	if r.Len() != 1 {
+		t.Fatal("zero-capacity ring should be clamped to 1")
+	}
+}
+
+func TestWide(t *testing.T) {
+	if Wide(256) || !Wide(257) {
+		t.Fatal("Wide threshold wrong")
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	m := sample()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Encode(m, false)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	buf := Encode(sample(), false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package metrics provides the measurement primitives the evaluation
+// harness uses: duration/value histograms with percentiles, mean-squared
+// error, rate meters, and simple time series.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Histogram collects float64 samples and answers order statistics.
+// The zero value is ready to use.
+type Histogram struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+}
+
+// Add records a sample.
+func (h *Histogram) Add(v float64) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+	h.sum += v
+}
+
+// AddDuration records a duration sample in milliseconds.
+func (h *Histogram) AddDuration(d time.Duration) {
+	h.Add(float64(d) / float64(time.Millisecond))
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / float64(len(h.samples))
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.samples[0]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (h *Histogram) Max() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.samples[len(h.samples)-1]
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank, or 0 with no samples.
+func (h *Histogram) Percentile(p float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[len(h.samples)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(h.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return h.samples[rank]
+}
+
+// StdDev returns the population standard deviation.
+func (h *Histogram) StdDev() float64 {
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := h.Mean()
+	var ss float64
+	for _, v := range h.samples {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.samples = h.samples[:0]
+	h.sorted = false
+	h.sum = 0
+}
+
+func (h *Histogram) sort() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+}
+
+// MSE returns the mean squared error between observed and expected.
+// The slices must have equal nonzero length.
+func MSE(observed, expected []float64) float64 {
+	if len(observed) != len(expected) || len(observed) == 0 {
+		return math.NaN()
+	}
+	var ss float64
+	for i := range observed {
+		d := observed[i] - expected[i]
+		ss += d * d
+	}
+	return ss / float64(len(observed))
+}
+
+// RelativeError returns |observed-expected|/expected, or NaN for a zero
+// expectation.
+func RelativeError(observed, expected float64) float64 {
+	if expected == 0 {
+		return math.NaN()
+	}
+	return math.Abs(observed-expected) / math.Abs(expected)
+}
+
+// RateMeter accumulates byte (or event) counts and converts them to a rate
+// over the observation window.
+type RateMeter struct {
+	total int64
+	start time.Duration
+	end   time.Duration
+	began bool
+}
+
+// Observe adds n units at virtual time now.
+func (r *RateMeter) Observe(now time.Duration, n int64) {
+	if !r.began {
+		r.start = now
+		r.began = true
+	}
+	if now > r.end {
+		r.end = now
+	}
+	r.total += n
+}
+
+// Total returns the accumulated count.
+func (r *RateMeter) Total() int64 { return r.total }
+
+// Rate returns units per second over [start,end], or over the provided
+// window if it is longer (avoids division by ~0 for bursts).
+func (r *RateMeter) Rate(window time.Duration) float64 {
+	span := r.end - r.start
+	if window > span {
+		span = window
+	}
+	if span <= 0 {
+		return 0
+	}
+	return float64(r.total) / span.Seconds()
+}
+
+// TimeSeries is a sequence of (virtual time, value) points.
+type TimeSeries struct {
+	Name   string
+	Points []Point
+}
+
+// Point is a single time-series observation.
+type Point struct {
+	At    time.Duration
+	Value float64
+}
+
+// Add appends a point.
+func (ts *TimeSeries) Add(at time.Duration, v float64) {
+	ts.Points = append(ts.Points, Point{At: at, Value: v})
+}
+
+// Mean returns the average of all point values.
+func (ts *TimeSeries) Mean() float64 {
+	if len(ts.Points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range ts.Points {
+		sum += p.Value
+	}
+	return sum / float64(len(ts.Points))
+}
+
+// MeanBetween averages values with from <= At <= to.
+func (ts *TimeSeries) MeanBetween(from, to time.Duration) float64 {
+	var sum float64
+	n := 0
+	for _, p := range ts.Points {
+		if p.At >= from && p.At <= to {
+			sum += p.Value
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Last returns the final value, or 0 when empty.
+func (ts *TimeSeries) Last() float64 {
+	if len(ts.Points) == 0 {
+		return 0
+	}
+	return ts.Points[len(ts.Points)-1].Value
+}
+
+// String renders a short summary for logs.
+func (ts *TimeSeries) String() string {
+	return fmt.Sprintf("%s: %d points, mean %.3f", ts.Name, len(ts.Points), ts.Mean())
+}

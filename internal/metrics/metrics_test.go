@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("zero-value histogram should return zeros")
+	}
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		h.Add(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 3 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	if got := h.Percentile(50); got != 3 {
+		t.Fatalf("P50 = %v, want 3", got)
+	}
+	if got := h.Percentile(100); got != 5 {
+		t.Fatalf("P100 = %v, want 5", got)
+	}
+	if got := h.Percentile(1); got != 1 {
+		t.Fatalf("P1 = %v, want 1", got)
+	}
+}
+
+func TestHistogramAddAfterQuery(t *testing.T) {
+	var h Histogram
+	h.Add(10)
+	_ = h.Percentile(50)
+	h.Add(1) // must re-sort on the next query
+	if got := h.Min(); got != 1 {
+		t.Fatalf("Min after late Add = %v, want 1", got)
+	}
+}
+
+func TestHistogramStdDev(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		h.Add(v)
+	}
+	if got := h.StdDev(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestHistogramDuration(t *testing.T) {
+	var h Histogram
+	h.AddDuration(15 * time.Millisecond)
+	if got := h.Mean(); got != 15 {
+		t.Fatalf("AddDuration mean = %v ms, want 15", got)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Add(1)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(vals []float64, a, b uint8) bool {
+		var h Histogram
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				h.Add(v)
+			}
+		}
+		p, q := float64(a%101), float64(b%101)
+		if p > q {
+			p, q = q, p
+		}
+		return h.Percentile(p) <= h.Percentile(q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMSE(t *testing.T) {
+	got := MSE([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if got != 0 {
+		t.Fatalf("MSE identical = %v", got)
+	}
+	got = MSE([]float64{2, 4}, []float64{0, 0})
+	if got != 10 {
+		t.Fatalf("MSE = %v, want 10", got)
+	}
+	if !math.IsNaN(MSE([]float64{1}, []float64{1, 2})) {
+		t.Fatal("MSE length mismatch should be NaN")
+	}
+	if !math.IsNaN(MSE(nil, nil)) {
+		t.Fatal("MSE empty should be NaN")
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(95, 100); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("RelativeError = %v", got)
+	}
+	if !math.IsNaN(RelativeError(1, 0)) {
+		t.Fatal("RelativeError with zero expectation should be NaN")
+	}
+}
+
+func TestRateMeter(t *testing.T) {
+	var r RateMeter
+	r.Observe(time.Second, 1000)
+	r.Observe(2*time.Second, 1000)
+	r.Observe(3*time.Second, 1000)
+	if r.Total() != 3000 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+	// 3000 units over 2 seconds of observation.
+	if got := r.Rate(0); math.Abs(got-1500) > 1e-9 {
+		t.Fatalf("Rate = %v, want 1500", got)
+	}
+	// Longer window wins.
+	if got := r.Rate(6 * time.Second); math.Abs(got-500) > 1e-9 {
+		t.Fatalf("Rate(6s) = %v, want 500", got)
+	}
+}
+
+func TestRateMeterEmpty(t *testing.T) {
+	var r RateMeter
+	if r.Rate(0) != 0 || r.Rate(time.Second) != 0 {
+		t.Fatal("empty meter should have zero rate")
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := TimeSeries{Name: "tp"}
+	ts.Add(time.Second, 10)
+	ts.Add(2*time.Second, 20)
+	ts.Add(3*time.Second, 30)
+	if got := ts.Mean(); got != 20 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := ts.MeanBetween(2*time.Second, 3*time.Second); got != 25 {
+		t.Fatalf("MeanBetween = %v, want 25", got)
+	}
+	if got := ts.MeanBetween(time.Minute, 2*time.Minute); got != 0 {
+		t.Fatalf("MeanBetween empty window = %v, want 0", got)
+	}
+	if got := ts.Last(); got != 30 {
+		t.Fatalf("Last = %v", got)
+	}
+	if (&TimeSeries{}).Last() != 0 || (&TimeSeries{}).Mean() != 0 {
+		t.Fatal("empty series should return zeros")
+	}
+}

@@ -1,0 +1,332 @@
+// Package netem reimplements, in the simulator, the Linux Traffic Control
+// queueing disciplines Kollaps drives through its TCAL (§3): the htb
+// token-bucket shaper, the netem delay/jitter/loss stage, and the u32
+// two-level hash filter that classifies packets by destination address.
+//
+// Kollaps chains them per destination: filter → netem (latency, jitter,
+// loss) → htb (bandwidth). The same primitives also build the "bare-metal"
+// fabric links and the baseline emulators, so all systems under comparison
+// shape traffic with the same machinery — as they do on a real kernel.
+package netem
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Stage is one packet-processing element; stages are chained with
+// callbacks, each delivering to the next at the simulated time the real
+// qdisc would.
+type Stage interface {
+	Enqueue(p *packet.Packet)
+}
+
+// TokenBucket models the htb qdisc: a rate limiter with a burst allowance
+// and a finite FIFO backlog. When the backlog is full further packets are
+// dropped (tail drop) — the behaviour of a router queue; the kernel's
+// backpressure-instead-of-drop quirk that the paper works around (§3
+// "Congestion") is exactly why the Kollaps EM injects explicit netem loss,
+// which this package also provides.
+type TokenBucket struct {
+	eng  *sim.Engine
+	next func(*packet.Packet)
+
+	rate   units.Bandwidth
+	burst  float64 // bytes
+	limit  int     // max queued bytes
+	tokens float64 // bytes
+	last   time.Duration
+
+	queue    []*packet.Packet
+	queued   int  // bytes
+	draining bool // a future drain is scheduled
+	inDrain  bool // the drain loop is on the stack (reentrancy guard)
+
+	// OnDequeue, when set, runs after a drain pass that released at
+	// least one packet — the hook the TCAL uses to wake TSQ-throttled
+	// senders. It runs outside the drain loop, so callbacks may enqueue
+	// freely.
+	OnDequeue func()
+
+	// Counters for the TCAL usage queries and for test assertions.
+	SentBytes    int64
+	SentPackets  int64
+	DroppedBytes int64
+	Dropped      int64
+}
+
+// NewTokenBucket creates a shaper. A non-positive rate means unlimited
+// (packets pass through untouched). Burst defaults to one MTU, limit to
+// 100 ms worth of bytes at the configured rate (min 16 KiB).
+func NewTokenBucket(eng *sim.Engine, rate units.Bandwidth, next func(*packet.Packet)) *TokenBucket {
+	tb := &TokenBucket{eng: eng, next: next}
+	tb.SetRate(rate)
+	tb.tokens = tb.burst
+	tb.last = eng.Now()
+	return tb
+}
+
+// SetRate changes the shaping rate at runtime — the operation the
+// Emulation Core performs on every loop iteration. Accrued tokens are
+// settled at the old rate first.
+func (tb *TokenBucket) SetRate(rate units.Bandwidth) {
+	tb.refill()
+	tb.rate = rate
+	tb.burst = float64(packet.MTU)
+	if b := rate.Bps() * 0.002; b > tb.burst { // 2 ms of line rate
+		tb.burst = b
+	}
+	limit := int(rate.Bps() * 0.1)
+	if limit < 16*1024 {
+		limit = 16 * 1024
+	}
+	tb.limit = limit
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	if len(tb.queue) > 0 && !tb.draining {
+		tb.drain()
+	}
+}
+
+// Rate returns the current shaping rate.
+func (tb *TokenBucket) Rate() units.Bandwidth { return tb.rate }
+
+// SetQueueLimit overrides the backlog limit in bytes (SetRate re-derives a
+// default, so call this after SetRate).
+func (tb *TokenBucket) SetQueueLimit(bytes int) {
+	if bytes > 0 {
+		tb.limit = bytes
+	}
+}
+
+// QueueLimit returns the current backlog limit in bytes.
+func (tb *TokenBucket) QueueLimit() int { return tb.limit }
+
+// Backlog returns the queued byte count.
+func (tb *TokenBucket) Backlog() int { return tb.queued }
+
+func (tb *TokenBucket) refill() {
+	now := tb.eng.Now()
+	if tb.rate > 0 {
+		tb.tokens += tb.rate.Bps() * (now - tb.last).Seconds()
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+	}
+	tb.last = now
+}
+
+// Enqueue shapes one packet.
+func (tb *TokenBucket) Enqueue(p *packet.Packet) {
+	if tb.rate <= 0 { // unlimited
+		tb.SentBytes += int64(p.Size)
+		tb.SentPackets++
+		tb.next(p)
+		return
+	}
+	if tb.queued+p.Size > tb.limit && len(tb.queue) > 0 {
+		tb.Dropped++
+		tb.DroppedBytes += int64(p.Size)
+		return
+	}
+	tb.queue = append(tb.queue, p)
+	tb.queued += p.Size
+	if !tb.draining && !tb.inDrain {
+		tb.drain()
+	}
+}
+
+func (tb *TokenBucket) drain() {
+	tb.inDrain = true
+	tb.refill()
+	released := false
+	for len(tb.queue) > 0 {
+		head := tb.queue[0]
+		need := float64(head.Size)
+		if tb.tokens >= need {
+			tb.tokens -= need
+			tb.queue = tb.queue[1:]
+			tb.queued -= head.Size
+			tb.SentBytes += int64(head.Size)
+			tb.SentPackets++
+			tb.next(head)
+			released = true
+			continue
+		}
+		// Wait until enough tokens accrue for the head packet. The 1µs
+		// floor bounds event churn against float rounding.
+		wait := time.Duration((need - tb.tokens) / tb.rate.Bps() * float64(time.Second))
+		if wait < time.Microsecond {
+			wait = time.Microsecond
+		}
+		tb.draining = true
+		tb.eng.After(wait, func() {
+			tb.draining = false
+			tb.drain()
+		})
+		break
+	}
+	tb.inDrain = false
+	if released && tb.OnDequeue != nil {
+		tb.OnDequeue()
+	}
+}
+
+// Netem models the netem qdisc: fixed delay, normally distributed jitter,
+// and Bernoulli packet loss. Delivery order is preserved (reordering
+// disabled, as Kollaps configures it), so a packet's exit time is clamped
+// to be no earlier than that of its predecessor.
+type Netem struct {
+	eng  *sim.Engine
+	next func(*packet.Packet)
+
+	delay  time.Duration
+	jitter time.Duration
+	loss   units.Loss
+
+	lastExit time.Duration
+
+	// Counters.
+	SentPackets int64
+	LostPackets int64
+}
+
+// NewNetem creates a delay/jitter/loss stage.
+func NewNetem(eng *sim.Engine, delay, jitter time.Duration, loss units.Loss, next func(*packet.Packet)) *Netem {
+	return &Netem{eng: eng, next: next, delay: delay, jitter: jitter, loss: loss.Clamp()}
+}
+
+// Set updates all three properties at runtime.
+func (n *Netem) Set(delay, jitter time.Duration, loss units.Loss) {
+	n.delay, n.jitter, n.loss = delay, jitter, loss.Clamp()
+}
+
+// Delay returns the configured fixed delay.
+func (n *Netem) Delay() time.Duration { return n.delay }
+
+// Jitter returns the configured jitter standard deviation.
+func (n *Netem) Jitter() time.Duration { return n.jitter }
+
+// Loss returns the configured loss probability.
+func (n *Netem) Loss() units.Loss { return n.loss }
+
+// Enqueue applies loss, then schedules delivery after delay + jitter.
+func (n *Netem) Enqueue(p *packet.Packet) {
+	if n.loss > 0 && n.eng.Rand().Float64() < float64(n.loss) {
+		n.LostPackets++
+		return
+	}
+	d := n.delay
+	if n.jitter > 0 {
+		// Normal distribution with mean = delay, sd = jitter (§3: "the
+		// link latency follows by default a normal distribution").
+		d += time.Duration(n.eng.Rand().NormFloat64() * float64(n.jitter))
+		if d < 0 {
+			d = 0
+		}
+	}
+	exit := n.eng.Now() + d
+	if exit < n.lastExit { // preserve ordering
+		exit = n.lastExit
+	}
+	n.lastExit = exit
+	n.SentPackets++
+	n.eng.At(exit, func() { n.next(p) })
+}
+
+// Chain is the per-destination qdisc pair the TCAL installs: an htb stage
+// (bandwidth) feeding a netem stage (latency/jitter/loss). The paper's
+// Linux deployment chains netem→htb, with TSQ accounting for skbs across
+// the whole tree; modelling the htb first makes its backlog exactly the
+// socket-owned queue TSQ throttles on, while the netem stage then plays
+// the network's propagation delay — the shaped rate and end-to-end
+// properties are identical.
+type Chain struct {
+	Netem *Netem
+	HTB   *TokenBucket
+}
+
+// NewChain builds htb → netem → next.
+func NewChain(eng *sim.Engine, props ChainProps, next func(*packet.Packet)) *Chain {
+	ne := NewNetem(eng, props.Delay, props.Jitter, props.Loss, next)
+	htb := NewTokenBucket(eng, props.Rate, ne.Enqueue)
+	return &Chain{Netem: ne, HTB: htb}
+}
+
+// ChainProps configures a Chain.
+type ChainProps struct {
+	Delay  time.Duration
+	Jitter time.Duration
+	Loss   units.Loss
+	Rate   units.Bandwidth
+}
+
+// Enqueue feeds the chain.
+func (c *Chain) Enqueue(p *packet.Packet) { c.HTB.Enqueue(p) }
+
+// U32Filter is the two-level hash filter of §3: the third octet of the
+// destination address indexes the first level, the fourth octet the
+// second, giving constant-time classification without real hashing —
+// mirroring the u32 limitation the paper works around.
+type U32Filter struct {
+	level1  [256]*[256]Stage
+	fallthr Stage
+	entries int
+}
+
+// NewU32Filter creates an empty filter; unmatched packets go to fall
+// (which may be nil to drop them).
+func NewU32Filter(fall Stage) *U32Filter { return &U32Filter{fallthr: fall} }
+
+// Add installs the stage for a destination address.
+func (f *U32Filter) Add(dst packet.IP, s Stage) {
+	l2 := f.level1[dst[2]]
+	if l2 == nil {
+		l2 = new([256]Stage)
+		f.level1[dst[2]] = l2
+	}
+	if l2[dst[3]] == nil {
+		f.entries++
+	}
+	l2[dst[3]] = s
+}
+
+// Remove uninstalls the stage for an address.
+func (f *U32Filter) Remove(dst packet.IP) {
+	if l2 := f.level1[dst[2]]; l2 != nil && l2[dst[3]] != nil {
+		l2[dst[3]] = nil
+		f.entries--
+	}
+}
+
+// Len returns the number of installed destinations.
+func (f *U32Filter) Len() int { return f.entries }
+
+// Classify routes a packet to its destination's chain, or the fallthrough.
+func (f *U32Filter) Classify(p *packet.Packet) {
+	if l2 := f.level1[p.Dst[2]]; l2 != nil {
+		if s := l2[p.Dst[3]]; s != nil {
+			s.Enqueue(p)
+			return
+		}
+	}
+	if f.fallthr != nil {
+		f.fallthr.Enqueue(p)
+	}
+}
+
+// LossForOversubscription computes the loss probability the Emulation
+// Core injects when demand exceeds the allocation (§3 "Congestion"):
+// packets are dropped proportionally to the oversubscribed capacity.
+func LossForOversubscription(usage, allocated units.Bandwidth) units.Loss {
+	if allocated <= 0 || usage <= allocated {
+		return 0
+	}
+	l := 1 - float64(allocated)/float64(usage)
+	return units.Loss(math.Min(l, 0.9))
+}

@@ -1,0 +1,320 @@
+package netem
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func mkPacket(size int) *packet.Packet {
+	return &packet.Packet{Size: size, Dst: packet.MakeIP(0, 1, 1)}
+}
+
+func TestTokenBucketRate(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var delivered int64
+	tb := NewTokenBucket(eng, 8*units.Mbps, func(p *packet.Packet) { delivered += int64(p.Size) })
+	// Offer 2 MB/s, paced, for one second; only ~1 MB/s (8 Mb/s) passes.
+	for i := 0; i < 2000; i++ {
+		at := time.Duration(i) * 500 * time.Microsecond
+		eng.At(at, func() { tb.Enqueue(mkPacket(1000)) })
+	}
+	eng.Run(time.Second)
+	// 8 Mb/s = 1 MB/s, plus the initial burst (~1 MTU + 2ms of rate).
+	rate := float64(delivered)
+	if rate < 0.9e6 || rate > 1.2e6 {
+		t.Fatalf("delivered %v bytes in 1s at 8Mbps, want ~1e6", delivered)
+	}
+}
+
+func TestTokenBucketUnlimited(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := 0
+	tb := NewTokenBucket(eng, 0, func(p *packet.Packet) { n++ })
+	for i := 0; i < 100; i++ {
+		tb.Enqueue(mkPacket(1500))
+	}
+	if n != 100 {
+		t.Fatalf("unlimited bucket delivered %d/100 synchronously", n)
+	}
+}
+
+func TestTokenBucketTailDrop(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tb := NewTokenBucket(eng, 8*units.Kbps, func(p *packet.Packet) {}) // 1 KB/s, 16KB queue
+	for i := 0; i < 100; i++ {
+		tb.Enqueue(mkPacket(1500)) // 150 KB offered instantly
+	}
+	if tb.Dropped == 0 {
+		t.Fatal("expected tail drops on a saturated queue")
+	}
+	if tb.Backlog() > 17*1024 {
+		t.Fatalf("backlog %d exceeds limit", tb.Backlog())
+	}
+}
+
+func TestTokenBucketKeepsOrderAndCounts(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var order []int
+	tb := NewTokenBucket(eng, 1*units.Mbps, func(p *packet.Packet) { order = append(order, p.Size) })
+	for i := 1; i <= 5; i++ {
+		tb.Enqueue(mkPacket(i * 100))
+	}
+	eng.Run(time.Second)
+	if len(order) != 5 {
+		t.Fatalf("delivered %d/5", len(order))
+	}
+	for i := 1; i <= 5; i++ {
+		if order[i-1] != i*100 {
+			t.Fatalf("order violated: %v", order)
+		}
+	}
+	if tb.SentPackets != 5 || tb.SentBytes != 1500 {
+		t.Fatalf("counters: %d pkts, %d bytes", tb.SentPackets, tb.SentBytes)
+	}
+}
+
+func TestTokenBucketSetRate(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var delivered int64
+	tb := NewTokenBucket(eng, 8*units.Mbps, func(p *packet.Packet) { delivered += int64(p.Size) })
+	feed := func(from time.Duration) {
+		for i := 0; i < 4000; i++ {
+			at := from + time.Duration(i)*250*time.Microsecond
+			eng.At(at, func() { tb.Enqueue(mkPacket(1000)) })
+		}
+	}
+	feed(0)
+	eng.Run(time.Second)
+	first := delivered
+	// Double the rate; second second should deliver roughly twice as much.
+	tb.SetRate(16 * units.Mbps)
+	feed(time.Second)
+	eng.Run(2 * time.Second)
+	second := delivered - first
+	if float64(second) < 1.7*float64(first) {
+		t.Fatalf("rate change ineffective: first=%d second=%d", first, second)
+	}
+}
+
+func TestNetemDelay(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var at time.Duration
+	ne := NewNetem(eng, 10*time.Millisecond, 0, 0, func(p *packet.Packet) { at = eng.Now() })
+	ne.Enqueue(mkPacket(100))
+	eng.RunAll()
+	if at != 10*time.Millisecond {
+		t.Fatalf("delivered at %v, want 10ms", at)
+	}
+}
+
+func TestNetemJitterDistribution(t *testing.T) {
+	eng := sim.NewEngine(42)
+	var times []time.Duration
+	mean := 50 * time.Millisecond
+	sd := 5 * time.Millisecond
+	ne := NewNetem(eng, mean, sd, 0, func(p *packet.Packet) { times = append(times, eng.Now()) })
+	const n = 2000
+	for i := 0; i < n; i++ {
+		// Space arrivals out so ordering clamp doesn't distort samples.
+		d := time.Duration(i) * 100 * time.Millisecond
+		eng.At(d, func() { ne.Enqueue(mkPacket(100)) })
+	}
+	eng.RunAll()
+	if len(times) != n {
+		t.Fatalf("delivered %d/%d", len(times), n)
+	}
+	var sum, ss float64
+	var samples []float64
+	for i, at := range times {
+		base := time.Duration(i) * 100 * time.Millisecond
+		d := float64(at-base) / float64(time.Millisecond)
+		samples = append(samples, d)
+		sum += d
+	}
+	m := sum / n
+	for _, d := range samples {
+		ss += (d - m) * (d - m)
+	}
+	got := math.Sqrt(ss / n)
+	if math.Abs(m-50) > 0.5 {
+		t.Errorf("mean delay = %.2fms, want ~50", m)
+	}
+	if math.Abs(got-5) > 0.5 {
+		t.Errorf("jitter sd = %.2fms, want ~5", got)
+	}
+}
+
+func TestNetemLossRate(t *testing.T) {
+	eng := sim.NewEngine(7)
+	delivered := 0
+	ne := NewNetem(eng, time.Millisecond, 0, 0.3, func(p *packet.Packet) { delivered++ })
+	const n = 10000
+	for i := 0; i < n; i++ {
+		ne.Enqueue(mkPacket(100))
+	}
+	eng.RunAll()
+	got := float64(n-delivered) / n
+	if math.Abs(got-0.3) > 0.02 {
+		t.Fatalf("loss = %.3f, want ~0.30", got)
+	}
+	if ne.LostPackets != int64(n-delivered) {
+		t.Fatalf("LostPackets counter mismatch")
+	}
+}
+
+func TestNetemOrderingPreserved(t *testing.T) {
+	eng := sim.NewEngine(3)
+	var got []int
+	ne := NewNetem(eng, 20*time.Millisecond, 15*time.Millisecond, 0, func(p *packet.Packet) { got = append(got, p.Size) })
+	for i := 0; i < 200; i++ {
+		i := i
+		eng.At(time.Duration(i)*time.Millisecond, func() {
+			p := mkPacket(i + 1)
+			ne.Enqueue(p)
+		})
+	}
+	eng.RunAll()
+	if len(got) != 200 {
+		t.Fatalf("delivered %d/200", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("reordering at %d: %d after %d", i, got[i], got[i-1])
+		}
+	}
+}
+
+func TestNetemSetRuntime(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var at time.Duration
+	ne := NewNetem(eng, 10*time.Millisecond, 0, 0, func(p *packet.Packet) { at = eng.Now() })
+	ne.Set(30*time.Millisecond, 0, 0)
+	if ne.Delay() != 30*time.Millisecond {
+		t.Fatal("Set did not update delay")
+	}
+	ne.Enqueue(mkPacket(1))
+	eng.RunAll()
+	if at != 30*time.Millisecond {
+		t.Fatalf("delivered at %v after Set, want 30ms", at)
+	}
+}
+
+func TestChain(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var delivered int64
+	var firstAt time.Duration
+	ch := NewChain(eng, ChainProps{
+		Delay: 5 * time.Millisecond,
+		Rate:  8 * units.Mbps,
+	}, func(p *packet.Packet) {
+		if delivered == 0 {
+			firstAt = eng.Now()
+		}
+		delivered += int64(p.Size)
+	})
+	// Offer 2 MB/s (2x the shaped rate) paced so the tail-drop queue
+	// stays busy without being flooded instantly.
+	for i := 0; i < 2000; i++ {
+		at := time.Duration(i) * 500 * time.Microsecond
+		eng.At(at, func() { ch.Enqueue(mkPacket(1000)) })
+	}
+	eng.Run(time.Second + 5*time.Millisecond)
+	if firstAt < 5*time.Millisecond {
+		t.Fatalf("first delivery at %v, want >= 5ms (netem first)", firstAt)
+	}
+	if delivered < 0.9e6 || delivered > 1.2e6 {
+		t.Fatalf("chain delivered %d bytes, want ~1e6 (8Mbps for 1s)", delivered)
+	}
+}
+
+type countStage struct{ n int }
+
+func (c *countStage) Enqueue(*packet.Packet) { c.n++ }
+
+func TestU32Filter(t *testing.T) {
+	fall := &countStage{}
+	f := NewU32Filter(fall)
+	a := &countStage{}
+	b := &countStage{}
+	ipA := packet.MakeIP(0, 3, 7)
+	ipB := packet.MakeIP(0, 3, 8) // same level-1 bucket, different level-2
+	f.Add(ipA, a)
+	f.Add(ipB, b)
+	if f.Len() != 2 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	f.Classify(&packet.Packet{Dst: ipA})
+	f.Classify(&packet.Packet{Dst: ipB})
+	f.Classify(&packet.Packet{Dst: ipB})
+	f.Classify(&packet.Packet{Dst: packet.MakeIP(0, 9, 9)})
+	if a.n != 1 || b.n != 2 || fall.n != 1 {
+		t.Fatalf("classification counts a=%d b=%d fall=%d", a.n, b.n, fall.n)
+	}
+	f.Remove(ipB)
+	f.Classify(&packet.Packet{Dst: ipB})
+	if fall.n != 2 || f.Len() != 1 {
+		t.Fatalf("Remove failed: fall=%d len=%d", fall.n, f.Len())
+	}
+	// Removing twice and removing unknown addresses is harmless.
+	f.Remove(ipB)
+	f.Remove(packet.MakeIP(0, 200, 200))
+	if f.Len() != 1 {
+		t.Fatalf("Len after redundant removes = %d", f.Len())
+	}
+}
+
+func TestU32FilterNilFallthrough(t *testing.T) {
+	f := NewU32Filter(nil)
+	f.Classify(&packet.Packet{Dst: packet.MakeIP(0, 1, 1)}) // must not panic
+}
+
+func TestLossForOversubscription(t *testing.T) {
+	if got := LossForOversubscription(50*units.Mbps, 100*units.Mbps); got != 0 {
+		t.Errorf("under capacity: loss = %v", got)
+	}
+	if got := LossForOversubscription(100*units.Mbps, 100*units.Mbps); got != 0 {
+		t.Errorf("at capacity: loss = %v", got)
+	}
+	got := LossForOversubscription(200*units.Mbps, 100*units.Mbps)
+	if math.Abs(float64(got)-0.5) > 1e-9 {
+		t.Errorf("2x oversubscribed: loss = %v, want 0.5", got)
+	}
+	// Extreme oversubscription is capped.
+	if got := LossForOversubscription(10000*units.Mbps, 1); got > 0.9 {
+		t.Errorf("loss cap exceeded: %v", got)
+	}
+	if got := LossForOversubscription(100, 0); got != 0 {
+		t.Errorf("zero allocation: loss = %v, want 0 (no data)", got)
+	}
+}
+
+func BenchmarkTokenBucket(b *testing.B) {
+	eng := sim.NewEngine(1)
+	tb := NewTokenBucket(eng, 10*units.Gbps, func(p *packet.Packet) {})
+	p := mkPacket(1500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb.Enqueue(p)
+		if i%1024 == 0 {
+			eng.Run(eng.Now() + time.Millisecond)
+		}
+	}
+}
+
+func BenchmarkU32Classify(b *testing.B) {
+	f := NewU32Filter(nil)
+	st := &countStage{}
+	for i := 0; i < 200; i++ {
+		f.Add(packet.MakeIP(0, byte(i/250), byte(i%250)), st)
+	}
+	p := &packet.Packet{Dst: packet.MakeIP(0, 0, 100)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Classify(p)
+	}
+}

@@ -1,0 +1,245 @@
+// Package orchestrator models the container-orchestration layer Kollaps
+// integrates with (§4): the Deployment Generator that turns a topology
+// description into Docker Swarm Compose or Kubernetes Manifest artifacts,
+// the placement of containers onto physical hosts, and the privileged
+// Bootstrapper that starts an Emulation Manager per machine and attaches
+// an Emulation Core to every application container it observes.
+package orchestrator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// Host is one physical machine in the cluster.
+type Host struct {
+	Name string
+	// Capacity caps the containers placed on this host; 0 = unlimited.
+	Capacity int
+}
+
+// Cluster is the set of physical machines an experiment deploys onto.
+type Cluster struct {
+	Hosts []Host
+}
+
+// NewCluster builds a cluster of n uniform hosts.
+func NewCluster(n int) Cluster {
+	c := Cluster{}
+	for i := 0; i < n; i++ {
+		c.Hosts = append(c.Hosts, Host{Name: fmt.Sprintf("host%d", i)})
+	}
+	return c
+}
+
+// Strategy selects a placement policy.
+type Strategy int
+
+// Placement strategies. RoundRobin spreads containers evenly (the paper's
+// evaluation distributes containers evenly among physical nodes); Packed
+// fills hosts in order, respecting capacities.
+const (
+	RoundRobin Strategy = iota
+	Packed
+)
+
+// Plan is a computed deployment: container-to-host assignments plus the
+// generated orchestrator artifacts.
+type Plan struct {
+	// Assignment maps container name to host index.
+	Assignment map[string]int
+	// Artifacts maps file name to generated content (docker-compose.yml
+	// or Kubernetes manifests).
+	Artifacts map[string]string
+}
+
+// Place computes container placement for the topology's containers.
+func Place(top *topology.Topology, cluster Cluster, s Strategy) (*Plan, error) {
+	if len(cluster.Hosts) == 0 {
+		return nil, fmt.Errorf("orchestrator: empty cluster")
+	}
+	if err := top.Validate(); err != nil {
+		return nil, err
+	}
+	var containers []string
+	for _, svc := range top.Services {
+		containers = append(containers, svc.ContainerNames()...)
+	}
+	plan := &Plan{Assignment: make(map[string]int), Artifacts: make(map[string]string)}
+	load := make([]int, len(cluster.Hosts))
+	hostFull := func(h int) bool {
+		cap := cluster.Hosts[h].Capacity
+		return cap > 0 && load[h] >= cap
+	}
+	next := 0
+	for _, name := range containers {
+		h := -1
+		switch s {
+		case Packed:
+			for i := range cluster.Hosts {
+				if !hostFull(i) {
+					h = i
+					break
+				}
+			}
+		default: // RoundRobin
+			for tries := 0; tries < len(cluster.Hosts); tries++ {
+				cand := (next + tries) % len(cluster.Hosts)
+				if !hostFull(cand) {
+					h = cand
+					next = cand + 1
+					break
+				}
+			}
+		}
+		if h < 0 {
+			return nil, fmt.Errorf("orchestrator: cluster capacity exhausted placing %q", name)
+		}
+		plan.Assignment[name] = h
+		load[h]++
+	}
+	return plan, nil
+}
+
+// GenerateSwarm emits a Docker Compose (Swarm stack) artifact for the
+// topology, including the Kollaps bootstrapper service the paper deploys
+// on every Swarm node (§4 "Privileged bootstrapping") and the emulation
+// tag that distinguishes emulated containers.
+func GenerateSwarm(top *topology.Topology, plan *Plan) string {
+	var b strings.Builder
+	b.WriteString("version: \"3.3\"\nservices:\n")
+	b.WriteString("  bootstrapper:\n")
+	b.WriteString("    image: kollaps/bootstrapper:1.0\n")
+	b.WriteString("    deploy:\n      mode: global\n")
+	b.WriteString("    volumes:\n      - /var/run/docker.sock:/var/run/docker.sock\n")
+	b.WriteString("    environment:\n      - KOLLAPS_UID=experiment\n")
+	for _, svc := range top.Services {
+		replicas := svc.Replicas
+		if replicas < 1 {
+			replicas = 1
+		}
+		fmt.Fprintf(&b, "  %s:\n", svc.Name)
+		img := svc.Image
+		if img == "" {
+			img = "scratch"
+		}
+		fmt.Fprintf(&b, "    image: %s\n", img)
+		fmt.Fprintf(&b, "    labels:\n      - \"kollaps.emulated=true\"\n")
+		fmt.Fprintf(&b, "    deploy:\n      replicas: %d\n", replicas)
+		if svc.Command != "" {
+			fmt.Fprintf(&b, "    command: %s\n", svc.Command)
+		}
+	}
+	b.WriteString("networks:\n  kollaps_network:\n    driver: overlay\n")
+	return b.String()
+}
+
+// GenerateKubernetes emits a Kubernetes manifest artifact: one Deployment
+// per service plus the Emulation Manager DaemonSet (no bootstrapper needed
+// under Kubernetes, §4).
+func GenerateKubernetes(top *topology.Topology, plan *Plan) string {
+	var b strings.Builder
+	b.WriteString("apiVersion: apps/v1\nkind: DaemonSet\nmetadata:\n  name: kollaps-emulation-manager\nspec:\n")
+	b.WriteString("  selector:\n    matchLabels:\n      app: kollaps-em\n")
+	b.WriteString("  template:\n    metadata:\n      labels:\n        app: kollaps-em\n")
+	b.WriteString("    spec:\n      hostPID: true\n      containers:\n")
+	b.WriteString("      - name: em\n        image: kollaps/emulationmanager:1.0\n")
+	b.WriteString("        securityContext:\n          capabilities:\n            add: [\"NET_ADMIN\"]\n")
+	for _, svc := range top.Services {
+		replicas := svc.Replicas
+		if replicas < 1 {
+			replicas = 1
+		}
+		b.WriteString("---\n")
+		fmt.Fprintf(&b, "apiVersion: apps/v1\nkind: Deployment\nmetadata:\n  name: %s\n", svc.Name)
+		b.WriteString("  labels:\n    kollaps.emulated: \"true\"\n")
+		fmt.Fprintf(&b, "spec:\n  replicas: %d\n", replicas)
+		fmt.Fprintf(&b, "  selector:\n    matchLabels:\n      app: %s\n", svc.Name)
+		fmt.Fprintf(&b, "  template:\n    metadata:\n      labels:\n        app: %s\n", svc.Name)
+		img := svc.Image
+		if img == "" {
+			img = "scratch"
+		}
+		fmt.Fprintf(&b, "    spec:\n      containers:\n      - name: %s\n        image: %s\n", svc.Name, img)
+	}
+	return b.String()
+}
+
+// Generate runs placement and emits both artifact flavors.
+func Generate(top *topology.Topology, cluster Cluster, s Strategy) (*Plan, error) {
+	plan, err := Place(top, cluster, s)
+	if err != nil {
+		return nil, err
+	}
+	plan.Artifacts["docker-compose.yml"] = GenerateSwarm(top, plan)
+	plan.Artifacts["kollaps-k8s.yaml"] = GenerateKubernetes(top, plan)
+	return plan, nil
+}
+
+// Event records a bootstrapper lifecycle step (for observability and
+// tests).
+type Event struct {
+	Host   string
+	Kind   string // "em-started", "ec-attached", "ec-detached"
+	Target string // container name for ec-* events
+}
+
+// Bootstrapper models the privileged per-host component of §4: it starts
+// the host's Emulation Manager and attaches an Emulation Core to every
+// tagged container the Docker daemon reports.
+type Bootstrapper struct {
+	host    string
+	started bool
+	cores   map[string]bool
+	// Log records lifecycle events in order.
+	Log []Event
+}
+
+// NewBootstrapper creates the bootstrapper for one host.
+func NewBootstrapper(host string) *Bootstrapper {
+	return &Bootstrapper{host: host, cores: make(map[string]bool)}
+}
+
+// Start launches the host's Emulation Manager (idempotent).
+func (b *Bootstrapper) Start() {
+	if b.started {
+		return
+	}
+	b.started = true
+	b.Log = append(b.Log, Event{Host: b.host, Kind: "em-started"})
+}
+
+// OnContainerCreated reacts to a container appearing on the host: tagged
+// (emulated) containers get an Emulation Core; others are ignored.
+func (b *Bootstrapper) OnContainerCreated(name string, emulated bool) error {
+	if !b.started {
+		return fmt.Errorf("orchestrator: bootstrapper on %s not started", b.host)
+	}
+	if !emulated || b.cores[name] {
+		return nil
+	}
+	b.cores[name] = true
+	b.Log = append(b.Log, Event{Host: b.host, Kind: "ec-attached", Target: name})
+	return nil
+}
+
+// OnContainerStopped detaches the container's Emulation Core.
+func (b *Bootstrapper) OnContainerStopped(name string) {
+	if b.cores[name] {
+		delete(b.cores, name)
+		b.Log = append(b.Log, Event{Host: b.host, Kind: "ec-detached", Target: name})
+	}
+}
+
+// Cores returns the containers with attached Emulation Cores, sorted.
+func (b *Bootstrapper) Cores() []string {
+	out := make([]string, 0, len(b.cores))
+	for c := range b.cores {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}

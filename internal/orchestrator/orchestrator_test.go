@@ -1,0 +1,173 @@
+package orchestrator
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func sampleTopology(t *testing.T) *topology.Topology {
+	t.Helper()
+	top, err := topology.ParseYAML(`
+experiment:
+  services:
+    name: client
+    image: "iperf"
+    name: server
+    image: "nginx"
+    replicas: 3
+  bridges:
+    name: s1
+  links:
+    orig: client
+    dest: s1
+    latency: 10
+    up: 10Mbps
+    orig: server
+    dest: s1
+    latency: 5
+    up: 50Mbps
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func TestPlaceRoundRobin(t *testing.T) {
+	plan, err := Place(sampleTopology(t), NewCluster(2), RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 containers (client + 3 server replicas) over 2 hosts: 2 each.
+	if len(plan.Assignment) != 4 {
+		t.Fatalf("assignments = %d", len(plan.Assignment))
+	}
+	count := map[int]int{}
+	for _, h := range plan.Assignment {
+		count[h]++
+	}
+	if count[0] != 2 || count[1] != 2 {
+		t.Fatalf("round robin uneven: %v", count)
+	}
+}
+
+func TestPlacePacked(t *testing.T) {
+	cluster := Cluster{Hosts: []Host{{Name: "a", Capacity: 3}, {Name: "b"}}}
+	plan, err := Place(sampleTopology(t), cluster, Packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[int]int{}
+	for _, h := range plan.Assignment {
+		count[h]++
+	}
+	if count[0] != 3 || count[1] != 1 {
+		t.Fatalf("packed placement = %v, want 3+1", count)
+	}
+}
+
+func TestPlaceCapacityExhausted(t *testing.T) {
+	cluster := Cluster{Hosts: []Host{{Name: "a", Capacity: 1}, {Name: "b", Capacity: 1}}}
+	if _, err := Place(sampleTopology(t), cluster, Packed); err == nil {
+		t.Fatal("expected capacity error for 4 containers on 2 slots")
+	}
+}
+
+func TestPlaceRoundRobinRespectsCapacity(t *testing.T) {
+	cluster := Cluster{Hosts: []Host{{Name: "a", Capacity: 1}, {Name: "b"}}}
+	plan, err := Place(sampleTopology(t), cluster, RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[int]int{}
+	for _, h := range plan.Assignment {
+		count[h]++
+	}
+	if count[0] != 1 || count[1] != 3 {
+		t.Fatalf("capacity ignored: %v", count)
+	}
+}
+
+func TestPlaceEmptyCluster(t *testing.T) {
+	if _, err := Place(sampleTopology(t), Cluster{}, RoundRobin); err == nil {
+		t.Fatal("expected empty-cluster error")
+	}
+}
+
+func TestPlaceInvalidTopology(t *testing.T) {
+	if _, err := Place(&topology.Topology{}, NewCluster(1), RoundRobin); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestGenerateArtifacts(t *testing.T) {
+	plan, err := Generate(sampleTopology(t), NewCluster(2), RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compose := plan.Artifacts["docker-compose.yml"]
+	if compose == "" {
+		t.Fatal("no compose artifact")
+	}
+	for _, want := range []string{
+		"bootstrapper:", "kollaps/bootstrapper", "docker.sock",
+		"client:", "image: iperf", "server:", "replicas: 3",
+		"kollaps.emulated=true", "overlay",
+	} {
+		if !strings.Contains(compose, want) {
+			t.Errorf("compose missing %q", want)
+		}
+	}
+	k8s := plan.Artifacts["kollaps-k8s.yaml"]
+	if k8s == "" {
+		t.Fatal("no k8s artifact")
+	}
+	for _, want := range []string{
+		"kind: DaemonSet", "kollaps-emulation-manager", "NET_ADMIN",
+		"kind: Deployment", "name: server", "replicas: 3", "hostPID: true",
+	} {
+		if !strings.Contains(k8s, want) {
+			t.Errorf("k8s manifest missing %q", want)
+		}
+	}
+	// The K8s flavor must not include a bootstrapper (not needed, §4).
+	if strings.Contains(k8s, "bootstrapper") {
+		t.Error("k8s manifest should not contain a bootstrapper")
+	}
+}
+
+func TestBootstrapperLifecycle(t *testing.T) {
+	b := NewBootstrapper("host0")
+	// Attaching before the EM runs is an error.
+	if err := b.OnContainerCreated("c1", true); err == nil {
+		t.Fatal("expected error before Start")
+	}
+	b.Start()
+	b.Start() // idempotent
+	if err := b.OnContainerCreated("c1", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.OnContainerCreated("c1", true); err != nil {
+		t.Fatal(err) // duplicate attach is a no-op
+	}
+	if err := b.OnContainerCreated("sidecar", false); err != nil {
+		t.Fatal(err) // untagged containers are ignored
+	}
+	if err := b.OnContainerCreated("c2", true); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Cores(); len(got) != 2 || got[0] != "c1" || got[1] != "c2" {
+		t.Fatalf("cores = %v", got)
+	}
+	b.OnContainerStopped("c1")
+	b.OnContainerStopped("ghost") // unknown: no-op
+	if got := b.Cores(); len(got) != 1 || got[0] != "c2" {
+		t.Fatalf("cores after stop = %v", got)
+	}
+	// Log ordering: em-started first, then attachments.
+	if b.Log[0].Kind != "em-started" || b.Log[1].Target != "c1" {
+		t.Fatalf("log = %+v", b.Log)
+	}
+}

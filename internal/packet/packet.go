@@ -1,0 +1,111 @@
+// Package packet defines the wire unit shared by every network substrate in
+// the repository: the qdisc layer, the packet fabric, the transport
+// protocols and the baseline emulators all move Packets.
+package packet
+
+import (
+	"fmt"
+	"time"
+)
+
+// IP is an IPv4-style address. Kollaps' u32 filter hashes the third and
+// fourth octets (§3), which is why we keep the full 4-byte form.
+type IP [4]byte
+
+// MakeIP builds an address 10.h.a.b — the overlay network scheme used by
+// the deployment generator (host index in the second octet).
+func MakeIP(h, a, b byte) IP { return IP{10, h, a, b} }
+
+func (ip IP) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3])
+}
+
+// Proto tags the transport protocol of a packet.
+type Proto uint8
+
+// Supported protocols.
+const (
+	TCP Proto = iota
+	UDP
+	ICMP
+)
+
+func (p Proto) String() string {
+	switch p {
+	case TCP:
+		return "tcp"
+	case UDP:
+		return "udp"
+	default:
+		return "icmp"
+	}
+}
+
+// Header sizes in bytes. MSS payloads plus these yield the on-wire size
+// accounted by the shapers — which is what produces the characteristic
+// ≈ −4/−5 % goodput-vs-line-rate signature of Table 2.
+const (
+	EthernetOverhead = 38 // preamble + header + FCS + min IFG
+	IPHeader         = 20
+	TCPHeader        = 32 // incl. timestamp option, as modern stacks use
+	UDPHeader        = 8
+	MTU              = 1514 // on-wire frame excluding EthernetOverhead extras accounted separately
+	MSS              = 1448 // MTU - IP - TCP headers - 14B L2 header
+)
+
+// Packet is one simulated datagram/segment. Payload carries
+// protocol-specific state (sequence numbers, app messages) by pointer; the
+// Size field is authoritative for all byte accounting.
+type Packet struct {
+	Src, Dst         IP
+	SrcPort, DstPort uint16
+	Proto            Proto
+	// Size is the on-wire size in bytes including headers.
+	Size int
+	// Payload is protocol-specific (e.g. *transport.Segment).
+	Payload any
+	// SentAt is stamped by the sender for latency metrics.
+	SentAt time.Duration
+	// ECE marks explicit congestion signals (used by loss injection
+	// accounting in tests).
+	ECE bool
+}
+
+// FlowKey identifies a (src container, dst container) aggregate — the
+// granularity at which Kollaps enforces bandwidth (§3: per destination,
+// not per flow).
+type FlowKey struct {
+	Src, Dst IP
+}
+
+func (k FlowKey) String() string { return k.Src.String() + "->" + k.Dst.String() }
+
+// Key returns the packet's flow key.
+func (p *Packet) Key() FlowKey { return FlowKey{Src: p.Src, Dst: p.Dst} }
+
+// Handler consumes delivered packets.
+type Handler func(*Packet)
+
+// Network is the minimal interface transports need: inject a packet and let
+// the substrate route and deliver it to the handler registered for the
+// destination address.
+type Network interface {
+	// Send injects p at its source endpoint.
+	Send(p *Packet)
+	// Register installs the delivery handler for an address.
+	Register(ip IP, h Handler)
+}
+
+// FlowControl is optionally implemented by networks whose egress queues
+// backpressure the sender — the Linux TSQ behaviour (§3 "Congestion"):
+// when a qdisc's backlog passes the per-socket limit the kernel throttles
+// the socket instead of dropping. Transports consult Writable before
+// emitting data segments and park on NotifyWritable when throttled.
+type FlowControl interface {
+	// Writable reports whether n more bytes from src toward dst fit
+	// under the egress queue's throttle threshold.
+	Writable(src, dst IP, n int) bool
+	// NotifyWritable registers a one-shot callback invoked when the
+	// egress from src toward dst drains below the threshold.
+	NotifyWritable(src, dst IP, fn func())
+}

@@ -1,0 +1,198 @@
+// Package sim implements the deterministic discrete-event simulation engine
+// that every substrate in this repository runs on.
+//
+// The original Kollaps runs against the Linux kernel in real time; here the
+// kernel, the cluster network, the traffic shaping and the applications are
+// all simulated, so the engine provides a virtual clock, an event queue with
+// a total deterministic order, timers, and a seeded random number source.
+// Two runs with the same seed produce bit-identical results — which is the
+// reproducibility property the paper argues for.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Engine is a discrete-event simulator. It is not safe for concurrent use:
+// all simulated work happens on the caller's goroutine inside Run/Step.
+type Engine struct {
+	now    time.Duration
+	seq    uint64
+	queue  eventHeap
+	rng    *rand.Rand
+	halted bool
+}
+
+// event is a scheduled callback. Events fire ordered by (at, seq) so that
+// ties are broken by scheduling order, keeping runs deterministic.
+type event struct {
+	at       time.Duration
+	seq      uint64
+	fn       func()
+	canceled *bool
+	index    int
+}
+
+// NewEngine returns an engine whose clock starts at zero, with the given
+// random seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Timer identifies a scheduled event and allows cancellation.
+type Timer struct{ canceled *bool }
+
+// Stop cancels the timer; it is safe to call multiple times or on a timer
+// that already fired (the firing check consults the flag).
+func (t Timer) Stop() {
+	if t.canceled != nil {
+		*t.canceled = true
+	}
+}
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// panics: it would violate causality and indicates a bug in the caller.
+func (e *Engine) At(at time.Duration, fn func()) Timer {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	c := new(bool)
+	ev := &event{at: at, seq: e.seq, fn: fn, canceled: c}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return Timer{canceled: c}
+}
+
+// After schedules fn to run d from now.
+func (e *Engine) After(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Every schedules fn to run every period, starting one period from now,
+// until the returned timer is stopped or the engine halts.
+func (e *Engine) Every(period time.Duration, fn func()) Timer {
+	if period <= 0 {
+		panic("sim: Every with non-positive period")
+	}
+	c := new(bool)
+	var tick func()
+	tick = func() {
+		if *c || e.halted {
+			return
+		}
+		fn()
+		if *c || e.halted {
+			return
+		}
+		ev := &event{at: e.now + period, seq: e.seq, fn: tick, canceled: c}
+		e.seq++
+		heap.Push(&e.queue, ev)
+	}
+	ev := &event{at: e.now + period, seq: e.seq, fn: tick, canceled: c}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return Timer{canceled: c}
+}
+
+// Step runs the single next event. It reports false when the queue is empty
+// or the engine was halted.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 && !e.halted {
+		ev := heap.Pop(&e.queue).(*event)
+		if *ev.canceled {
+			continue
+		}
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the virtual clock would pass until, the queue
+// empties, or Halt is called. The clock is left at min(until, last event
+// time); events at exactly until do run.
+func (e *Engine) Run(until time.Duration) {
+	for len(e.queue) > 0 && !e.halted {
+		next := e.queue[0]
+		if *next.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > until {
+			break
+		}
+		e.Step()
+	}
+	if !e.halted && e.now < until {
+		e.now = until
+	}
+}
+
+// RunAll executes events until the queue is empty or Halt is called.
+// Useful for draining simulations with a natural end.
+func (e *Engine) RunAll() {
+	for e.Step() {
+	}
+}
+
+// Halt stops the engine: Run/RunAll/Step return immediately afterwards.
+func (e *Engine) Halt() { e.halted = true }
+
+// Halted reports whether Halt has been called.
+func (e *Engine) Halted() bool { return e.halted }
+
+// Pending returns the number of live events in the queue.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !*ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

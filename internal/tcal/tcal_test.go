@@ -1,0 +1,206 @@
+package tcal
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func mk(dst packet.IP, size int) *packet.Packet {
+	return &packet.Packet{Src: packet.MakeIP(0, 0, 1), Dst: dst, Size: size}
+}
+
+func TestClassifyAndShape(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var out []*packet.Packet
+	tc := New(eng, func(p *packet.Packet) { out = append(out, p) })
+	dstA := packet.MakeIP(0, 1, 1)
+	dstB := packet.MakeIP(0, 1, 2)
+	tc.InstallPath(dstA, PathProps{Latency: 10 * time.Millisecond, Bandwidth: 10 * units.Mbps})
+	tc.InstallPath(dstB, PathProps{Latency: 30 * time.Millisecond, Bandwidth: 10 * units.Mbps})
+	tc.Send(mk(dstA, 500))
+	tc.Send(mk(dstB, 500))
+	eng.Run(15 * time.Millisecond)
+	if len(out) != 1 || out[0].Dst != dstA {
+		t.Fatalf("after 15ms only dstA packet should be out, got %d", len(out))
+	}
+	eng.Run(50 * time.Millisecond)
+	if len(out) != 2 {
+		t.Fatalf("both packets should be delivered, got %d", len(out))
+	}
+}
+
+func TestUnmatchedDrop(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tc := New(eng, func(p *packet.Packet) { t.Fatal("unmatched packet escaped") })
+	tc.Send(mk(packet.MakeIP(0, 9, 9), 100))
+	eng.RunAll()
+	if tc.UnmatchedDropped != 1 {
+		t.Fatalf("UnmatchedDropped = %d", tc.UnmatchedDropped)
+	}
+}
+
+func TestUsageDelta(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tc := New(eng, func(p *packet.Packet) {})
+	dst := packet.MakeIP(0, 1, 1)
+	tc.InstallPath(dst, PathProps{Bandwidth: units.Gbps})
+	for i := 0; i < 10; i++ {
+		tc.Send(mk(dst, 1000))
+	}
+	eng.RunAll()
+	if got := tc.Usage(dst); got != 10_000 {
+		t.Fatalf("first Usage = %d, want 10000", got)
+	}
+	if got := tc.Usage(dst); got != 0 {
+		t.Fatalf("second Usage = %d, want 0 (delta semantics)", got)
+	}
+	for i := 0; i < 5; i++ {
+		tc.Send(mk(dst, 1000))
+	}
+	eng.RunAll()
+	if got := tc.Usage(dst); got != 5_000 {
+		t.Fatalf("third Usage = %d, want 5000", got)
+	}
+	if got := tc.TotalSent(dst); got != 15_000 {
+		t.Fatalf("TotalSent = %d", got)
+	}
+}
+
+func TestSetBandwidthTakesEffect(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var delivered int64
+	tc := New(eng, func(p *packet.Packet) { delivered += int64(p.Size) })
+	dst := packet.MakeIP(0, 1, 1)
+	tc.InstallPath(dst, PathProps{Bandwidth: 8 * units.Mbps})
+	feed := func(from time.Duration) {
+		for i := 0; i < 2000; i++ {
+			at := from + time.Duration(i)*500*time.Microsecond
+			eng.At(at, func() { tc.Send(mk(dst, 1000)) })
+		}
+	}
+	feed(0)
+	eng.Run(time.Second)
+	first := delivered
+	if err := tc.SetBandwidth(dst, 4*units.Mbps); err != nil {
+		t.Fatal(err)
+	}
+	feed(time.Second)
+	eng.Run(2 * time.Second)
+	second := delivered - first
+	if float64(second) > 0.7*float64(first) {
+		t.Fatalf("halving rate ineffective: first=%d second=%d", first, second)
+	}
+}
+
+func TestSetNetemAndCongestionLoss(t *testing.T) {
+	eng := sim.NewEngine(7)
+	delivered := 0
+	tc := New(eng, func(p *packet.Packet) { delivered++ })
+	dst := packet.MakeIP(0, 1, 1)
+	tc.InstallPath(dst, PathProps{Latency: time.Millisecond, Bandwidth: units.Gbps, Loss: 0})
+	// Inject 50% congestion loss on a lossless path.
+	if err := tc.InjectCongestionLoss(dst, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		at := time.Duration(i) * 50 * time.Microsecond
+		eng.At(at, func() { tc.Send(mk(dst, 200)) })
+	}
+	eng.RunAll()
+	frac := float64(delivered) / 4000
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("delivered fraction = %.3f, want ~0.5", frac)
+	}
+	// Clearing congestion loss restores the base loss.
+	if err := tc.InjectCongestionLoss(dst, 0); err != nil {
+		t.Fatal(err)
+	}
+	delivered = 0
+	for i := 0; i < 100; i++ {
+		tc.Send(mk(dst, 200))
+	}
+	eng.RunAll()
+	if delivered != 100 {
+		t.Fatalf("after clearing loss delivered %d/100", delivered)
+	}
+}
+
+func TestCongestionLossComposesWithBaseLoss(t *testing.T) {
+	eng := sim.NewEngine(11)
+	delivered := 0
+	tc := New(eng, func(p *packet.Packet) { delivered++ })
+	dst := packet.MakeIP(0, 1, 1)
+	tc.InstallPath(dst, PathProps{Bandwidth: units.Gbps, Loss: 0.2})
+	if err := tc.InjectCongestionLoss(dst, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	n := 10000
+	for i := 0; i < n; i++ {
+		at := time.Duration(i) * 20 * time.Microsecond
+		eng.At(at, func() { tc.Send(mk(dst, 200)) })
+	}
+	eng.RunAll()
+	// Composite keep = 0.8*0.5 = 0.4.
+	frac := float64(delivered) / float64(n)
+	if frac < 0.37 || frac > 0.43 {
+		t.Fatalf("composite keep = %.3f, want ~0.40", frac)
+	}
+}
+
+func TestRemovePath(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tc := New(eng, func(p *packet.Packet) {})
+	dst := packet.MakeIP(0, 1, 1)
+	tc.InstallPath(dst, PathProps{Bandwidth: units.Gbps})
+	if !tc.HasPath(dst) || len(tc.Destinations()) != 1 {
+		t.Fatal("path not installed")
+	}
+	tc.RemovePath(dst)
+	if tc.HasPath(dst) {
+		t.Fatal("path still installed")
+	}
+	tc.Send(mk(dst, 100))
+	eng.RunAll()
+	if tc.UnmatchedDropped != 1 {
+		t.Fatalf("packets to removed path must drop, got %d", tc.UnmatchedDropped)
+	}
+	// Errors on operations against missing paths.
+	if err := tc.SetBandwidth(dst, units.Mbps); err == nil {
+		t.Fatal("SetBandwidth on removed path should error")
+	}
+	if err := tc.SetNetem(dst, 0, 0, 0); err == nil {
+		t.Fatal("SetNetem on removed path should error")
+	}
+	if err := tc.InjectCongestionLoss(dst, 0.1); err == nil {
+		t.Fatal("InjectCongestionLoss on removed path should error")
+	}
+	if got := tc.Usage(dst); got != 0 {
+		t.Fatalf("Usage of removed path = %d", got)
+	}
+}
+
+func TestProps(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tc := New(eng, func(p *packet.Packet) {})
+	dst := packet.MakeIP(0, 1, 1)
+	want := PathProps{Latency: 5 * time.Millisecond, Jitter: time.Millisecond, Loss: 0.01, Bandwidth: 10 * units.Mbps}
+	tc.InstallPath(dst, want)
+	got, ok := tc.Props(dst)
+	if !ok || got != want {
+		t.Fatalf("Props = %+v, want %+v", got, want)
+	}
+	if _, ok := tc.Props(packet.MakeIP(9, 9, 9)); ok {
+		t.Fatal("Props of unknown dst should report !ok")
+	}
+	if err := tc.SetNetem(dst, 7*time.Millisecond, 0, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = tc.Props(dst)
+	if got.Latency != 7*time.Millisecond {
+		t.Fatalf("Props after SetNetem = %+v", got)
+	}
+}

@@ -1,0 +1,472 @@
+// Package topology implements the Kollaps experiment description language
+// (§3, Listings 1 and 2): services, bridges, links and dynamic events, in
+// both the lean YAML-based syntax and a ModelNet-like XML syntax; plus the
+// network collapsing step that turns a declared topology into the
+// end-to-end virtual link mesh the Emulation Manager enforces, and the
+// offline pre-computation of the graph sequence for dynamic experiments.
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/units"
+)
+
+// ServiceDef declares a set of containers sharing one image.
+type ServiceDef struct {
+	Name     string
+	Image    string
+	Replicas int
+	Command  string
+}
+
+// ContainerNames returns the graph node names for the service's replicas:
+// the bare name when Replicas <= 1, otherwise name-0 .. name-(n-1).
+func (s ServiceDef) ContainerNames() []string {
+	if s.Replicas <= 1 {
+		return []string{s.Name}
+	}
+	out := make([]string, s.Replicas)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s-%d", s.Name, i)
+	}
+	return out
+}
+
+// BridgeDef declares a network element (switch/router).
+type BridgeDef struct {
+	Name string
+}
+
+// LinkDef declares a (by default bidirectional) link between two named
+// endpoints. Up/Down may differ; all other properties are symmetric (§3).
+type LinkDef struct {
+	Orig, Dest string
+	Latency    time.Duration
+	Jitter     time.Duration
+	Up, Down   units.Bandwidth
+	Loss       units.Loss
+	Network    string
+	// Unidirectional suppresses the reverse link.
+	Unidirectional bool
+}
+
+// EventKind classifies a dynamic event.
+type EventKind int
+
+// Dynamic event kinds (§3: modification of link properties, addition and
+// removal of links, bridges and services).
+const (
+	EvSetLink EventKind = iota
+	EvLinkLeave
+	EvLinkJoin
+	EvNodeLeave
+	EvNodeJoin
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvSetLink:
+		return "set-link"
+	case EvLinkLeave:
+		return "link-leave"
+	case EvLinkJoin:
+		return "link-join"
+	case EvNodeLeave:
+		return "node-leave"
+	default:
+		return "node-join"
+	}
+}
+
+// Event is one dynamic topology change at an absolute experiment time.
+type Event struct {
+	At   time.Duration
+	Kind EventKind
+	// Link events:
+	Orig, Dest string
+	Props      LinkPatch
+	// Node events:
+	Name string
+}
+
+// LinkPatch carries the optional property changes of a set/join event;
+// nil fields keep the previous value.
+type LinkPatch struct {
+	Latency *time.Duration
+	Jitter  *time.Duration
+	Up      *units.Bandwidth
+	Down    *units.Bandwidth
+	Loss    *units.Loss
+}
+
+// Topology is a parsed experiment description.
+type Topology struct {
+	Services []ServiceDef
+	Bridges  []BridgeDef
+	Links    []LinkDef
+	Events   []Event
+}
+
+// Validate checks referential integrity and value sanity.
+func (t *Topology) Validate() error {
+	if len(t.Services) == 0 {
+		return fmt.Errorf("topology: no services declared")
+	}
+	names := make(map[string]bool)
+	for _, s := range t.Services {
+		if s.Name == "" {
+			return fmt.Errorf("topology: service with empty name")
+		}
+		if names[s.Name] {
+			return fmt.Errorf("topology: duplicate name %q", s.Name)
+		}
+		names[s.Name] = true
+		if s.Replicas < 0 {
+			return fmt.Errorf("topology: service %q has negative replicas", s.Name)
+		}
+	}
+	for _, b := range t.Bridges {
+		if b.Name == "" {
+			return fmt.Errorf("topology: bridge with empty name")
+		}
+		if names[b.Name] {
+			return fmt.Errorf("topology: duplicate name %q", b.Name)
+		}
+		names[b.Name] = true
+	}
+	for i, l := range t.Links {
+		if !names[l.Orig] {
+			return fmt.Errorf("topology: link %d references unknown origin %q", i, l.Orig)
+		}
+		if !names[l.Dest] {
+			return fmt.Errorf("topology: link %d references unknown destination %q", i, l.Dest)
+		}
+		if l.Orig == l.Dest {
+			return fmt.Errorf("topology: link %d is a self-loop on %q", i, l.Orig)
+		}
+		if l.Up <= 0 {
+			return fmt.Errorf("topology: link %d (%s->%s) has no upload bandwidth", i, l.Orig, l.Dest)
+		}
+		if !l.Unidirectional && l.Down <= 0 {
+			return fmt.Errorf("topology: link %d (%s->%s) has no download bandwidth", i, l.Orig, l.Dest)
+		}
+	}
+	for i, e := range t.Events {
+		if e.At < 0 {
+			return fmt.Errorf("topology: event %d has negative time", i)
+		}
+		switch e.Kind {
+		case EvNodeLeave, EvNodeJoin:
+			if !names[e.Name] {
+				return fmt.Errorf("topology: event %d references unknown node %q", i, e.Name)
+			}
+		default:
+			if !names[e.Orig] || !names[e.Dest] {
+				return fmt.Errorf("topology: event %d references unknown link %s->%s", i, e.Orig, e.Dest)
+			}
+		}
+	}
+	return nil
+}
+
+// Build materializes the declared topology as a graph: one Service node
+// per container replica, one Bridge node per bridge, and the expanded
+// unidirectional links. It also returns the container name list per
+// service.
+func (t *Topology) Build() (*graph.Graph, map[string][]string, error) {
+	if err := t.Validate(); err != nil {
+		return nil, nil, err
+	}
+	g := graph.New()
+	containers := make(map[string][]string)
+	// Per declared name, the graph node names it expands to.
+	expand := make(map[string][]string)
+	for _, s := range t.Services {
+		cs := s.ContainerNames()
+		containers[s.Name] = cs
+		expand[s.Name] = cs
+		for _, c := range cs {
+			if _, err := g.AddNode(c, graph.Service); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	for _, b := range t.Bridges {
+		if _, err := g.AddNode(b.Name, graph.Bridge); err != nil {
+			return nil, nil, err
+		}
+		expand[b.Name] = []string{b.Name}
+	}
+	for _, l := range t.Links {
+		for _, from := range expand[l.Orig] {
+			for _, to := range expand[l.Dest] {
+				a, _ := g.Lookup(from)
+				b, _ := g.Lookup(to)
+				g.AddLink(a, b, graph.LinkProps{
+					Latency: l.Latency, Jitter: l.Jitter,
+					Bandwidth: l.Up, Loss: l.Loss,
+				})
+				if !l.Unidirectional {
+					g.AddLink(b, a, graph.LinkProps{
+						Latency: l.Latency, Jitter: l.Jitter,
+						Bandwidth: l.Down, Loss: l.Loss,
+					})
+				}
+			}
+		}
+	}
+	return g, containers, nil
+}
+
+// Collapsed is the end-to-end mesh of virtual links between every pair of
+// reachable containers — Figure 1 (right). Paths are computed lazily per
+// source and cached: each Emulation Manager only ever needs the part of
+// the topology that affects its local containers (§3), and an eager
+// all-pairs mesh would be quadratic in containers.
+type Collapsed struct {
+	g     *graph.Graph
+	cache map[graph.NodeID]map[graph.NodeID]*graph.Path
+}
+
+// Collapse prepares the (lazy) collapsed topology of a built graph. The
+// graph must not be mutated afterwards; dynamics clone per state.
+func Collapse(g *graph.Graph) *Collapsed {
+	return &Collapsed{g: g, cache: make(map[graph.NodeID]map[graph.NodeID]*graph.Path)}
+}
+
+// Path returns the collapsed path src->dst, or nil when unreachable.
+func (c *Collapsed) Path(src, dst graph.NodeID) *graph.Path {
+	return c.PathsFrom(src)[dst]
+}
+
+// PathsFrom returns the collapsed paths from src to every reachable
+// service, computing and caching them on first use.
+func (c *Collapsed) PathsFrom(src graph.NodeID) map[graph.NodeID]*graph.Path {
+	if m, ok := c.cache[src]; ok {
+		return m
+	}
+	all := c.g.ShortestPaths(src)
+	m := make(map[graph.NodeID]*graph.Path)
+	for dst, p := range all {
+		if c.g.Node(dst).Kind == graph.Service {
+			m[dst] = p
+		}
+	}
+	c.cache[src] = m
+	return m
+}
+
+// State is one element of the pre-computed dynamic sequence: the topology
+// graph and its collapse, valid from At until the next state.
+type State struct {
+	At        time.Duration
+	Graph     *graph.Graph
+	Collapsed *Collapsed
+}
+
+// Precompute builds the ordered sequence of graphs for the experiment's
+// dynamic events (§3 "Dynamic Topologies": all modifications are computed
+// offline before the experiment starts). The first state is at time 0.
+func (t *Topology) Precompute() ([]State, error) {
+	g, _, err := t.Build()
+	if err != nil {
+		return nil, err
+	}
+	states := []State{{At: 0, Graph: g, Collapsed: Collapse(g)}}
+	if len(t.Events) == 0 {
+		return states, nil
+	}
+
+	events := append([]Event(nil), t.Events...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+
+	cur := g
+	// Remember original props of tombstoned links so joins can restore.
+	removedProps := make(map[int]graph.LinkProps)
+	// Group events at identical timestamps into a single state.
+	i := 0
+	for i < len(events) {
+		at := events[i].At
+		next := cur.Clone()
+		for i < len(events) && events[i].At == at {
+			if err := applyEvent(next, events[i], removedProps); err != nil {
+				return nil, err
+			}
+			i++
+		}
+		states = append(states, State{At: at, Graph: next, Collapsed: Collapse(next)})
+		cur = next
+	}
+	return states, nil
+}
+
+func applyEvent(g *graph.Graph, e Event, removed map[int]graph.LinkProps) error {
+	switch e.Kind {
+	case EvSetLink:
+		ids := linksBetween(g, e.Orig, e.Dest)
+		if len(ids) == 0 {
+			return fmt.Errorf("topology: event %v: no link %s->%s", e.Kind, e.Orig, e.Dest)
+		}
+		for _, pair := range ids {
+			patchLink(g, pair.fwd, e.Props, true)
+			if pair.rev >= 0 {
+				patchLink(g, pair.rev, e.Props, false)
+			}
+		}
+	case EvLinkLeave:
+		ids := linksBetween(g, e.Orig, e.Dest)
+		if len(ids) == 0 {
+			return fmt.Errorf("topology: link-leave: no link %s->%s", e.Orig, e.Dest)
+		}
+		for _, pair := range ids {
+			removed[pair.fwd] = g.Link(pair.fwd).LinkProps
+			g.RemoveLink(pair.fwd)
+			if pair.rev >= 0 {
+				removed[pair.rev] = g.Link(pair.rev).LinkProps
+				g.RemoveLink(pair.rev)
+			}
+		}
+	case EvLinkJoin:
+		// Restore tombstoned links between the endpoints if any;
+		// otherwise add a fresh pair with the patch properties.
+		restored := false
+		for id, props := range removed {
+			l := g.Link(id)
+			if names(g, l.From) == e.Orig && names(g, l.To) == e.Dest ||
+				names(g, l.From) == e.Dest && names(g, l.To) == e.Orig {
+				g.SetLinkProps(id, props)
+				patchLink(g, id, e.Props, names(g, l.From) == e.Orig)
+				delete(removed, id)
+				restored = true
+			}
+		}
+		if !restored {
+			a, ok1 := g.Lookup(e.Orig)
+			b, ok2 := g.Lookup(e.Dest)
+			if !ok1 || !ok2 {
+				return fmt.Errorf("topology: link-join references unknown endpoints %s->%s", e.Orig, e.Dest)
+			}
+			var lp graph.LinkProps
+			fwd := g.AddLink(a, b, lp)
+			rev := g.AddLink(b, a, lp)
+			patchLink(g, fwd, e.Props, true)
+			patchLink(g, rev, e.Props, false)
+		}
+	case EvNodeLeave:
+		ids := expandNodeName(g, e.Name)
+		if len(ids) == 0 {
+			return fmt.Errorf("topology: node-leave of unknown %q", e.Name)
+		}
+		for _, id := range ids {
+			for li := 0; li < g.NumLinks(); li++ {
+				l := g.Link(li)
+				if (l.From == id || l.To == id) && !g.LinkRemoved(li) {
+					removed[li] = l.LinkProps
+					g.RemoveLink(li)
+				}
+			}
+		}
+	case EvNodeJoin:
+		ids := expandNodeName(g, e.Name)
+		if len(ids) == 0 {
+			return fmt.Errorf("topology: node-join of unknown %q", e.Name)
+		}
+		for _, id := range ids {
+			for li, props := range removed {
+				l := g.Link(li)
+				if l.From == id || l.To == id {
+					g.SetLinkProps(li, props)
+					delete(removed, li)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// expandNodeName resolves a declared name to graph nodes: an exact match,
+// or all replica nodes "name-i" of a replicated service.
+func expandNodeName(g *graph.Graph, name string) []graph.NodeID {
+	if id, ok := g.Lookup(name); ok {
+		return []graph.NodeID{id}
+	}
+	var out []graph.NodeID
+	prefix := name + "-"
+	for _, n := range g.Nodes() {
+		if len(n.Name) > len(prefix) && n.Name[:len(prefix)] == prefix {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+func names(g *graph.Graph, id graph.NodeID) string { return g.Node(id).Name }
+
+type linkPair struct{ fwd, rev int }
+
+// linksBetween finds live link ids orig->dest (fwd) and dest->orig (rev).
+// Service names expand to their replicas' nodes by prefix match.
+func linksBetween(g *graph.Graph, orig, dest string) []linkPair {
+	match := func(nodeName, declared string) bool {
+		if nodeName == declared {
+			return true
+		}
+		// replica expansion: "sv-0" matches "sv"
+		return len(nodeName) > len(declared) &&
+			nodeName[:len(declared)] == declared && nodeName[len(declared)] == '-'
+	}
+	var out []linkPair
+	used := make(map[int]bool)
+	for li := 0; li < g.NumLinks(); li++ {
+		if g.LinkRemoved(li) || used[li] {
+			continue
+		}
+		l := g.Link(li)
+		if match(names(g, l.From), orig) && match(names(g, l.To), dest) {
+			pair := linkPair{fwd: li, rev: -1}
+			for rj := 0; rj < g.NumLinks(); rj++ {
+				if rj == li || g.LinkRemoved(rj) || used[rj] {
+					continue
+				}
+				r := g.Link(rj)
+				if r.From == l.To && r.To == l.From {
+					pair.rev = rj
+					used[rj] = true
+					break
+				}
+			}
+			used[li] = true
+			out = append(out, pair)
+		}
+	}
+	return out
+}
+
+// patchLink applies the non-nil patch fields; forward links take Up,
+// reverse links take Down.
+func patchLink(g *graph.Graph, id int, p LinkPatch, forward bool) {
+	lp := g.Link(id).LinkProps
+	if p.Latency != nil {
+		lp.Latency = *p.Latency
+	}
+	if p.Jitter != nil {
+		lp.Jitter = *p.Jitter
+	}
+	if p.Loss != nil {
+		lp.Loss = *p.Loss
+	}
+	if forward && p.Up != nil {
+		lp.Bandwidth = *p.Up
+	}
+	if !forward && p.Down != nil {
+		lp.Bandwidth = *p.Down
+	}
+	if !forward && p.Down == nil && p.Up != nil {
+		lp.Bandwidth = *p.Up
+	}
+	g.SetLinkProps(id, lp)
+}

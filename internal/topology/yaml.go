@@ -1,0 +1,258 @@
+package topology
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/units"
+)
+
+// ParseYAML parses the lean YAML-based experiment syntax of Listing 1 and
+// Listing 2. The dialect is the paper's: two top-level sections
+// (experiment:, dynamic:); under experiment, the services/bridges/links
+// sections hold flat key/value items where a repeated leading key (name:
+// for services and bridges, orig: for links) starts the next item; under
+// dynamic, every event block ends with its time: key.
+func ParseYAML(src string) (*Topology, error) {
+	t := &Topology{}
+	section := "" // "services", "bridges", "links", "dynamic"
+	var cur map[string]string
+	var curOrder []string
+
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		var err error
+		switch section {
+		case "services":
+			err = t.addService(cur)
+		case "bridges":
+			err = t.addBridge(cur)
+		case "links":
+			err = t.addLink(cur)
+		case "dynamic":
+			err = t.addEvent(cur, curOrder)
+		}
+		cur, curOrder = nil, nil
+		return err
+	}
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimRight(line, " \t")
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		trimmed = strings.TrimPrefix(trimmed, "- ")
+		key, val, found := strings.Cut(trimmed, ":")
+		if !found {
+			return nil, fmt.Errorf("topology: line %d: expected key: value, got %q", ln+1, raw)
+		}
+		key = strings.TrimSpace(strings.ToLower(key))
+		val = strings.Trim(strings.TrimSpace(val), `"'`)
+
+		switch key {
+		case "experiment":
+			if err := flush(); err != nil {
+				return nil, fmt.Errorf("line %d: %v", ln+1, err)
+			}
+			section = ""
+			continue
+		case "services", "bridges", "links", "dynamic":
+			if val == "" {
+				if err := flush(); err != nil {
+					return nil, fmt.Errorf("line %d: %v", ln+1, err)
+				}
+				section = key
+				continue
+			}
+		}
+		if section == "" {
+			return nil, fmt.Errorf("topology: line %d: key %q outside any section", ln+1, raw)
+		}
+
+		// Does this key start a new item?
+		starts := false
+		switch section {
+		case "services", "bridges":
+			starts = key == "name"
+		case "links":
+			starts = key == "orig"
+		case "dynamic":
+			// events are terminated by their time: key (see Listing 2);
+			// a repeated key also starts a new one defensively.
+			_, dup := cur[key]
+			starts = cur == nil || dup
+		}
+		if starts && cur != nil && section != "dynamic" {
+			if err := flush(); err != nil {
+				return nil, fmt.Errorf("line %d: %v", ln+1, err)
+			}
+		}
+		if starts && section == "dynamic" && cur != nil {
+			if err := flush(); err != nil {
+				return nil, fmt.Errorf("line %d: %v", ln+1, err)
+			}
+		}
+		if cur == nil {
+			cur = make(map[string]string)
+		}
+		cur[key] = val
+		curOrder = append(curOrder, key)
+		if section == "dynamic" && key == "time" {
+			if err := flush(); err != nil {
+				return nil, fmt.Errorf("line %d: %v", ln+1, err)
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *Topology) addService(kv map[string]string) error {
+	s := ServiceDef{Name: kv["name"], Image: kv["image"], Replicas: 1, Command: kv["command"]}
+	if r, ok := kv["replicas"]; ok {
+		n, err := strconv.Atoi(r)
+		if err != nil || n < 1 {
+			return fmt.Errorf("service %q: bad replicas %q", s.Name, r)
+		}
+		s.Replicas = n
+	}
+	t.Services = append(t.Services, s)
+	return nil
+}
+
+func (t *Topology) addBridge(kv map[string]string) error {
+	t.Bridges = append(t.Bridges, BridgeDef{Name: kv["name"]})
+	return nil
+}
+
+func (t *Topology) addLink(kv map[string]string) error {
+	l := LinkDef{Orig: kv["orig"], Dest: kv["dest"], Network: kv["network"]}
+	var err error
+	if v, ok := kv["latency"]; ok {
+		if l.Latency, err = units.ParseLatency(v); err != nil {
+			return err
+		}
+	}
+	if v, ok := kv["jitter"]; ok {
+		if l.Jitter, err = units.ParseLatency(v); err != nil {
+			return err
+		}
+	}
+	if v, ok := kv["up"]; ok {
+		if l.Up, err = units.ParseBandwidth(v); err != nil {
+			return err
+		}
+	}
+	if v, ok := kv["down"]; ok {
+		if l.Down, err = units.ParseBandwidth(v); err != nil {
+			return err
+		}
+	} else {
+		l.Down = l.Up
+	}
+	if v, ok := kv["bandwidth"]; ok { // symmetric shorthand
+		bw, err := units.ParseBandwidth(v)
+		if err != nil {
+			return err
+		}
+		l.Up, l.Down = bw, bw
+	}
+	if v, ok := kv["loss"]; ok {
+		if l.Loss, err = units.ParseLoss(v); err != nil {
+			return err
+		}
+	}
+	if v, ok := kv["unidirectional"]; ok {
+		l.Unidirectional = v == "true" || v == "yes"
+	}
+	t.Links = append(t.Links, l)
+	return nil
+}
+
+func (t *Topology) addEvent(kv map[string]string, order []string) error {
+	e := Event{}
+	tv, ok := kv["time"]
+	if !ok {
+		return fmt.Errorf("dynamic event missing time: %v", kv)
+	}
+	secs, err := strconv.ParseFloat(tv, 64)
+	if err != nil || secs < 0 {
+		return fmt.Errorf("dynamic event: bad time %q", tv)
+	}
+	e.At = time.Duration(secs * float64(time.Second))
+
+	action := strings.ToLower(kv["action"])
+	_, hasOrig := kv["orig"]
+	switch {
+	case action == "" && hasOrig:
+		e.Kind = EvSetLink
+	case action == "leave" && hasOrig:
+		e.Kind = EvLinkLeave
+	case action == "join" && hasOrig:
+		e.Kind = EvLinkJoin
+	case action == "leave":
+		e.Kind = EvNodeLeave
+	case action == "join":
+		e.Kind = EvNodeJoin
+	default:
+		return fmt.Errorf("dynamic event: unknown action %q", action)
+	}
+	e.Orig, e.Dest, e.Name = kv["orig"], kv["dest"], kv["name"]
+	if e.Kind == EvNodeLeave || e.Kind == EvNodeJoin {
+		if e.Name == "" {
+			return fmt.Errorf("dynamic %s event missing name", action)
+		}
+	} else if e.Orig == "" || e.Dest == "" {
+		return fmt.Errorf("dynamic link event missing orig/dest: %v", kv)
+	}
+
+	if v, ok := kv["latency"]; ok {
+		d, err := units.ParseLatency(v)
+		if err != nil {
+			return err
+		}
+		e.Props.Latency = &d
+	}
+	if v, ok := kv["jitter"]; ok {
+		d, err := units.ParseLatency(v)
+		if err != nil {
+			return err
+		}
+		e.Props.Jitter = &d
+	}
+	if v, ok := kv["up"]; ok {
+		b, err := units.ParseBandwidth(v)
+		if err != nil {
+			return err
+		}
+		e.Props.Up = &b
+	}
+	if v, ok := kv["down"]; ok {
+		b, err := units.ParseBandwidth(v)
+		if err != nil {
+			return err
+		}
+		e.Props.Down = &b
+	}
+	if v, ok := kv["loss"]; ok {
+		l, err := units.ParseLoss(v)
+		if err != nil {
+			return err
+		}
+		e.Props.Loss = &l
+	}
+	t.Events = append(t.Events, e)
+	return nil
+}

@@ -1,0 +1,75 @@
+package transport
+
+import (
+	"time"
+
+	"repro/internal/packet"
+)
+
+// SendUDP transmits one datagram of size payload bytes (headers are added
+// to the wire size). The payload value travels by reference.
+func (s *Stack) SendUDP(dst packet.IP, dstPort, srcPort uint16, size int, payload any) {
+	s.net.Send(&packet.Packet{
+		Src: s.ip, Dst: dst,
+		SrcPort: srcPort, DstPort: dstPort,
+		Proto:   packet.UDP,
+		Size:    size + packet.IPHeader + packet.UDPHeader + 14,
+		Payload: payload,
+	})
+}
+
+// HandleUDP installs the datagram handler for a port. A nil handler
+// removes it.
+func (s *Stack) HandleUDP(port uint16, h UDPHandler) {
+	if h == nil {
+		delete(s.udp, port)
+		return
+	}
+	s.udp[port] = h
+}
+
+// echoPayload is the ICMP echo body.
+type echoPayload struct {
+	id     uint16
+	sentAt time.Duration
+	reply  bool
+}
+
+// Ping sends one ICMP echo request of the given wire size (minimum 64
+// bytes, like ping(8)) and invokes cb with the measured RTT when the reply
+// arrives. There is no timeout: a lost ping simply never calls back.
+func (s *Stack) Ping(dst packet.IP, size int, cb func(rtt time.Duration)) {
+	if size < 64 {
+		size = 64
+	}
+	id := s.pingSeq
+	s.pingSeq++
+	s.pings[id] = cb
+	s.net.Send(&packet.Packet{
+		Src: s.ip, Dst: dst,
+		Proto:   packet.ICMP,
+		Size:    size,
+		Payload: &echoPayload{id: id, sentAt: s.eng.Now()},
+	})
+}
+
+func (s *Stack) receiveICMP(p *packet.Packet) {
+	echo, ok := p.Payload.(*echoPayload)
+	if !ok {
+		return
+	}
+	if echo.reply {
+		if cb := s.pings[echo.id]; cb != nil {
+			delete(s.pings, echo.id)
+			cb(s.eng.Now() - echo.sentAt)
+		}
+		return
+	}
+	// Echo request: reply with the same id and original timestamp.
+	s.net.Send(&packet.Packet{
+		Src: s.ip, Dst: p.Src,
+		Proto:   packet.ICMP,
+		Size:    p.Size,
+		Payload: &echoPayload{id: echo.id, sentAt: echo.sentAt, reply: true},
+	})
+}

@@ -1,0 +1,227 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestParseBandwidth(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Bandwidth
+	}{
+		{"10Mbps", 10 * Mbps},
+		{"10 Mbps", 10 * Mbps},
+		{"10Mb/s", 10 * Mbps},
+		{"10M", 10 * Mbps},
+		{"128Kbps", 128 * Kbps},
+		{"128 Kb/s", 128 * Kbps},
+		{"1Gb/s", 1 * Gbps},
+		{"4Gbps", 4 * Gbps},
+		{"2.5Mbps", Bandwidth(2.5 * float64(Mbps))},
+		{"9600", 9600},
+		{"9600bps", 9600},
+		{"100 Mbps", 100 * Mbps},
+		{"50Mb/s", 50 * Mbps},
+		{"0Mbps", 0},
+	}
+	for _, c := range cases {
+		got, err := ParseBandwidth(c.in)
+		if err != nil {
+			t.Errorf("ParseBandwidth(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBandwidth(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseBandwidthErrors(t *testing.T) {
+	for _, in := range []string{"", "Mbps", "10Xbps", "-5Mbps", "10..5Mbps", "ten Mbps"} {
+		if _, err := ParseBandwidth(in); err == nil {
+			t.Errorf("ParseBandwidth(%q): expected error", in)
+		}
+	}
+}
+
+func TestBandwidthString(t *testing.T) {
+	cases := []struct {
+		in   Bandwidth
+		want string
+	}{
+		{10 * Mbps, "10Mbps"},
+		{1 * Gbps, "1Gbps"},
+		{128 * Kbps, "128Kbps"},
+		{500, "500bps"},
+		{Bandwidth(2.5 * float64(Mbps)), "2.50Mbps"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestBandwidthRoundTrip(t *testing.T) {
+	// Property: parsing the String() form returns a value within 1% of
+	// the original (formatting may round).
+	f := func(raw int64) bool {
+		if raw < 0 {
+			raw = -raw
+		}
+		b := Bandwidth(raw % int64(100*Gbps))
+		got, err := ParseBandwidth(b.String())
+		if err != nil {
+			return false
+		}
+		diff := float64(got - b)
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 0.01*float64(b)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeToSend(t *testing.T) {
+	// 1000 bytes at 8000 bps is exactly one second.
+	if got := Bandwidth(8000).TimeToSend(1000); got != time.Second {
+		t.Errorf("TimeToSend = %v, want 1s", got)
+	}
+	// 1500 bytes at 100Mbps = 120us.
+	if got := (100 * Mbps).TimeToSend(1500); got != 120*time.Microsecond {
+		t.Errorf("TimeToSend = %v, want 120us", got)
+	}
+	if got := Bandwidth(0).TimeToSend(1000); got != 0 {
+		t.Errorf("zero bandwidth should be instant, got %v", got)
+	}
+}
+
+func TestBytesIn(t *testing.T) {
+	if got := (8 * Kbps).BytesIn(time.Second); got != 1000 {
+		t.Errorf("BytesIn = %v, want 1000", got)
+	}
+	if got := (8 * Kbps).BytesIn(0); got != 0 {
+		t.Errorf("BytesIn(0) = %v, want 0", got)
+	}
+}
+
+func TestParseLatency(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"10", 10 * time.Millisecond},
+		{"10ms", 10 * time.Millisecond},
+		{"0.25", 250 * time.Microsecond},
+		{"1.5s", 1500 * time.Millisecond},
+		{"250us", 250 * time.Microsecond},
+		{"0", 0},
+	}
+	for _, c := range cases {
+		got, err := ParseLatency(c.in)
+		if err != nil {
+			t.Errorf("ParseLatency(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseLatency(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, in := range []string{"", "-5", "-5ms", "xyz"} {
+		if _, err := ParseLatency(in); err == nil {
+			t.Errorf("ParseLatency(%q): expected error", in)
+		}
+	}
+}
+
+func TestParseLoss(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Loss
+	}{
+		{"0", 0},
+		{"0.01", 0.01},
+		{"1", 1},
+		{"1%", 0.01},
+		{"50%", 0.5},
+		{"100%", 1},
+	}
+	for _, c := range cases {
+		got, err := ParseLoss(c.in)
+		if err != nil {
+			t.Errorf("ParseLoss(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseLoss(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, in := range []string{"", "1.5", "-0.1", "200%", "abc"} {
+		if _, err := ParseLoss(in); err == nil {
+			t.Errorf("ParseLoss(%q): expected error", in)
+		}
+	}
+}
+
+func TestLossCompose(t *testing.T) {
+	got := Loss(0.1).Compose(0.1)
+	want := Loss(1 - 0.9*0.9)
+	if diff := float64(got - want); diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("Compose = %v, want %v", got, want)
+	}
+	// Composition with zero is identity.
+	if got := Loss(0.25).Compose(0); got != 0.25 {
+		t.Errorf("Compose(0) = %v, want 0.25", got)
+	}
+	// Composition with one is total loss.
+	if got := Loss(0.25).Compose(1); got != 1 {
+		t.Errorf("Compose(1) = %v, want 1", got)
+	}
+}
+
+func TestLossComposeProperties(t *testing.T) {
+	clamp := func(x float64) Loss {
+		if x < 0 {
+			x = -x
+		}
+		return Loss(x - float64(int(x))).Clamp()
+	}
+	// Commutative and within [0,1].
+	f := func(a, b float64) bool {
+		x, y := clamp(a), clamp(b)
+		ab, ba := x.Compose(y), y.Compose(x)
+		d := float64(ab - ba)
+		if d < 0 {
+			d = -d
+		}
+		return d < 1e-9 && ab >= 0 && ab <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Monotone: composing can only increase loss.
+	g := func(a, b float64) bool {
+		x, y := clamp(a), clamp(b)
+		return x.Compose(y) >= x-1e-12 && x.Compose(y) >= y-1e-12
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLossClamp(t *testing.T) {
+	if got := Loss(-0.5).Clamp(); got != 0 {
+		t.Errorf("Clamp(-0.5) = %v", got)
+	}
+	if got := Loss(1.5).Clamp(); got != 1 {
+		t.Errorf("Clamp(1.5) = %v", got)
+	}
+	if got := Loss(0.3).Clamp(); got != 0.3 {
+		t.Errorf("Clamp(0.3) = %v", got)
+	}
+}

@@ -1,0 +1,195 @@
+// Package kollaps is the public API of the Kollaps reproduction: load an
+// experiment description (the paper's YAML dialect or ModelNet-like XML),
+// deploy it over a simulated physical cluster, and run unmodified
+// application workloads against the emulated network.
+//
+// A minimal experiment:
+//
+//	exp, err := kollaps.Load(topologyYAML)
+//	exp.Deploy(4, kollaps.Options{})          // 4 physical hosts
+//	cli, _ := exp.Container("client")
+//	srv, _ := exp.Container("server")
+//	// ... dial cli.Stack -> srv.IP, attach workloads ...
+//	exp.Run(60 * time.Second)
+//
+// The same workloads can run against a bare-metal deployment of the
+// target topology (NewBaremetal) — the ground truth the paper compares
+// emulation accuracy against — and against the baseline emulators in
+// internal/baselines.
+package kollaps
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/graph"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// Options configure a deployment.
+type Options struct {
+	// Seed drives the deterministic simulation (default 42).
+	Seed int64
+	// Period is the Emulation Manager loop interval (default 50ms).
+	Period time.Duration
+	// Placement pins container names to host indices (default
+	// round-robin).
+	Placement map[string]int
+	// InjectLoss enables the §3 congestion-loss workaround (see
+	// core.Options.InjectLoss).
+	InjectLoss bool
+}
+
+// Experiment is a loaded and optionally deployed Kollaps experiment.
+type Experiment struct {
+	// Topology is the parsed experiment description.
+	Topology *topology.Topology
+	// Eng is the simulation engine (valid after Deploy).
+	Eng *sim.Engine
+	// Runtime is the Kollaps deployment (valid after Deploy).
+	Runtime *core.Runtime
+
+	states []topology.State
+}
+
+// Load parses an experiment description, auto-detecting the YAML dialect
+// or ModelNet-like XML, and validates it.
+func Load(src string) (*Experiment, error) {
+	var top *topology.Topology
+	var err error
+	if strings.Contains(src, "<topology") {
+		top, err = topology.ParseXML(src)
+	} else {
+		top, err = topology.ParseYAML(src)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := top.Validate(); err != nil {
+		return nil, err
+	}
+	return &Experiment{Topology: top}, nil
+}
+
+// Deploy pre-computes the dynamic topology states and instantiates the
+// runtime over hosts physical machines.
+func (e *Experiment) Deploy(hosts int, opts Options) error {
+	if opts.Seed == 0 {
+		opts.Seed = 42
+	}
+	states, err := e.Topology.Precompute()
+	if err != nil {
+		return err
+	}
+	e.states = states
+	e.Eng = sim.NewEngine(opts.Seed)
+	rt, err := core.NewRuntime(e.Eng, states, hosts, opts.Placement, core.Options{
+		Period:     opts.Period,
+		InjectLoss: opts.InjectLoss,
+	})
+	if err != nil {
+		return err
+	}
+	e.Runtime = rt
+	rt.Start()
+	return nil
+}
+
+// Container looks up a deployed container by name ("sv" services with
+// replicas expand to "sv-0", "sv-1", ...).
+func (e *Experiment) Container(name string) (*core.Container, error) {
+	if e.Runtime == nil {
+		return nil, fmt.Errorf("kollaps: experiment not deployed")
+	}
+	c, ok := e.Runtime.Container(name)
+	if !ok {
+		return nil, fmt.Errorf("kollaps: unknown container %q", name)
+	}
+	return c, nil
+}
+
+// AppStack implements the application StackProvider interface over the
+// deployment.
+func (e *Experiment) AppStack(name string) (*transport.Stack, packet.IP, error) {
+	c, err := e.Container(name)
+	if err != nil {
+		return nil, packet.IP{}, err
+	}
+	return c.Stack, c.IP, nil
+}
+
+// Run advances the experiment to the given absolute virtual time.
+func (e *Experiment) Run(until time.Duration) {
+	if e.Eng != nil {
+		e.Eng.Run(until)
+	}
+}
+
+// MetadataTraffic reports total metadata bytes (sent, received) across
+// Emulation Managers.
+func (e *Experiment) MetadataTraffic() (int64, int64) {
+	if e.Runtime == nil {
+		return 0, 0
+	}
+	return e.Runtime.MetadataTraffic()
+}
+
+// Baremetal deploys the *target* topology as a physical network (full
+// switch state, real queues) — the ground-truth environment the paper
+// benchmarks emulation accuracy against.
+type Baremetal struct {
+	Eng    *sim.Engine
+	Net    *fabric.Network
+	stacks map[string]*transport.Stack
+	ips    map[string]packet.IP
+}
+
+// NewBaremetal builds the ground-truth network for a topology, with one
+// transport stack per service container.
+func NewBaremetal(top *topology.Topology, seed int64) (*Baremetal, error) {
+	g, _, err := top.Build()
+	if err != nil {
+		return nil, err
+	}
+	if seed == 0 {
+		seed = 42
+	}
+	eng := sim.NewEngine(seed)
+	nw := fabric.New(eng, g, fabric.Options{PerHopDelay: 20 * time.Microsecond})
+	b := &Baremetal{
+		Eng: eng, Net: nw,
+		stacks: make(map[string]*transport.Stack),
+		ips:    make(map[string]packet.IP),
+	}
+	idx := 0
+	for _, n := range g.Nodes() {
+		if n.Kind != graph.Service {
+			continue
+		}
+		ip := packet.MakeIP(0, byte(idx/250), byte(idx%250))
+		nw.AttachEndpoint(n.ID, ip, nil)
+		b.stacks[n.Name] = transport.NewStack(eng, nw, ip)
+		b.ips[n.Name] = ip
+		idx++
+	}
+	return b, nil
+}
+
+// AppStack implements the application StackProvider interface over the
+// bare-metal network.
+func (b *Baremetal) AppStack(name string) (*transport.Stack, packet.IP, error) {
+	st, ok := b.stacks[name]
+	if !ok {
+		return nil, packet.IP{}, fmt.Errorf("kollaps: unknown bare-metal host %q", name)
+	}
+	return st, b.ips[name], nil
+}
+
+// Run advances the bare-metal network to the given absolute virtual time.
+func (b *Baremetal) Run(until time.Duration) { b.Eng.Run(until) }
