@@ -28,6 +28,10 @@ func main() {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	hosts := fs.Int("hosts", 4, "physical hosts")
 	runFor := fs.Duration("for", 60*time.Second, "virtual duration for run")
+	dissemFlag := fs.String("dissem", "broadcast", "metadata dissemination strategy: broadcast, delta or tree")
+	epsilon := fs.Float64("epsilon", 0.05, "delta: relative usage change below which a flow is not re-sent (negative sends every change; 0 means default)")
+	resync := fs.Int("resync", 20, "delta: periods between full-state resyncs")
+	fanout := fs.Int("fanout", 4, "tree: aggregation overlay arity")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -76,20 +80,29 @@ func main() {
 			fmt.Printf("\n--- %s ---\n%s", name, content)
 		}
 	case "run":
-		if err := exp.Deploy(*hosts, kollaps.Options{}); err != nil {
+		opts := kollaps.Options{
+			DissemStrategy: *dissemFlag,
+			DissemEpsilon:  *epsilon,
+			DissemResync:   *resync,
+			DissemFanout:   *fanout,
+		}
+		if err := exp.Deploy(*hosts, opts); err != nil {
 			fatal(err)
 		}
 		exp.Run(*runFor)
 		sent, recv := exp.MetadataTraffic()
 		fmt.Printf("ran %v of virtual time on %d hosts; metadata %dB sent / %dB received\n",
 			*runFor, *hosts, sent, recv)
+		s := exp.DissemSummary()
+		fmt.Printf("dissemination (%s): %d datagrams / %dB sent, staleness p50 %.1fms p99 %.1fms\n",
+			*dissemFlag, s.DatagramsSent, s.BytesSent, s.StalenessP50Ms, s.StalenessP99Ms)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: kollaps {validate|collapse|plan|run} [-hosts N] [-for D] topology.{yaml,xml}")
+	fmt.Fprintln(os.Stderr, "usage: kollaps {validate|collapse|plan|run} [-hosts N] [-for D] [-dissem broadcast|delta|tree] [-epsilon E] [-resync N] [-fanout K] topology.{yaml,xml}")
 	os.Exit(2)
 }
 

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/dissem"
 	"repro/internal/metadata"
 	"repro/internal/netem"
 	"repro/internal/packet"
@@ -13,7 +14,8 @@ import (
 
 // Manager is one host's Emulation Manager. It aggregates the local
 // Emulation Cores' measurements, disseminates them to peer Managers over
-// UDP (the Aeron substitute), and runs the §4.1 emulation loop:
+// UDP (the Aeron substitute) through the configured dissemination
+// strategy, and runs the §4.1 emulation loop:
 //
 //	(1) clear local flow state, (2) query TCAL usage, (3) disseminate,
 //	(4) compute global path/link usage, (5) enforce bandwidth.
@@ -22,25 +24,28 @@ type Manager struct {
 	host   int
 	locals []*Container
 	stack  *transport.Stack
-	peers  []packet.IP
+	emIPs  []packet.IP
 
-	// remote holds the latest report from each peer host plus the
-	// virtual time it arrived; entries older than three periods expire.
-	remote map[uint16]remoteReport
+	// node is the manager's endpoint of the dissemination subsystem: it
+	// owns the wire exchange with peers and the fused remote-flow view.
+	node dissem.Node
 
 	// ring receives local Emulation Core reports through shared memory.
 	ring *metadata.Ring
-
-	metaSent     int64
-	metaReceived int64
 
 	// Iterations counts completed emulation loops.
 	Iterations int64
 }
 
-type remoteReport struct {
-	msg *metadata.Message
-	at  time.Duration
+// managerTransport adapts the cluster fabric's UDP stack to
+// dissem.Transport. Byte accounting lives in the node's Stats — the
+// node counts exactly what it hands this transport.
+type managerTransport struct{ m *Manager }
+
+func (t managerTransport) SendTo(host int, payload []byte) {
+	m := t.m
+	port := m.rt.opts.MetadataPort
+	m.stack.SendUDP(m.emIPs[host], port, port, len(payload), payload)
 }
 
 // localFlow is one (source container, destination container) aggregate.
@@ -54,28 +59,37 @@ type localFlow struct {
 	rtt    time.Duration
 }
 
-func newManager(rt *Runtime, host int, emIPs []packet.IP) *Manager {
+func newManager(rt *Runtime, host int, emIPs []packet.IP) (*Manager, error) {
 	m := &Manager{
-		rt:     rt,
-		host:   host,
-		remote: make(map[uint16]remoteReport),
-		ring:   metadata.NewRing(64),
+		rt:    rt,
+		host:  host,
+		emIPs: emIPs,
+		ring:  metadata.NewRing(64),
 	}
-	for h, ip := range emIPs {
-		if h != host {
-			m.peers = append(m.peers, ip)
-		}
+	cfg := rt.opts.Dissem
+	cfg.NumHosts = len(emIPs)
+	cfg.Wide = rt.wide
+	node, err := dissem.New(cfg, host, managerTransport{m})
+	if err != nil {
+		return nil, err
 	}
+	m.node = node
 	m.stack = transport.NewStack(rt.Eng, rt.Cluster, emIPs[host])
 	m.stack.HandleUDP(rt.opts.MetadataPort, m.onMetadata)
-	return m
+	return m, nil
 }
 
 // Host returns the manager's host index.
 func (m *Manager) Host() int { return m.host }
 
 // MetadataSent returns the cumulative metadata bytes this Manager sent.
-func (m *Manager) MetadataSent() int64 { return m.metaSent }
+func (m *Manager) MetadataSent() int64 { return m.node.Stats().BytesSent.Value() }
+
+// DissemStats exposes the manager's control-plane counters.
+func (m *Manager) DissemStats() *dissem.Stats { return m.node.Stats() }
+
+// Node exposes the manager's dissemination endpoint (tests, dashboard).
+func (m *Manager) Node() dissem.Node { return m.node }
 
 func (m *Manager) start() {
 	m.rt.Eng.Every(m.rt.opts.Period, m.iterate)
@@ -86,12 +100,7 @@ func (m *Manager) onMetadata(src packet.IP, srcPort uint16, size int, payload an
 	if !ok {
 		return
 	}
-	m.metaReceived += int64(size)
-	msg, err := metadata.Decode(raw, m.rt.wide)
-	if err != nil {
-		return // corrupted reports are ignored, next period repairs
-	}
-	m.remote[msg.Host] = remoteReport{msg: msg, at: m.rt.Eng.Now()}
+	m.node.Receive(m.rt.Eng.Now(), raw)
 }
 
 // iterate is one emulation loop pass.
@@ -107,7 +116,7 @@ func (m *Manager) iterate() {
 	// (3): disseminate the local aggregate. Only active flows are
 	// reported, which is what keeps metadata traffic proportional to
 	// hosts, not containers (§5.2).
-	m.disseminate(flows)
+	m.disseminate()
 
 	// (4): merge remote reports into the global flow set.
 	all := m.globalFlows(flows)
@@ -179,23 +188,21 @@ func (m *Manager) collectLocal(period time.Duration) []localFlow {
 	return flows
 }
 
-func (m *Manager) disseminate(flows []localFlow) {
+// disseminate hands this period's shared-memory report to the
+// dissemination node, which decides what actually crosses the network.
+func (m *Manager) disseminate() {
 	msg := m.ring.Poll()
 	if msg == nil {
 		return
 	}
-	if len(m.peers) == 0 {
-		return // single host: shared memory only, zero network metadata
-	}
-	raw := metadata.Encode(msg, m.rt.wide)
-	for _, peer := range m.peers {
-		m.stack.SendUDP(peer, m.rt.opts.MetadataPort, m.rt.opts.MetadataPort, len(raw), raw)
-		m.metaSent += int64(len(raw))
-	}
+	m.node.Publish(m.rt.Eng.Now(), msg)
 }
 
-// globalFlows merges local flows with fresh remote reports into the
-// allocator's input. Remote flows are identified by their link lists.
+// globalFlows merges local flows with the dissemination node's remote
+// view into the allocator's input. Remote flows are identified by their
+// link lists; aggregated records (Count > 1) are split back into Count
+// equal demands so the RTT-weighted sharing model sees one entry per
+// underlying flow.
 func (m *Manager) globalFlows(local []localFlow) []FlowDemand {
 	now := m.rt.Eng.Now()
 	stale := 3 * m.rt.opts.Period
@@ -210,31 +217,37 @@ func (m *Manager) globalFlows(local []localFlow) []FlowDemand {
 			Demand: m.demandLocal(f),
 		})
 	}
-	hosts := make([]int, 0, len(m.remote))
-	for h := range m.remote {
-		hosts = append(hosts, int(h))
-	}
-	sort.Ints(hosts)
-	for _, h := range hosts {
-		rep := m.remote[uint16(h)]
-		if now-rep.at > stale {
-			delete(m.remote, uint16(h))
-			continue
-		}
-		for i, f := range rep.msg.Flows {
-			links := make([]int, len(f.Links))
-			var lat time.Duration
-			for j, l := range f.Links {
-				links[j] = int(l)
-				if int(l) < g.NumLinks() {
-					lat += g.Link(int(l)).Latency
-				}
+	for i, rf := range m.node.RemoteFlows(now, stale) {
+		links := make([]int, len(rf.Links))
+		var lat time.Duration
+		for j, l := range rf.Links {
+			links[j] = int(l)
+			if int(l) < g.NumLinks() {
+				lat += g.Link(int(l)).Latency
 			}
+		}
+		count := int(rf.Count)
+		if count < 1 {
+			count = 1
+		}
+		per := units.Bandwidth(float64(rf.BPS)/float64(count) + 0.5)
+		demand := m.demandOf(per)
+		// A usage report older than one period (hierarchical aggregation
+		// delay) cannot safely cap the flow: a low stale reading would
+		// hand its share to competitors and oversubscribe the link, since
+		// contention is emulated purely through this allocation. Treat
+		// such flows as greedy — they get at most their RTT-weighted
+		// share, never less, and the next fresh report re-enables the §3
+		// maximization step.
+		if rf.Age > m.rt.opts.Period+m.rt.opts.Period/2 {
+			demand = 0
+		}
+		for j := 0; j < count; j++ {
 			all = append(all, FlowDemand{
-				ID:     flowID(h, i),
+				ID:     "r" + itoa(i) + "." + itoa(j),
 				Links:  links,
 				RTT:    2 * lat,
-				Demand: m.demandOf(units.Bandwidth(f.BPS)),
+				Demand: demand,
 			})
 		}
 	}

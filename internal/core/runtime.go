@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/dissem"
 	"repro/internal/fabric"
 	"repro/internal/graph"
 	"repro/internal/metadata"
@@ -43,6 +44,10 @@ type Options struct {
 	InjectLoss bool
 	// MetadataPort is the UDP port Managers exchange metadata on.
 	MetadataPort uint16
+	// Dissem selects and tunes the metadata-dissemination strategy
+	// (default: the paper's full-mesh broadcast). NumHosts and Wide are
+	// filled in at deployment.
+	Dissem dissem.Config
 }
 
 func (o *Options) defaults() {
@@ -206,7 +211,10 @@ func NewRuntime(eng *sim.Engine, states []topology.State, nHosts int, placement 
 		cluster.AttachEndpoint(hostNodes[h], emIPs[h], nil)
 	}
 	for h := 0; h < nHosts; h++ {
-		m := newManager(rt, h, emIPs)
+		m, err := newManager(rt, h, emIPs)
+		if err != nil {
+			return nil, err
+		}
 		rt.managers = append(rt.managers, m)
 	}
 	for _, c := range rt.containers {
@@ -296,8 +304,19 @@ func (rt *Runtime) applyState(i int) {
 // Managers — the quantity Figures 3 and 4 report.
 func (rt *Runtime) MetadataTraffic() (sent, received int64) {
 	for _, m := range rt.managers {
-		sent += m.metaSent
-		received += m.metaReceived
+		s := m.node.Stats()
+		sent += s.BytesSent.Value()
+		received += s.BytesRecv.Value()
 	}
 	return sent, received
+}
+
+// DissemStats returns every Manager's dissemination counters; fold them
+// with dissem.Summarize for deployment-wide totals.
+func (rt *Runtime) DissemStats() []*dissem.Stats {
+	out := make([]*dissem.Stats, len(rt.managers))
+	for i, m := range rt.managers {
+		out[i] = m.node.Stats()
+	}
+	return out
 }

@@ -1,0 +1,90 @@
+package dissem
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/metadata"
+)
+
+// broadcastNode is the paper's §4.2 exchange, extracted unchanged from the
+// original Emulation Manager: each period the full local report is encoded
+// once with the paper's wire format and unicast to every peer; the view is
+// simply the latest report from each peer, expiring after maxAge.
+type broadcastNode struct {
+	cfg   Config
+	host  int
+	tr    Transport
+	stats Stats
+
+	remote map[uint16]broadcastEntry
+}
+
+type broadcastEntry struct {
+	msg *metadata.Message
+	at  time.Duration // arrival (virtual) time
+}
+
+func newBroadcastNode(cfg Config, host int, tr Transport) *broadcastNode {
+	return &broadcastNode{
+		cfg:    cfg,
+		host:   host,
+		tr:     tr,
+		remote: make(map[uint16]broadcastEntry),
+	}
+}
+
+func (n *broadcastNode) Publish(now time.Duration, msg *metadata.Message) {
+	if msg == nil || n.cfg.NumHosts < 2 {
+		return
+	}
+	raw := metadata.Encode(msg, n.cfg.Wide)
+	for h := 0; h < n.cfg.NumHosts; h++ {
+		if h != n.host {
+			n.stats.send(n.tr, h, raw)
+		}
+	}
+}
+
+func (n *broadcastNode) Receive(now time.Duration, payload []byte) {
+	n.stats.DatagramsRecv.Inc()
+	n.stats.BytesRecv.Add(int64(len(payload)))
+	msg, err := metadata.Decode(payload, n.cfg.Wide)
+	if err != nil {
+		return // corrupted reports are ignored, next period repairs
+	}
+	if int(msg.Host) >= n.cfg.NumHosts || int(msg.Host) == n.host {
+		return // corrupted sender id: no phantom peers in the view
+	}
+	n.remote[msg.Host] = broadcastEntry{msg: msg, at: now}
+}
+
+func (n *broadcastNode) RemoteFlows(now, maxAge time.Duration) []RemoteFlow {
+	hosts := make([]int, 0, len(n.remote))
+	for h := range n.remote {
+		hosts = append(hosts, int(h))
+	}
+	sort.Ints(hosts)
+	var out []RemoteFlow
+	for _, h := range hosts {
+		e := n.remote[uint16(h)]
+		age := now - e.at
+		if age > maxAge {
+			delete(n.remote, uint16(h))
+			continue
+		}
+		for _, f := range e.msg.Flows {
+			out = append(out, RemoteFlow{
+				Origin: uint16(h),
+				BPS:    f.BPS,
+				Count:  1,
+				Links:  f.Links,
+				Age:    age,
+			})
+			n.stats.staleness(age)
+		}
+	}
+	return out
+}
+
+func (n *broadcastNode) Stats() *Stats { return &n.stats }

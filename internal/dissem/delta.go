@@ -1,0 +1,384 @@
+package dissem
+
+import (
+	"encoding/binary"
+	"sort"
+	"time"
+
+	"repro/internal/metadata"
+)
+
+// deltaNode keeps the full mesh but sends incremental reports: only flows
+// whose usage moved beyond Epsilon relative to the last report every peer
+// acknowledged, plus tombstones for ended flows. Receivers ack each
+// sequence number; the sender diffs against the oldest globally-acked
+// snapshot, so a lost datagram only widens the next delta instead of
+// losing updates. Every ResyncEvery periods — or whenever a peer falls
+// behind the retained snapshot window — the full state is re-sent.
+//
+// Flows are keyed by their link path (the paper's flow identity); flows
+// sharing one path are summed but keep a count so receivers can hand the
+// sharing model one demand per underlying flow. Records carry absolute
+// usage values, so applying a delta is idempotent and tolerant of
+// redundant retransmission.
+type deltaNode struct {
+	cfg   Config
+	host  int
+	tr    Transport
+	stats Stats
+
+	// sender side
+	seq       uint32
+	snaps     map[uint32]deltaSnapshot // retained snapshots by seq
+	snapOrder []uint32
+	acked     map[int]uint32 // peer host -> highest acked seq
+	sinceFull int
+	// lastSent holds, per path, the value most recently included in any
+	// report. Epsilon-comparing against it catches slow monotonic drift
+	// that stays sub-epsilon within the ack window but compounds across
+	// windows (each mention rebases the comparison point).
+	lastSent deltaSnapshot
+
+	// receiver side
+	peers map[uint16]*deltaPeer
+}
+
+// deltaVal is one flow-path aggregate: summed usage and the number of
+// underlying flows.
+type deltaVal struct {
+	bps   uint32
+	count uint16
+}
+
+// deltaSnapshot maps pathKey -> aggregate.
+type deltaSnapshot map[string]deltaVal
+
+type deltaPeer struct {
+	flows     map[string]deltaVal
+	lastSeq   uint32
+	gotAny    bool
+	refreshed time.Duration // arrival time of the newest report
+	originTS  time.Duration // sender-side generation time of that report
+}
+
+func newDeltaNode(cfg Config, host int, tr Transport) *deltaNode {
+	return &deltaNode{
+		cfg:   cfg,
+		host:  host,
+		tr:    tr,
+		snaps: make(map[uint32]deltaSnapshot),
+		acked: make(map[int]uint32),
+		peers: make(map[uint16]*deltaPeer),
+	}
+}
+
+func (n *deltaNode) Publish(now time.Duration, msg *metadata.Message) {
+	if msg == nil || n.cfg.NumHosts < 2 {
+		return
+	}
+	cur := make(deltaSnapshot, len(msg.Flows))
+	for _, f := range msg.Flows {
+		k := pathKey(f.Links)
+		v := cur[k]
+		v.bps = clampU32(uint64(v.bps) + uint64(f.BPS))
+		v.count++
+		cur[k] = v
+	}
+	n.seq++
+	n.snaps[n.seq] = cur
+	n.snapOrder = append(n.snapOrder, n.seq)
+	// Retain snapshots across the resync window plus the ack cadence: a
+	// peer lagging further than that gets a full report anyway.
+	for len(n.snapOrder) > n.cfg.ResyncEvery+n.cfg.AckEvery+2 {
+		delete(n.snaps, n.snapOrder[0])
+		n.snapOrder = n.snapOrder[1:]
+	}
+
+	baseSeq := n.minAcked()
+	_, ok := n.snaps[baseSeq]
+	n.sinceFull++
+	full := !ok || n.sinceFull >= n.cfg.ResyncEvery
+	var raw []byte
+	if full {
+		n.sinceFull = 0
+		raw = n.encodeReport(msgDeltaFull, now, cur, nil)
+		n.lastSent = make(deltaSnapshot, len(cur))
+		for k, v := range cur {
+			n.lastSent[k] = v
+		}
+	} else {
+		changed, removed := n.diff(baseSeq, cur)
+		raw = n.encodeReport(msgDeltaDiff, now, changed, removed)
+		if n.lastSent == nil {
+			n.lastSent = make(deltaSnapshot)
+		}
+		for k, v := range changed {
+			n.lastSent[k] = v
+		}
+		for _, k := range removed {
+			delete(n.lastSent, k)
+		}
+	}
+	for h := 0; h < n.cfg.NumHosts; h++ {
+		if h != n.host {
+			n.stats.send(n.tr, h, raw)
+		}
+	}
+}
+
+// minAcked returns the lowest sequence number acknowledged by every peer
+// (0 when some peer has never acked).
+func (n *deltaNode) minAcked() uint32 {
+	min := ^uint32(0)
+	for h := 0; h < n.cfg.NumHosts; h++ {
+		if h == n.host {
+			continue
+		}
+		if a := n.acked[h]; a < min {
+			min = a
+		}
+	}
+	if min == ^uint32(0) {
+		return 0
+	}
+	return min
+}
+
+// diff lists path aggregates to re-send, gated two ways:
+//
+//   - against every retained snapshot at or after the acked baseline: a
+//     peer applied intermediate diffs (acked or not), so a value that
+//     spiked and reverted, or a flow that was tombstoned and resumed,
+//     must be re-sent even though it matches the baseline again;
+//   - against the last value actually sent per path (lastSent): a value
+//     drifting monotonically but sub-epsilon within each ack window
+//     would otherwise never be re-sent and the peer's error would
+//     compound unbounded; rebasing only on mention caps it at Epsilon.
+//
+// A record is included when either comparison (including absence)
+// exceeds Epsilon or differs in flow count. A peer that *lost* the diff
+// carrying a path's last mention can still hold an older value until
+// the next full resync — that bound is ResyncEvery, same as the
+// protocol's tolerance for any lost datagram. Tombstones symmetrically
+// cover paths present in any windowed snapshot but gone now.
+func (n *deltaNode) diff(baseSeq uint32, cur deltaSnapshot) (changed deltaSnapshot, removed []string) {
+	changed = make(deltaSnapshot)
+	exceeds := func(old, v deltaVal, had bool) bool {
+		if !had || old.count != v.count {
+			return true
+		}
+		d := int64(v.bps) - int64(old.bps)
+		if d < 0 {
+			d = -d
+		}
+		return float64(d) > n.cfg.Epsilon*float64(old.bps)
+	}
+	removedSet := make(map[string]bool)
+	for _, s := range n.snapOrder {
+		if s < baseSeq || s >= n.seq {
+			continue // before the acked baseline, or the current state itself
+		}
+		snap := n.snaps[s]
+		for k, v := range cur {
+			if _, done := changed[k]; done {
+				continue
+			}
+			if old, had := snap[k]; exceeds(old, v, had) {
+				changed[k] = v
+			}
+		}
+		for k := range snap {
+			if _, still := cur[k]; !still {
+				removedSet[k] = true
+			}
+		}
+	}
+	for k, v := range cur {
+		if _, done := changed[k]; done {
+			continue
+		}
+		if old, had := n.lastSent[k]; exceeds(old, v, had) {
+			changed[k] = v
+		}
+	}
+	for k := range removedSet {
+		removed = append(removed, k)
+	}
+	sort.Strings(removed)
+	return changed, removed
+}
+
+// encodeReport serializes a full or diff report:
+//
+//	[type][host:2][seq:4][ts:8][n:2] n×(bps:4, count:2, nlinks:1, links)
+//
+// removed paths are appended as bps==0, count==0 tombstones.
+func (n *deltaNode) encodeReport(typ byte, now time.Duration, flows deltaSnapshot, removed []string) []byte {
+	keys := make([]string, 0, len(flows))
+	for k := range flows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	buf := make([]byte, 0, 17+len(flows)*10)
+	buf = append(buf, typ)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(n.host))
+	buf = binary.BigEndian.AppendUint32(buf, n.seq)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(now))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(keys)+len(removed)))
+	for _, k := range keys {
+		v := flows[k]
+		buf = binary.BigEndian.AppendUint32(buf, v.bps)
+		buf = binary.BigEndian.AppendUint16(buf, v.count)
+		buf = appendLinks(buf, keyLinks(k), n.cfg.Wide)
+	}
+	for _, k := range removed {
+		buf = binary.BigEndian.AppendUint32(buf, 0)
+		buf = binary.BigEndian.AppendUint16(buf, 0)
+		buf = appendLinks(buf, keyLinks(k), n.cfg.Wide)
+	}
+	return buf
+}
+
+func (n *deltaNode) Receive(now time.Duration, payload []byte) {
+	n.stats.DatagramsRecv.Inc()
+	n.stats.BytesRecv.Add(int64(len(payload)))
+	if len(payload) < 3 {
+		return
+	}
+	typ := payload[0]
+	from := binary.BigEndian.Uint16(payload[1:])
+	// A corrupted or spoofed sender id must not drive acks (the
+	// transport indexes peers by host) or pollute peer state.
+	if int(from) >= n.cfg.NumHosts || int(from) == n.host {
+		return
+	}
+	switch typ {
+	case msgDeltaAck:
+		if len(payload) < 7 {
+			return
+		}
+		seq := binary.BigEndian.Uint32(payload[3:])
+		if seq > n.acked[int(from)] {
+			n.acked[int(from)] = seq
+		}
+	case msgDeltaFull, msgDeltaDiff:
+		n.receiveReport(now, typ, from, payload)
+	}
+}
+
+func (n *deltaNode) receiveReport(now time.Duration, typ byte, from uint16, payload []byte) {
+	if len(payload) < 17 {
+		return
+	}
+	seq := binary.BigEndian.Uint32(payload[3:])
+	ts := time.Duration(binary.BigEndian.Uint64(payload[7:]))
+	nrec := int(binary.BigEndian.Uint16(payload[15:]))
+	p := n.peers[from]
+	if p == nil {
+		// No state for this peer (fresh, or expired after a silence): a
+		// diff has nothing to apply against, and acking it would let the
+		// sender keep diffing forever against a baseline we no longer
+		// hold. Stay silent — the sender's snapshot for our last ack
+		// falls out of retention and it falls back to a full report.
+		if typ == msgDeltaDiff {
+			return
+		}
+		p = &deltaPeer{flows: make(map[string]deltaVal)}
+		n.peers[from] = p
+	}
+	// Reordered or duplicate datagrams: re-ack (the sender tracks the
+	// max) but do not regress the state.
+	if p.gotAny && seq <= p.lastSeq {
+		n.maybeAck(typ, int(from), seq)
+		return
+	}
+	recs := make(map[string]deltaVal, nrec)
+	off := 17
+	for i := 0; i < nrec; i++ {
+		if off+6 > len(payload) {
+			return // truncated: drop without acking, a resync repairs
+		}
+		v := deltaVal{
+			bps:   binary.BigEndian.Uint32(payload[off:]),
+			count: binary.BigEndian.Uint16(payload[off+4:]),
+		}
+		links, next, err := readLinks(payload, off+6, n.cfg.Wide)
+		if err != nil {
+			return
+		}
+		off = next
+		recs[pathKey(links)] = v
+	}
+	if off != len(payload) {
+		return // trailing garbage
+	}
+	if typ == msgDeltaFull {
+		p.flows = make(map[string]deltaVal, len(recs))
+	}
+	for k, v := range recs {
+		if v.count == 0 {
+			delete(p.flows, k)
+		} else {
+			p.flows[k] = v
+		}
+	}
+	p.lastSeq = seq
+	p.gotAny = true
+	p.refreshed = now
+	p.originTS = ts
+	n.maybeAck(typ, int(from), seq)
+}
+
+// maybeAck rate-limits acknowledgements: fulls are always acked (they
+// reset the sender's baseline), diffs only every AckEvery-th sequence.
+func (n *deltaNode) maybeAck(typ byte, to int, seq uint32) {
+	if typ == msgDeltaDiff && seq%uint32(n.cfg.AckEvery) != 0 {
+		return
+	}
+	n.ack(to, seq)
+}
+
+func (n *deltaNode) ack(to int, seq uint32) {
+	buf := make([]byte, 0, 7)
+	buf = append(buf, msgDeltaAck)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(n.host))
+	buf = binary.BigEndian.AppendUint32(buf, seq)
+	n.stats.send(n.tr, to, buf)
+}
+
+func (n *deltaNode) RemoteFlows(now, maxAge time.Duration) []RemoteFlow {
+	hosts := make([]int, 0, len(n.peers))
+	for h := range n.peers {
+		hosts = append(hosts, int(h))
+	}
+	sort.Ints(hosts)
+	var out []RemoteFlow
+	for _, h := range hosts {
+		p := n.peers[uint16(h)]
+		if now-p.refreshed > maxAge {
+			delete(n.peers, uint16(h))
+			continue
+		}
+		age := now - p.originTS
+		keys := make([]string, 0, len(p.flows))
+		for k := range p.flows {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			v := p.flows[k]
+			out = append(out, RemoteFlow{
+				Origin: uint16(h),
+				BPS:    v.bps,
+				Count:  v.count,
+				Links:  keyLinks(k),
+				Age:    age,
+			})
+			n.stats.staleness(age)
+		}
+	}
+	return out
+}
+
+func (n *deltaNode) Stats() *Stats { return &n.stats }

@@ -1,0 +1,360 @@
+// Package dissem is the pluggable metadata-dissemination subsystem: the
+// control plane that carries each Emulation Manager's per-flow usage
+// report to its peers every emulation period.
+//
+// The paper's decentralized design (§4.2) has every Manager unicast its
+// full report to every peer — O(N²) datagrams per period, which the paper
+// itself identifies as the scalability ceiling of the control plane. This
+// package factors that exchange behind a Strategy so deployments can
+// trade message volume against metadata freshness:
+//
+//   - Broadcast reproduces the paper byte for byte: full report, full
+//     mesh, O(N²) datagrams and O(N²·F) bytes per period (F = flows per
+//     manager).
+//   - Delta keeps the full mesh but sends only flows whose usage moved
+//     beyond a configurable epsilon since the last report acknowledged by
+//     every peer, with periodic full-state resyncs. Datagram count stays
+//     O(N²) (plus tiny acks) but bytes collapse to O(N²·ΔF) where ΔF is
+//     the churn rate — near zero for stable workloads.
+//   - Tree arranges managers in a fanout-k aggregation overlay: children
+//     report up, interior nodes merge records sharing identical link
+//     paths, and each child receives back the aggregate of everything
+//     outside its own subtree — O(N) up + O(N) down = O(N·fanout)
+//     datagrams per period, at the price of O(log_k N) periods of extra
+//     staleness for distant managers.
+//
+// Every node exposes control-plane counters (datagrams, bytes, staleness)
+// through internal/metrics so experiments can quantify the trade-off.
+package dissem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/metadata"
+	"repro/internal/metrics"
+)
+
+// Kind selects a dissemination strategy.
+type Kind int
+
+const (
+	// Broadcast is the paper's §4.2 full-mesh exchange.
+	Broadcast Kind = iota
+	// Delta is the epsilon-gated incremental encoding over the full mesh.
+	Delta
+	// Tree is the fanout-k hierarchical aggregation overlay.
+	Tree
+)
+
+// String returns the CLI name of the strategy.
+func (k Kind) String() string {
+	switch k {
+	case Broadcast:
+		return "broadcast"
+	case Delta:
+		return "delta"
+	case Tree:
+		return "tree"
+	}
+	return fmt.Sprintf("dissem.Kind(%d)", int(k))
+}
+
+// ParseKind maps a CLI name to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "broadcast", "":
+		return Broadcast, nil
+	case "delta":
+		return Delta, nil
+	case "tree":
+		return Tree, nil
+	}
+	return 0, fmt.Errorf("dissem: unknown strategy %q (want broadcast, delta or tree)", s)
+}
+
+// Config tunes a strategy. The zero value selects Broadcast with the
+// defaults below.
+type Config struct {
+	// Kind selects the strategy.
+	Kind Kind
+	// Epsilon is the relative usage change below which Delta suppresses
+	// a flow record: a flow is re-sent when |new−old| > Epsilon·old
+	// (default 0.05). Zero keeps the default; negative disables the gate
+	// (every change is sent).
+	Epsilon float64
+	// ResyncEvery is the number of periods between Delta full-state
+	// resyncs (default 20). Resyncs bound the error a lost delta or a
+	// suppressed sub-epsilon drift can accumulate.
+	ResyncEvery int
+	// AckEvery makes Delta receivers acknowledge full reports always but
+	// incremental diffs only every AckEvery-th sequence number (default
+	// 4). Larger values shrink ack traffic; the diff baseline lags
+	// accordingly, re-sending recent changes a few extra times.
+	AckEvery int
+	// Fanout is the arity of the Tree overlay (default 4, minimum 2).
+	Fanout int
+	// NumHosts is the number of Emulation Managers; filled in by the
+	// runtime at deployment.
+	NumHosts int
+	// Wide selects 2-byte link identifiers on the wire (topologies with
+	// more than 256 links); filled in by the runtime.
+	Wide bool
+}
+
+// withDefaults returns a normalized copy.
+func (c Config) withDefaults() Config {
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.05
+	} else if c.Epsilon < 0 {
+		c.Epsilon = 0
+	}
+	if c.ResyncEvery <= 0 {
+		c.ResyncEvery = 20
+	}
+	if c.AckEvery <= 0 {
+		c.AckEvery = 4
+	}
+	if c.Fanout <= 0 {
+		c.Fanout = 4
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Kind != Broadcast && c.Kind != Delta && c.Kind != Tree {
+		return fmt.Errorf("dissem: unknown strategy kind %d", int(c.Kind))
+	}
+	if c.Kind == Tree && c.Fanout == 1 {
+		return fmt.Errorf("dissem: tree fanout must be >= 2, got %d", c.Fanout)
+	}
+	return nil
+}
+
+// Transport carries one datagram to a peer Emulation Manager. The core
+// runtime backs it with the cluster fabric's UDP stack; tests use an
+// in-memory loopback.
+type Transport interface {
+	SendTo(host int, payload []byte)
+}
+
+// MergedOrigin marks a RemoteFlow produced by merging records from more
+// than one reporting manager (Tree interior aggregation).
+const MergedOrigin uint16 = 0xFFFF
+
+// RemoteFlow is one entry of a node's current view of every other
+// manager's flows — the input the bandwidth-sharing model consumes.
+type RemoteFlow struct {
+	// Origin is the reporting manager, or MergedOrigin for aggregates.
+	Origin uint16
+	// BPS is the summed observed usage in bits per second.
+	BPS uint32
+	// Count is the number of underlying flows this record aggregates
+	// (1 for unmerged records). The sharing model weights each underlying
+	// flow separately, so consumers split BPS evenly across Count.
+	Count uint16
+	// Links is the flow path's physical link ids.
+	Links []uint16
+	// Age is how old the underlying measurement is: view time minus the
+	// virtual time the origin generated the report.
+	Age time.Duration
+}
+
+// Stats are one node's control-plane counters.
+type Stats struct {
+	// DatagramsSent / BytesSent count every control datagram this node
+	// handed to the transport (reports, acks, aggregates).
+	DatagramsSent metrics.Counter
+	BytesSent     metrics.Counter
+	// DatagramsRecv / BytesRecv count every datagram handed to Receive.
+	DatagramsRecv metrics.Counter
+	BytesRecv     metrics.Counter
+	// Staleness samples the age (milliseconds) of remote flows as the
+	// emulation loop reads the view. Long runs are decimated: once the
+	// histogram reaches maxStalenessSamples it is halved and further
+	// ages are recorded at double the stride, bounding memory while
+	// keeping the percentiles.
+	Staleness metrics.Histogram
+
+	staleStride int
+	staleSkip   int
+}
+
+// maxStalenessSamples caps the staleness histogram per node.
+const maxStalenessSamples = 1 << 16
+
+func (s *Stats) send(tr Transport, host int, b []byte) {
+	tr.SendTo(host, b)
+	s.DatagramsSent.Inc()
+	s.BytesSent.Add(int64(len(b)))
+}
+
+func (s *Stats) staleness(age time.Duration) {
+	if s.staleStride == 0 {
+		s.staleStride = 1
+	}
+	s.staleSkip++
+	if s.staleSkip < s.staleStride {
+		return
+	}
+	s.staleSkip = 0
+	s.Staleness.AddDuration(age)
+	if s.Staleness.Count() >= maxStalenessSamples {
+		s.Staleness.Decimate()
+		s.staleStride *= 2
+	}
+}
+
+// Summary aggregates the stats of all nodes of a deployment.
+type Summary struct {
+	DatagramsSent int64
+	BytesSent     int64
+	DatagramsRecv int64
+	BytesRecv     int64
+	// StalenessP50Ms / StalenessP99Ms are percentiles over every view
+	// sample of every node, in milliseconds.
+	StalenessP50Ms float64
+	StalenessP99Ms float64
+}
+
+// Summarize folds per-node stats into one Summary.
+func Summarize(stats []*Stats) Summary {
+	var sum Summary
+	var h metrics.Histogram
+	for _, s := range stats {
+		if s == nil {
+			continue
+		}
+		sum.DatagramsSent += s.DatagramsSent.Value()
+		sum.BytesSent += s.BytesSent.Value()
+		sum.DatagramsRecv += s.DatagramsRecv.Value()
+		sum.BytesRecv += s.BytesRecv.Value()
+		h.Merge(&s.Staleness)
+	}
+	sum.StalenessP50Ms = h.Percentile(50)
+	sum.StalenessP99Ms = h.Percentile(99)
+	return sum
+}
+
+// Node is one manager's endpoint of the dissemination subsystem. The
+// emulation loop calls Publish once per period with the local report,
+// feeds every inbound control datagram to Receive, and reads the fused
+// remote view with RemoteFlows. Nodes are not safe for concurrent use;
+// the deterministic simulation is single-threaded.
+type Node interface {
+	// Publish disseminates the manager's local report for this period.
+	Publish(now time.Duration, msg *metadata.Message)
+	// Receive processes one control datagram addressed to this node.
+	Receive(now time.Duration, payload []byte)
+	// RemoteFlows returns the node's current view of every other
+	// manager's flows, dropping entries not refreshed within maxAge.
+	// The result is deterministic: ordered by origin, then path.
+	RemoteFlows(now, maxAge time.Duration) []RemoteFlow
+	// Stats exposes the node's control-plane counters.
+	Stats() *Stats
+}
+
+// New builds a node for manager host under the given configuration.
+func New(cfg Config, host int, tr Transport) (Node, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if host < 0 || (cfg.NumHosts > 0 && host >= cfg.NumHosts) {
+		return nil, fmt.Errorf("dissem: host %d out of range [0,%d)", host, cfg.NumHosts)
+	}
+	switch cfg.Kind {
+	case Broadcast:
+		return newBroadcastNode(cfg, host, tr), nil
+	case Delta:
+		return newDeltaNode(cfg, host, tr), nil
+	default:
+		return newTreeNode(cfg, host, tr), nil
+	}
+}
+
+// ---- shared wire helpers ----
+//
+// Broadcast reuses metadata.Encode verbatim (no extra framing — the bytes
+// on the wire are exactly the paper's format). Delta and Tree prepend a
+// one-byte message type followed by the 2-byte sender id:
+//
+//	delta full:  [type][host:2][seq:4][ts:8][n:2] n×(bps:4, count:2, nlinks:1, links)
+//	delta diff:  same framing; count==0 is a tombstone (flow ended)
+//	delta ack:   [type][host:2][seq:4]
+//	tree up/down:[type][host:2][n:2] n×(origin:2, bps:4, count:2, ageµs:4, nlinks:1, links)
+//
+// Link ids are 1 byte, or 2 when Config.Wide (same rule as metadata).
+
+const (
+	msgDeltaFull byte = 1
+	msgDeltaDiff byte = 2
+	msgDeltaAck  byte = 3
+	msgTreeUp    byte = 4
+	msgTreeDown  byte = 5
+)
+
+// pathKey packs a link list into a map key.
+func pathKey(links []uint16) string {
+	b := make([]byte, 2*len(links))
+	for i, l := range links {
+		binary.BigEndian.PutUint16(b[2*i:], l)
+	}
+	return string(b)
+}
+
+// keyLinks reverses pathKey.
+func keyLinks(k string) []uint16 {
+	links := make([]uint16, len(k)/2)
+	for i := range links {
+		links[i] = binary.BigEndian.Uint16([]byte(k[2*i : 2*i+2]))
+	}
+	return links
+}
+
+func appendLinks(buf []byte, links []uint16, wide bool) []byte {
+	buf = append(buf, byte(len(links)))
+	for _, l := range links {
+		if wide {
+			buf = binary.BigEndian.AppendUint16(buf, l)
+		} else {
+			buf = append(buf, byte(l))
+		}
+	}
+	return buf
+}
+
+func readLinks(b []byte, off int, wide bool) ([]uint16, int, error) {
+	if off >= len(b) {
+		return nil, 0, fmt.Errorf("dissem: truncated link count")
+	}
+	n := int(b[off])
+	off++
+	idw := 1
+	if wide {
+		idw = 2
+	}
+	if off+n*idw > len(b) {
+		return nil, 0, fmt.Errorf("dissem: truncated link list")
+	}
+	links := make([]uint16, n)
+	for i := 0; i < n; i++ {
+		if wide {
+			links[i] = binary.BigEndian.Uint16(b[off:])
+			off += 2
+		} else {
+			links[i] = uint16(b[off])
+			off++
+		}
+	}
+	return links, off, nil
+}
+
+func clampU32(v uint64) uint32 {
+	if v > uint64(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(v)
+}

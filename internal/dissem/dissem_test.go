@@ -1,0 +1,594 @@
+package dissem
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/metadata"
+)
+
+// harness wires N nodes of one strategy together with a synchronous
+// in-memory transport; drop lets tests inject loss per (from, to) pair.
+type harness struct {
+	nodes []Node
+	now   time.Duration
+	drop  func(from, to int, payload []byte) bool
+	sent  []sentRec
+}
+
+type sentRec struct {
+	from, to int
+	payload  []byte
+}
+
+type harnessTr struct {
+	h    *harness
+	from int
+}
+
+func (t harnessTr) SendTo(host int, payload []byte) {
+	t.h.sent = append(t.h.sent, sentRec{t.from, host, payload})
+	if t.h.drop != nil && t.h.drop(t.from, host, payload) {
+		return
+	}
+	t.h.nodes[host].Receive(t.h.now, payload)
+}
+
+func newHarness(t *testing.T, cfg Config, n int) *harness {
+	t.Helper()
+	cfg.NumHosts = n
+	h := &harness{}
+	for i := 0; i < n; i++ {
+		node, err := New(cfg, i, harnessTr{h, i})
+		if err != nil {
+			t.Fatalf("New(%d): %v", i, err)
+		}
+		h.nodes = append(h.nodes, node)
+	}
+	return h
+}
+
+// round advances time by period and publishes each host's report in host
+// order, as the emulation loop does.
+func (h *harness) round(period time.Duration, msgs []*metadata.Message) {
+	h.now += period
+	for i, n := range h.nodes {
+		n.Publish(h.now, msgs[i])
+	}
+}
+
+// hostMsg builds a report with one flow per (bps, links) pair.
+func hostMsg(host int, flows ...metadata.FlowRecord) *metadata.Message {
+	return &metadata.Message{Host: uint16(host), Flows: flows}
+}
+
+// viewTotals sums BPS by path key over a view, also summing counts.
+func viewTotals(view []RemoteFlow) map[string][2]uint64 {
+	m := make(map[string][2]uint64)
+	for _, rf := range view {
+		k := pathKey(rf.Links)
+		v := m[k]
+		v[0] += uint64(rf.BPS)
+		v[1] += uint64(rf.Count)
+		m[k] = v
+	}
+	return m
+}
+
+func TestParseKind(t *testing.T) {
+	for s, want := range map[string]Kind{"broadcast": Broadcast, "": Broadcast, "delta": Delta, "tree": Tree} {
+		got, err := ParseKind(s)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseKind("gossip"); err == nil {
+		t.Error("ParseKind(gossip) should fail")
+	}
+	if _, err := New(Config{Kind: Kind(99), NumHosts: 2}, 0, nil); err == nil {
+		t.Error("New with bad kind should fail")
+	}
+	if _, err := New(Config{Kind: Tree, Fanout: 1, NumHosts: 4}, 0, harnessTr{}); err == nil {
+		t.Error("New tree with fanout 1 should fail")
+	}
+	if _, err := New(Config{NumHosts: 2}, 5, nil); err == nil {
+		t.Error("New with out-of-range host should fail")
+	}
+}
+
+func TestBroadcastWireMatchesPaperFormat(t *testing.T) {
+	h := newHarness(t, Config{Kind: Broadcast}, 2)
+	msg := hostMsg(0, metadata.FlowRecord{BPS: 5_000_000, Links: []uint16{1, 2}})
+	h.round(50*time.Millisecond, []*metadata.Message{msg, hostMsg(1)})
+	if len(h.sent) == 0 {
+		t.Fatal("no datagrams sent")
+	}
+	if want := metadata.Encode(msg, false); !bytes.Equal(h.sent[0].payload, want) {
+		t.Fatalf("broadcast wire bytes differ from the paper's metadata format:\n%x\n%x", h.sent[0].payload, want)
+	}
+}
+
+func TestBroadcastViewAndExpiry(t *testing.T) {
+	const period = 50 * time.Millisecond
+	h := newHarness(t, Config{Kind: Broadcast}, 3)
+	msgs := []*metadata.Message{
+		hostMsg(0, metadata.FlowRecord{BPS: 100, Links: []uint16{0}}),
+		hostMsg(1, metadata.FlowRecord{BPS: 200, Links: []uint16{1}}),
+		hostMsg(2, metadata.FlowRecord{BPS: 300, Links: []uint16{2}}),
+	}
+	h.round(period, msgs)
+	view := h.nodes[0].RemoteFlows(h.now, 3*period)
+	if len(view) != 2 || view[0].Origin != 1 || view[0].BPS != 200 || view[1].Origin != 2 || view[1].BPS != 300 {
+		t.Fatalf("node 0 view = %+v", view)
+	}
+	// Datagrams: each of 3 hosts unicast to 2 peers.
+	var sum int64
+	for _, n := range h.nodes {
+		sum += n.Stats().DatagramsSent.Value()
+	}
+	if sum != 6 {
+		t.Fatalf("broadcast datagrams per round = %d, want 6", sum)
+	}
+	// No publishes for > maxAge: the view expires.
+	h.now += 10 * period
+	if view := h.nodes[0].RemoteFlows(h.now, 3*period); len(view) != 0 {
+		t.Fatalf("stale view not expired: %+v", view)
+	}
+}
+
+func TestDeltaConvergesAndSuppresses(t *testing.T) {
+	const period = 50 * time.Millisecond
+	h := newHarness(t, Config{Kind: Delta, Epsilon: 0.05, ResyncEvery: 100}, 3)
+	base := []*metadata.Message{
+		hostMsg(0, metadata.FlowRecord{BPS: 10_000, Links: []uint16{0, 5}}),
+		hostMsg(1, metadata.FlowRecord{BPS: 20_000, Links: []uint16{1, 5}}),
+		hostMsg(2),
+	}
+	h.round(period, base)
+	view := h.nodes[2].RemoteFlows(h.now, 3*period)
+	if len(view) != 2 || view[0].BPS != 10_000 || view[1].BPS != 20_000 {
+		t.Fatalf("converged view = %+v", view)
+	}
+
+	// A sub-epsilon wiggle must not grow anyone's view or change values,
+	// and the diff datagrams must carry zero records (header only).
+	h.sent = nil
+	wiggle := []*metadata.Message{
+		hostMsg(0, metadata.FlowRecord{BPS: 10_400, Links: []uint16{0, 5}}),
+		hostMsg(1, metadata.FlowRecord{BPS: 19_800, Links: []uint16{1, 5}}),
+		hostMsg(2),
+	}
+	h.round(period, wiggle)
+	for _, s := range h.sent {
+		if s.payload[0] == msgDeltaDiff && len(s.payload) != 17 {
+			t.Fatalf("sub-epsilon diff carries %d bytes, want empty (17-byte header)", len(s.payload))
+		}
+		if s.payload[0] == msgDeltaFull {
+			t.Fatal("unexpected full resync")
+		}
+	}
+	view = h.nodes[2].RemoteFlows(h.now, 3*period)
+	if len(view) != 2 || view[0].BPS != 10_000 || view[1].BPS != 20_000 {
+		t.Fatalf("view after sub-epsilon wiggle = %+v", view)
+	}
+
+	// A beyond-epsilon change propagates; an ended flow is tombstoned.
+	h.round(period, []*metadata.Message{
+		hostMsg(0, metadata.FlowRecord{BPS: 40_000, Links: []uint16{0, 5}}),
+		hostMsg(1), // flow ended
+		hostMsg(2),
+	})
+	view = h.nodes[2].RemoteFlows(h.now, 3*period)
+	if len(view) != 1 || view[0].Origin != 0 || view[0].BPS != 40_000 {
+		t.Fatalf("view after change+tombstone = %+v", view)
+	}
+}
+
+func TestDeltaLossRepairedByResync(t *testing.T) {
+	const period = 50 * time.Millisecond
+	h := newHarness(t, Config{Kind: Delta, Epsilon: 0.05, ResyncEvery: 4}, 2)
+	msg := func(bps uint32) []*metadata.Message {
+		return []*metadata.Message{hostMsg(0, metadata.FlowRecord{BPS: bps, Links: []uint16{3}}), hostMsg(1)}
+	}
+	h.round(period, msg(1000))
+	// Drop every report from 0 to 1 (acks still flow) for two rounds.
+	h.drop = func(from, to int, payload []byte) bool {
+		return from == 0 && payload[0] != msgDeltaAck
+	}
+	h.round(period, msg(500_000))
+	h.round(period, msg(500_000))
+	if v := h.nodes[1].RemoteFlows(h.now, 10*period); len(v) != 1 || v[0].BPS != 1000 {
+		t.Fatalf("view during loss = %+v", v)
+	}
+	h.drop = nil
+	// Node 1 has not acked past seq 1, so the snapshot baseline holds and
+	// the very next diff still carries the change.
+	h.round(period, msg(500_000))
+	if v := h.nodes[1].RemoteFlows(h.now, 10*period); len(v) != 1 || v[0].BPS != 500_000 {
+		t.Fatalf("view after loss healed = %+v", v)
+	}
+	// Full resyncs keep arriving every ResyncEvery periods regardless.
+	h.sent = nil
+	for i := 0; i < 5; i++ {
+		h.round(period, msg(500_000))
+	}
+	var fulls int
+	for _, s := range h.sent {
+		if s.from == 0 && s.payload[0] == msgDeltaFull {
+			fulls++
+		}
+	}
+	if fulls == 0 {
+		t.Fatal("no periodic full resync observed")
+	}
+}
+
+// TestDeltaRevertsResync pins the revert hazards of diffing against an
+// acked baseline: a value (or whole flow) that changes and then reverts
+// to its baseline state must still be re-sent, because peers applied the
+// intermediate diff.
+func TestDeltaRevertsResync(t *testing.T) {
+	const period = 50 * time.Millisecond
+	links := []uint16{3, 4}
+	msg := func(bps uint32) []*metadata.Message {
+		if bps == 0 {
+			return []*metadata.Message{hostMsg(0), hostMsg(1)}
+		}
+		return []*metadata.Message{hostMsg(0, metadata.FlowRecord{BPS: bps, Links: links}), hostMsg(1)}
+	}
+	view := func(h *harness) []RemoteFlow { return h.nodes[1].RemoteFlows(h.now, 3*period) }
+
+	// Flow pauses one period (tombstone), then resumes within epsilon of
+	// the old value: peers must see it again immediately.
+	h := newHarness(t, Config{Kind: Delta, Epsilon: 0.05, ResyncEvery: 1000}, 2)
+	h.round(period, msg(10_000))
+	h.round(period, msg(10_000)) // ack round: baseline now holds the flow
+	h.round(period, msg(0))      // tombstone
+	if v := view(h); len(v) != 0 {
+		t.Fatalf("view after tombstone = %+v", v)
+	}
+	h.round(period, msg(10_100)) // resumes within epsilon of the baseline
+	if v := view(h); len(v) != 1 || v[0].BPS != 10_100 {
+		t.Fatalf("view after resume = %+v (flow lost until resync)", v)
+	}
+
+	// Value spikes beyond epsilon and reverts: peers hold the spike value
+	// and must be brought back.
+	h = newHarness(t, Config{Kind: Delta, Epsilon: 0.05, ResyncEvery: 1000}, 2)
+	h.round(period, msg(10_000))
+	h.round(period, msg(10_000))
+	h.round(period, msg(50_000)) // spike (sent)
+	h.round(period, msg(10_000)) // revert to the acked baseline value
+	if v := view(h); len(v) != 1 || v[0].BPS != 10_000 {
+		t.Fatalf("view after revert = %+v (peer stuck at spike)", v)
+	}
+
+	// Flow appears briefly and vanishes: peers applied the appearance and
+	// must get a tombstone even though the baseline never held the flow.
+	h = newHarness(t, Config{Kind: Delta, Epsilon: 0.05, ResyncEvery: 1000}, 2)
+	h.round(period, msg(0))
+	h.round(period, msg(0))
+	h.round(period, msg(10_000)) // appears (sent as new)
+	h.round(period, msg(0))      // gone again
+	if v := view(h); len(v) != 0 {
+		t.Fatalf("view after brief flow = %+v (peer stuck with dead flow)", v)
+	}
+}
+
+// TestDeltaSlowDriftTracked: usage drifting 2% per period — sub-epsilon
+// against any recent snapshot — must still reach peers once the
+// cumulative drift since the last *sent* value exceeds epsilon, instead
+// of freezing until the next full resync.
+func TestDeltaSlowDriftTracked(t *testing.T) {
+	const period = 50 * time.Millisecond
+	h := newHarness(t, Config{Kind: Delta, Epsilon: 0.05, ResyncEvery: 10_000}, 2)
+	bps := 100_000.0
+	for i := 0; i < 60; i++ {
+		h.round(period, []*metadata.Message{
+			hostMsg(0, metadata.FlowRecord{BPS: uint32(bps), Links: []uint16{3}}),
+			hostMsg(1),
+		})
+		bps *= 1.02
+	}
+	v := h.nodes[1].RemoteFlows(h.now, 3*period)
+	if len(v) != 1 {
+		t.Fatalf("view = %+v", v)
+	}
+	err := (bps/1.02 - float64(v[0].BPS)) / (bps / 1.02)
+	if err < 0 {
+		err = -err
+	}
+	// After 60 periods of compounding 2% growth (~3.2x total) the view
+	// must track within epsilon plus one pending sub-epsilon step.
+	if err > 0.08 {
+		t.Fatalf("view lags drifting usage by %.1f%% (held %d, actual %.0f)", err*100, v[0].BPS, bps/1.02)
+	}
+}
+
+// TestDeltaPeerExpiryHealsViaFull: after a receiver expires a silent
+// peer's state it must not rebuild partially from diffs — it waits
+// unacknowledged until the sender's baseline falls out of retention and
+// a full report arrives.
+func TestDeltaPeerExpiryHealsViaFull(t *testing.T) {
+	const period = 50 * time.Millisecond
+	h := newHarness(t, Config{Kind: Delta, Epsilon: 0.05, ResyncEvery: 8, AckEvery: 2}, 2)
+	msg := func() []*metadata.Message {
+		return []*metadata.Message{
+			hostMsg(0,
+				metadata.FlowRecord{BPS: 10_000, Links: []uint16{1}},
+				metadata.FlowRecord{BPS: 20_000, Links: []uint16{2}}),
+			hostMsg(1),
+		}
+	}
+	h.round(period, msg())
+	h.round(period, msg())
+	// Silence node 0 entirely for longer than the view's max age.
+	h.drop = func(from, to int, payload []byte) bool { return from == 0 }
+	for i := 0; i < 4; i++ {
+		h.round(period, msg())
+	}
+	if v := h.nodes[1].RemoteFlows(h.now, 3*period); len(v) != 0 {
+		t.Fatalf("view not expired during silence: %+v", v)
+	}
+	h.drop = nil
+	// Usage is epsilon-stable, so post-heal diffs are empty; the view
+	// must still be fully restored once a full report arrives (baseline
+	// pruned or periodic resync, whichever first).
+	for i := 0; i < 12; i++ {
+		h.round(period, msg())
+		h.nodes[1].RemoteFlows(h.now, 3*period)
+	}
+	v := h.nodes[1].RemoteFlows(h.now, 3*period)
+	if len(v) != 2 || v[0].BPS != 10_000 || v[1].BPS != 20_000 {
+		t.Fatalf("view after heal = %+v", v)
+	}
+}
+
+func TestDeltaMergesSamePathFlows(t *testing.T) {
+	const period = 50 * time.Millisecond
+	h := newHarness(t, Config{Kind: Delta}, 2)
+	h.round(period, []*metadata.Message{
+		hostMsg(0,
+			metadata.FlowRecord{BPS: 1000, Links: []uint16{7, 8}},
+			metadata.FlowRecord{BPS: 3000, Links: []uint16{7, 8}}),
+		hostMsg(1),
+	})
+	v := h.nodes[1].RemoteFlows(h.now, 3*period)
+	if len(v) != 1 || v[0].BPS != 4000 || v[0].Count != 2 {
+		t.Fatalf("merged same-path view = %+v", v)
+	}
+}
+
+func TestTreeCoversAllFlowsWithoutDoubleCounting(t *testing.T) {
+	const period = 50 * time.Millisecond
+	const n = 7
+	h := newHarness(t, Config{Kind: Tree, Fanout: 2}, n)
+	msgs := make([]*metadata.Message, n)
+	for i := range msgs {
+		msgs[i] = hostMsg(i, metadata.FlowRecord{BPS: uint32(1000 * (i + 1)), Links: []uint16{uint16(i)}})
+	}
+	// Depth of a 7-node binary tree is 2; a few rounds fully propagate.
+	for r := 0; r < 5; r++ {
+		h.round(period, msgs)
+	}
+	for v := 0; v < n; v++ {
+		totals := viewTotals(h.nodes[v].RemoteFlows(h.now, 20*period))
+		for o := 0; o < n; o++ {
+			k := pathKey([]uint16{uint16(o)})
+			got, ok := totals[k]
+			if o == v {
+				if ok {
+					t.Errorf("node %d view contains its own flow", v)
+				}
+				continue
+			}
+			if !ok || got[0] != uint64(1000*(o+1)) || got[1] != 1 {
+				t.Errorf("node %d view of host %d = %v (want bps=%d count=1)", v, o, got, 1000*(o+1))
+			}
+		}
+	}
+}
+
+func TestTreeMessageCountIsLinear(t *testing.T) {
+	const period = 50 * time.Millisecond
+	const n = 16
+	h := newHarness(t, Config{Kind: Tree, Fanout: 4}, n)
+	msgs := make([]*metadata.Message, n)
+	for i := range msgs {
+		msgs[i] = hostMsg(i, metadata.FlowRecord{BPS: 1, Links: []uint16{uint16(i)}})
+	}
+	h.round(period, msgs) // warm up extern/childUp state
+	h.sent = nil
+	h.round(period, msgs)
+	// Publish ups plus hop-by-hop relays cost Σ depth(v) = Θ(N·log_k N)
+	// ups per round, and the down cascade costs the same — far below
+	// Broadcast's N(N-1) but above the 2(N-1) of a store-and-forward
+	// tree (which would pay log_k N periods of staleness instead).
+	if max := 4 * (n - 1); len(h.sent) > max {
+		t.Fatalf("tree datagrams per round = %d, want <= %d (broadcast would send %d)", len(h.sent), max, n*(n-1))
+	}
+	if bcast := n * (n - 1); len(h.sent)*4 >= bcast {
+		t.Fatalf("tree datagrams per round = %d, not asymptotically below broadcast's %d", len(h.sent), bcast)
+	}
+}
+
+func TestTreeMergesSharedPaths(t *testing.T) {
+	const period = 50 * time.Millisecond
+	const n = 6
+	h := newHarness(t, Config{Kind: Tree, Fanout: 2}, n)
+	// Hosts 4 and 5 (leaves in different subtrees) share one path.
+	shared := []uint16{9, 10}
+	msgs := make([]*metadata.Message, n)
+	for i := range msgs {
+		msgs[i] = hostMsg(i)
+	}
+	msgs[4] = hostMsg(4, metadata.FlowRecord{BPS: 100, Links: shared})
+	msgs[5] = hostMsg(5, metadata.FlowRecord{BPS: 200, Links: shared})
+	for r := 0; r < 5; r++ {
+		h.round(period, msgs)
+	}
+	// Host 3 (leaf under host 1) sees one merged record for the shared
+	// path: 300 bps across 2 flows.
+	v := h.nodes[3].RemoteFlows(h.now, 20*period)
+	if len(v) != 1 || v[0].BPS != 300 || v[0].Count != 2 || v[0].Origin != MergedOrigin {
+		t.Fatalf("merged view = %+v", v)
+	}
+	// Staleness of the merged record reflects its oldest constituent.
+	if v[0].Age <= 0 {
+		t.Fatalf("merged record age = %v", v[0].Age)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	const period = 50 * time.Millisecond
+	for _, kind := range []Kind{Broadcast, Delta, Tree} {
+		h := newHarness(t, Config{Kind: kind, Fanout: 2}, 4)
+		msgs := make([]*metadata.Message, 4)
+		for i := range msgs {
+			msgs[i] = hostMsg(i, metadata.FlowRecord{BPS: 1000, Links: []uint16{uint16(i)}})
+		}
+		for r := 0; r < 3; r++ {
+			h.round(period, msgs)
+			for _, n := range h.nodes {
+				n.RemoteFlows(h.now, 10*period)
+			}
+		}
+		var sent, recvd, bytesSent, bytesRecvd, stale int64
+		for _, n := range h.nodes {
+			s := n.Stats()
+			sent += s.DatagramsSent.Value()
+			recvd += s.DatagramsRecv.Value()
+			bytesSent += s.BytesSent.Value()
+			bytesRecvd += s.BytesRecv.Value()
+			stale += int64(s.Staleness.Count())
+		}
+		if sent == 0 || sent != recvd || bytesSent == 0 || bytesSent != bytesRecvd {
+			t.Errorf("%v: sent %d/%dB recv %d/%dB", kind, sent, bytesSent, recvd, bytesRecvd)
+		}
+		if stale == 0 {
+			t.Errorf("%v: no staleness samples", kind)
+		}
+		sum := Summarize([]*Stats{h.nodes[0].Stats(), h.nodes[1].Stats(), nil})
+		if sum.DatagramsSent != h.nodes[0].Stats().DatagramsSent.Value()+h.nodes[1].Stats().DatagramsSent.Value() {
+			t.Errorf("%v: Summarize datagram total wrong", kind)
+		}
+	}
+}
+
+// TestDeterministicViews runs every strategy twice over the same publish
+// sequence and demands identical wire traffic and views — the property
+// the deterministic-seed guarantee of the whole emulator rests on.
+func TestDeterministicViews(t *testing.T) {
+	const period = 50 * time.Millisecond
+	for _, kind := range []Kind{Broadcast, Delta, Tree} {
+		run := func() ([]sentRec, [][]RemoteFlow) {
+			h := newHarness(t, Config{Kind: kind, Fanout: 2}, 5)
+			var views [][]RemoteFlow
+			for r := 0; r < 6; r++ {
+				msgs := make([]*metadata.Message, 5)
+				for i := range msgs {
+					msgs[i] = hostMsg(i,
+						metadata.FlowRecord{BPS: uint32(100*r + 10*i), Links: []uint16{uint16(i), 30}},
+						metadata.FlowRecord{BPS: uint32(7 * (i + r)), Links: []uint16{uint16(i), 31}})
+				}
+				h.round(period, msgs)
+				for _, n := range h.nodes {
+					views = append(views, n.RemoteFlows(h.now, 10*period))
+				}
+			}
+			return h.sent, views
+		}
+		s1, v1 := run()
+		s2, v2 := run()
+		if !reflect.DeepEqual(s1, s2) {
+			t.Errorf("%v: wire traffic differs between identical runs", kind)
+		}
+		if !reflect.DeepEqual(v1, v2) {
+			t.Errorf("%v: views differ between identical runs", kind)
+		}
+	}
+}
+
+func TestCorruptedDatagramsIgnored(t *testing.T) {
+	const period = 50 * time.Millisecond
+	for _, kind := range []Kind{Broadcast, Delta, Tree} {
+		h := newHarness(t, Config{Kind: kind, Fanout: 2}, 3)
+		msgs := []*metadata.Message{
+			hostMsg(0, metadata.FlowRecord{BPS: 100, Links: []uint16{0}}),
+			hostMsg(1, metadata.FlowRecord{BPS: 200, Links: []uint16{1}}),
+			hostMsg(2),
+		}
+		h.round(period, msgs)
+		before := h.nodes[2].RemoteFlows(h.now, 10*period)
+		for _, junk := range [][]byte{nil, {0xFF}, {msgDeltaDiff, 0, 0}, {msgTreeUp, 0, 1, 0, 9, 9}, bytes.Repeat([]byte{1}, 40)} {
+			h.nodes[2].Receive(h.now, junk)
+		}
+		after := h.nodes[2].RemoteFlows(h.now, 10*period)
+		if !reflect.DeepEqual(before, after) {
+			t.Errorf("%v: corrupted datagrams changed the view:\n%+v\n%+v", kind, before, after)
+		}
+	}
+}
+
+// TestBogusSenderIDIgnored: a well-formed frame carrying an out-of-range
+// sender id must be dropped — acking it would make the core transport
+// index its peer table out of bounds, and storing it would put phantom
+// peers in the view.
+func TestBogusSenderIDIgnored(t *testing.T) {
+	const period = 50 * time.Millisecond
+	for _, kind := range []Kind{Broadcast, Delta, Tree} {
+		h := newHarness(t, Config{Kind: kind, Fanout: 2}, 3)
+		msgs := []*metadata.Message{
+			hostMsg(0, metadata.FlowRecord{BPS: 100, Links: []uint16{0}}),
+			hostMsg(1, metadata.FlowRecord{BPS: 200, Links: []uint16{1}}),
+			hostMsg(2),
+		}
+		h.round(period, msgs)
+		before := h.nodes[2].RemoteFlows(h.now, 10*period)
+		sent := len(h.sent)
+		// 17-byte delta-full frame with host=0xFFFF, n=0 — parses
+		// cleanly under every strategy's length checks.
+		bogusDelta := append([]byte{msgDeltaFull, 0xFF, 0xFF}, make([]byte, 14)...)
+		// Broadcast frame claiming host 0xFFFF.
+		bogusBcast := metadata.Encode(&metadata.Message{Host: 0xFFFF}, false)
+		// Tree up claiming an out-of-range child.
+		bogusTree := []byte{msgTreeUp, 0xFF, 0xFF, 0, 0}
+		for _, b := range [][]byte{bogusDelta, bogusBcast, bogusTree} {
+			h.nodes[2].Receive(h.now, b)
+		}
+		if len(h.sent) != sent {
+			t.Errorf("%v: node acked/relayed in response to a bogus sender id", kind)
+		}
+		after := h.nodes[2].RemoteFlows(h.now, 10*period)
+		if !reflect.DeepEqual(before, after) {
+			t.Errorf("%v: bogus sender id changed the view:\n%+v\n%+v", kind, before, after)
+		}
+	}
+}
+
+func TestPathKeyRoundTrip(t *testing.T) {
+	for _, links := range [][]uint16{nil, {0}, {255}, {256}, {1, 2, 3}, {65535, 0, 77}} {
+		got := keyLinks(pathKey(links))
+		if len(links) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, links) {
+			t.Errorf("pathKey round trip: %v -> %v", links, got)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{Broadcast, Delta, Tree} {
+		parsed, err := ParseKind(k.String())
+		if err != nil || parsed != k {
+			t.Errorf("Kind round trip failed for %v", k)
+		}
+	}
+	if s := Kind(42).String(); s != fmt.Sprintf("dissem.Kind(%d)", 42) {
+		t.Errorf("unknown kind string = %q", s)
+	}
+}

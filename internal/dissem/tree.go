@@ -1,0 +1,296 @@
+package dissem
+
+import (
+	"encoding/binary"
+	"sort"
+	"time"
+
+	"repro/internal/metadata"
+)
+
+// treeNode arranges the N managers in a complete fanout-k tree by host
+// index: parent(i) = (i-1)/k, root at host 0. Every node maintains two
+// aggregates and pushes both eagerly:
+//
+//   - up: the merged flows of its own containers and its children's
+//     latest subtree aggregates, sent to the parent at every publish and
+//     re-sent immediately whenever a child's up arrives — so a leaf's
+//     report relays hop by hop to the root within microseconds instead
+//     of one period per level.
+//   - down: for each child c, extern(c) — the aggregate of every flow
+//     *outside* c's subtree, built from the node's own extern (received
+//     from its parent), its local flows, and the up-reports of its other
+//     children. The root seeds one cascade per period; every interior
+//     node relays a freshly recomputed extern(c) the moment its own
+//     extern arrives, so the global view reaches the leaves within one
+//     period and each tree edge carries exactly one down per period.
+//
+// By construction a node's view — extern(v) merged with its children's
+// up-reports — covers every flow in the deployment except its own, with
+// no double counting and no subtraction. Interior nodes merge records
+// sharing identical link paths, summing usage and carrying a flow count
+// so consumers can still weight each underlying flow separately.
+//
+// Cost: an up at depth d relays d−1 times, so one period costs
+// Σ_v depth(v) = Θ(N·log_k N) ups plus N−1 cascaded downs — O(N·log N)
+// datagrams per period against Broadcast's O(N²), at the price of fatter
+// datagrams (interior nodes forward near-global state) and roughly one
+// extra period of staleness for flows in distant subtrees. Records carry
+// their origin age, so that staleness is measured, not hidden — and the
+// consumer (core.Manager) treats records older than a period as greedy
+// rather than demand-capped, which keeps the sharing model conservative
+// under aggregation delay.
+type treeNode struct {
+	cfg   Config
+	host  int
+	tr    Transport
+	stats Stats
+
+	parent   int // -1 for the root
+	children []int
+
+	local   []aggRec            // own flows as aggregate records
+	childUp map[int]*treeReport // child host -> latest subtree aggregate
+	extern  *treeReport         // latest extern from the parent
+}
+
+// aggRec is one aggregated flow record.
+type aggRec struct {
+	origin uint16        // reporting host, MergedOrigin when aggregated
+	bps    uint64        // summed usage (clamped to uint32 on the wire)
+	count  uint16        // underlying flow count
+	ts     time.Duration // oldest origin generation time merged in
+	links  []uint16
+}
+
+type treeReport struct {
+	recs []aggRec
+	at   time.Duration // arrival (virtual) time
+}
+
+func newTreeNode(cfg Config, host int, tr Transport) *treeNode {
+	n := &treeNode{
+		cfg:     cfg,
+		host:    host,
+		tr:      tr,
+		parent:  (host - 1) / cfg.Fanout,
+		childUp: make(map[int]*treeReport),
+	}
+	if host == 0 {
+		n.parent = -1
+	}
+	for c := host*cfg.Fanout + 1; c <= host*cfg.Fanout+cfg.Fanout && c < cfg.NumHosts; c++ {
+		n.children = append(n.children, c)
+	}
+	return n
+}
+
+func (n *treeNode) Publish(now time.Duration, msg *metadata.Message) {
+	if msg == nil || n.cfg.NumHosts < 2 {
+		return
+	}
+	n.local = n.local[:0]
+	for _, f := range msg.Flows {
+		n.local = append(n.local, aggRec{
+			origin: uint16(n.host),
+			bps:    uint64(f.BPS),
+			count:  1,
+			ts:     now,
+			links:  f.Links,
+		})
+	}
+	n.sendUp(now)
+	// Only the root seeds the down cascade: every interior node relays a
+	// recomputed extern(c) the moment its own extern arrives, so each
+	// tree edge carries exactly one down per period and every hop splices
+	// in its current local flows and sibling aggregates.
+	if n.parent < 0 {
+		n.sendDowns(now)
+	}
+}
+
+// sendUp pushes the subtree aggregate to the parent.
+func (n *treeNode) sendUp(now time.Duration) {
+	if n.parent < 0 {
+		return
+	}
+	parts := [][]aggRec{n.local}
+	for _, c := range n.children {
+		if r := n.childUp[c]; r != nil {
+			parts = append(parts, r.recs)
+		}
+	}
+	n.stats.send(n.tr, n.parent, encodeTree(msgTreeUp, n.host, now, mergeRecs(parts), n.cfg.Wide))
+}
+
+// sendDowns pushes extern(c) to every child c.
+func (n *treeNode) sendDowns(now time.Duration) {
+	for _, c := range n.children {
+		parts := [][]aggRec{n.local}
+		if n.extern != nil {
+			parts = append(parts, n.extern.recs)
+		}
+		for _, c2 := range n.children {
+			if c2 == c {
+				continue
+			}
+			if r := n.childUp[c2]; r != nil {
+				parts = append(parts, r.recs)
+			}
+		}
+		n.stats.send(n.tr, c, encodeTree(msgTreeDown, n.host, now, mergeRecs(parts), n.cfg.Wide))
+	}
+}
+
+// mergeRecs merges records sharing an identical link path, returning a
+// deterministic path-sorted slice.
+func mergeRecs(parts [][]aggRec) []aggRec {
+	m := make(map[string]*aggRec)
+	keys := make([]string, 0)
+	for _, recs := range parts {
+		for i := range recs {
+			r := &recs[i]
+			k := pathKey(r.links)
+			a := m[k]
+			if a == nil {
+				cp := *r
+				m[k] = &cp
+				keys = append(keys, k)
+				continue
+			}
+			a.bps += r.bps
+			a.count += r.count
+			if r.ts < a.ts {
+				a.ts = r.ts
+			}
+			if a.origin != r.origin {
+				a.origin = MergedOrigin
+			}
+		}
+	}
+	sort.Strings(keys)
+	out := make([]aggRec, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, *m[k])
+	}
+	return out
+}
+
+// encodeTree serializes an up or down message. Record ages are encoded
+// relative to the send time (microseconds, saturating) so the wire needs
+// 4 bytes instead of an absolute timestamp:
+//
+//	[type][host:2][n:2] n×(origin:2, bps:4, count:2, ageµs:4, nlinks:1, links)
+func encodeTree(typ byte, host int, now time.Duration, recs []aggRec, wide bool) []byte {
+	buf := make([]byte, 0, 5+len(recs)*16)
+	buf = append(buf, typ)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(host))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(recs)))
+	for _, r := range recs {
+		age := (now - r.ts) / time.Microsecond
+		if age < 0 {
+			age = 0
+		}
+		buf = binary.BigEndian.AppendUint16(buf, r.origin)
+		buf = binary.BigEndian.AppendUint32(buf, clampU32(r.bps))
+		buf = binary.BigEndian.AppendUint16(buf, r.count)
+		buf = binary.BigEndian.AppendUint32(buf, clampU32(uint64(age)))
+		buf = appendLinks(buf, r.links, wide)
+	}
+	return buf
+}
+
+// decodeTree parses a tree message, reconstructing record generation
+// times from the encoded ages relative to the arrival time (the in-sim
+// clocks are synchronized; network delay only ever makes records look
+// marginally fresher than they are).
+func decodeTree(payload []byte, now time.Duration, wide bool) ([]aggRec, bool) {
+	if len(payload) < 5 {
+		return nil, false
+	}
+	nrec := int(binary.BigEndian.Uint16(payload[3:]))
+	recs := make([]aggRec, 0, nrec)
+	off := 5
+	for i := 0; i < nrec; i++ {
+		if off+12 > len(payload) {
+			return nil, false
+		}
+		r := aggRec{
+			origin: binary.BigEndian.Uint16(payload[off:]),
+			bps:    uint64(binary.BigEndian.Uint32(payload[off+2:])),
+			count:  binary.BigEndian.Uint16(payload[off+6:]),
+			ts:     now - time.Duration(binary.BigEndian.Uint32(payload[off+8:]))*time.Microsecond,
+		}
+		links, next, err := readLinks(payload, off+12, wide)
+		if err != nil {
+			return nil, false
+		}
+		off = next
+		r.links = links
+		recs = append(recs, r)
+	}
+	if off != len(payload) {
+		return nil, false
+	}
+	return recs, true
+}
+
+func (n *treeNode) Receive(now time.Duration, payload []byte) {
+	n.stats.DatagramsRecv.Inc()
+	n.stats.BytesRecv.Add(int64(len(payload)))
+	if len(payload) < 3 {
+		return
+	}
+	typ := payload[0]
+	from := int(binary.BigEndian.Uint16(payload[1:]))
+	recs, ok := decodeTree(payload, now, n.cfg.Wide)
+	if !ok {
+		return // corrupted: the next report repairs
+	}
+	switch typ {
+	case msgTreeUp:
+		// Only accept subtree aggregates from actual children, and relay
+		// the refreshed aggregate toward the root immediately.
+		for _, c := range n.children {
+			if c == from {
+				n.childUp[from] = &treeReport{recs: recs, at: now}
+				n.sendUp(now)
+				return
+			}
+		}
+	case msgTreeDown:
+		// A fresh extern cascades to the leaves immediately.
+		if from == n.parent {
+			n.extern = &treeReport{recs: recs, at: now}
+			n.sendDowns(now)
+		}
+	}
+}
+
+func (n *treeNode) RemoteFlows(now, maxAge time.Duration) []RemoteFlow {
+	parts := make([][]aggRec, 0, len(n.children)+1)
+	if n.extern != nil && now-n.extern.at <= maxAge {
+		parts = append(parts, n.extern.recs)
+	}
+	for _, c := range n.children {
+		if r := n.childUp[c]; r != nil && now-r.at <= maxAge {
+			parts = append(parts, r.recs)
+		}
+	}
+	merged := mergeRecs(parts)
+	out := make([]RemoteFlow, 0, len(merged))
+	for _, r := range merged {
+		age := now - r.ts
+		out = append(out, RemoteFlow{
+			Origin: r.origin,
+			BPS:    clampU32(r.bps),
+			Count:  r.count,
+			Links:  r.links,
+			Age:    age,
+		})
+		n.stats.staleness(age)
+	}
+	return out
+}
+
+func (n *treeNode) Stats() *Stats { return &n.stats }

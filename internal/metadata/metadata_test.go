@@ -97,6 +97,53 @@ func TestDecodeErrors(t *testing.T) {
 	}()
 }
 
+// TestWideBoundaryRoundTrip pins the 256-link boundary: topologies with
+// more than 256 links switch to 2-byte identifiers, and ids right at and
+// beyond the 1-byte range must survive a wide round trip.
+func TestWideBoundaryRoundTrip(t *testing.T) {
+	m := &Message{
+		Host: 1,
+		Flows: []FlowRecord{
+			{BPS: 1_000, Links: []uint16{0, 255}},
+			{BPS: 2_000, Links: []uint16{255, 256, 257}},
+			{BPS: 3_000, Links: []uint16{65535}},
+		},
+	}
+	got, err := Decode(Encode(m, true), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("wide boundary round trip mismatch:\n%+v\n%+v", m, got)
+	}
+	// A narrow encoding cannot represent ids above 255: the byte cast
+	// must wrap (the runtime never narrow-encodes such topologies, by
+	// the Wide rule), never panic.
+	narrow := Encode(m, false)
+	if dec, err := Decode(narrow, false); err == nil {
+		if reflect.DeepEqual(dec, m) {
+			t.Fatal("narrow encoding cannot faithfully carry links > 255")
+		}
+	}
+}
+
+// TestDecodeErrorsTruncatedWide covers malformed datagrams specific to
+// the 2-byte link encoding and lying length fields.
+func TestDecodeErrorsTruncatedWide(t *testing.T) {
+	full := Encode(sample(), true)
+	cases := [][]byte{
+		full[:len(full)-1], // cut mid link id
+		full[:5],           // cut inside the first flow header
+		{0, 1, 0, 2, 0, 0, 0, 1, 1, 0, 5}, // 2 flows promised, 1 present
+		{0, 1, 0, 1, 0, 0, 0, 1, 9, 0, 5}, // 9 links promised, 1 present
+	}
+	for i, b := range cases {
+		if _, err := Decode(b, true); err == nil {
+			t.Errorf("case %d: expected decode error", i)
+		}
+	}
+}
+
 func TestRoundTripProperty(t *testing.T) {
 	f := func(host uint16, raw [][3]uint16, bps []uint32) bool {
 		m := &Message{Host: host}

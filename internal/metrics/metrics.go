@@ -108,6 +108,50 @@ func (h *Histogram) sort() {
 	}
 }
 
+// Decimate halves the sample set, keeping every second sample of the
+// sorted distribution, anchored so the maximum always survives — callers
+// feeding unbounded streams use it to cap memory while preserving the
+// quantiles and the observed worst case.
+func (h *Histogram) Decimate() {
+	if len(h.samples) < 2 {
+		return
+	}
+	h.sort()
+	kept := h.samples[:0]
+	var sum float64
+	for i := (len(h.samples) - 1) % 2; i < len(h.samples); i += 2 {
+		kept = append(kept, h.samples[i])
+		sum += h.samples[i]
+	}
+	h.samples = kept
+	h.sum = sum
+}
+
+// Merge folds every sample of other into h (other is left untouched).
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || len(other.samples) == 0 {
+		return
+	}
+	h.samples = append(h.samples, other.samples...)
+	h.sorted = false
+	h.sum += other.sum
+}
+
+// Counter is a monotonically increasing event or byte count. The zero
+// value is ready to use.
+type Counter struct {
+	v int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Value returns the accumulated count.
+func (c *Counter) Value() int64 { return c.v }
+
 // MSE returns the mean squared error between observed and expected.
 // The slices must have equal nonzero length.
 func MSE(observed, expected []float64) float64 {

@@ -163,3 +163,46 @@ func TestTimeSeries(t *testing.T) {
 		t.Fatal("empty series should return zeros")
 	}
 }
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("Counter = %d, want 42", c.Value())
+	}
+}
+
+func TestHistogramDecimateAndMerge(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Add(float64(i))
+	}
+	p50, p99 := h.Percentile(50), h.Percentile(99)
+	h.Decimate()
+	if h.Count() != 500 {
+		t.Fatalf("Count after Decimate = %d, want 500", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("Max after Decimate = %v, want 1000 (max must survive)", h.Max())
+	}
+	if got := h.Percentile(50); got < p50-3 || got > p50+3 {
+		t.Fatalf("p50 after Decimate = %v, want ~%v", got, p50)
+	}
+	if got := h.Percentile(99); got < p99-3 || got > p99+3 {
+		t.Fatalf("p99 after Decimate = %v, want ~%v", got, p99)
+	}
+	var other Histogram
+	other.Add(5000)
+	h.Merge(&other)
+	if h.Count() != 501 || h.Max() != 5000 {
+		t.Fatalf("after Merge: count=%d max=%v", h.Count(), h.Max())
+	}
+	// Decimating tiny histograms is a no-op.
+	var tiny Histogram
+	tiny.Add(1)
+	tiny.Decimate()
+	if tiny.Count() != 1 {
+		t.Fatal("Decimate of single sample should keep it")
+	}
+}

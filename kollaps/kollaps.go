@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dissem"
 	"repro/internal/fabric"
 	"repro/internal/graph"
 	"repro/internal/packet"
@@ -44,6 +45,19 @@ type Options struct {
 	// InjectLoss enables the §3 congestion-loss workaround (see
 	// core.Options.InjectLoss).
 	InjectLoss bool
+	// DissemStrategy selects how Emulation Managers exchange metadata:
+	// "broadcast" (the paper's full mesh, default), "delta" (incremental
+	// reports with epsilon gating and acked baselines), or "tree"
+	// (fanout-k hierarchical aggregation).
+	DissemStrategy string
+	// DissemEpsilon is the delta strategy's relative-change suppression
+	// threshold (default 0.05; negative disables the gate).
+	DissemEpsilon float64
+	// DissemResync is the number of periods between delta full-state
+	// resyncs (default 20).
+	DissemResync int
+	// DissemFanout is the tree strategy's arity (default 4).
+	DissemFanout int
 }
 
 // Experiment is a loaded and optionally deployed Kollaps experiment.
@@ -87,11 +101,21 @@ func (e *Experiment) Deploy(hosts int, opts Options) error {
 	if err != nil {
 		return err
 	}
+	kind, err := dissem.ParseKind(opts.DissemStrategy)
+	if err != nil {
+		return err
+	}
 	e.states = states
 	e.Eng = sim.NewEngine(opts.Seed)
 	rt, err := core.NewRuntime(e.Eng, states, hosts, opts.Placement, core.Options{
 		Period:     opts.Period,
 		InjectLoss: opts.InjectLoss,
+		Dissem: dissem.Config{
+			Kind:        kind,
+			Epsilon:     opts.DissemEpsilon,
+			ResyncEvery: opts.DissemResync,
+			Fanout:      opts.DissemFanout,
+		},
 	})
 	if err != nil {
 		return err
@@ -138,6 +162,15 @@ func (e *Experiment) MetadataTraffic() (int64, int64) {
 		return 0, 0
 	}
 	return e.Runtime.MetadataTraffic()
+}
+
+// DissemSummary folds every Manager's control-plane counters (datagrams,
+// bytes, staleness) into one deployment-wide summary.
+func (e *Experiment) DissemSummary() dissem.Summary {
+	if e.Runtime == nil {
+		return dissem.Summary{}
+	}
+	return dissem.Summarize(e.Runtime.DissemStats())
 }
 
 // Baremetal deploys the *target* topology as a physical network (full
