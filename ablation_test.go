@@ -53,12 +53,8 @@ func ablationRun(b *testing.B, period time.Duration, headroom float64) time.Dura
 	if err != nil {
 		b.Fatal(err)
 	}
-	states, err := top.Precompute()
-	if err != nil {
-		b.Fatal(err)
-	}
 	eng := sim.NewEngine(42)
-	rt, err := core.NewRuntime(eng, states, 2, nil, core.Options{Period: period, DemandHeadroom: headroom})
+	rt, err := core.NewRuntimeFromTopology(eng, top, 2, nil, core.Options{Period: period, DemandHeadroom: headroom})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -28,8 +28,10 @@ func main() {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	hosts := fs.Int("hosts", 4, "physical hosts")
 	runFor := fs.Duration("for", 60*time.Second, "virtual duration for run")
+	seed := fs.Int64("seed", 42, "simulation seed (0 is a valid seed)")
 	dissemFlag := fs.String("dissem", "broadcast", "metadata dissemination strategy: broadcast, delta or tree")
 	epsilon := fs.Float64("epsilon", 0.05, "delta: relative usage change below which a flow is not re-sent (negative sends every change; 0 means default)")
+	adaptive := fs.Bool("adaptive-eps", false, "delta: scale the suppression threshold with each flow's traffic share")
 	resync := fs.Int("resync", 20, "delta: periods between full-state resyncs")
 	fanout := fs.Int("fanout", 4, "tree: aggregation overlay arity")
 	if err := fs.Parse(os.Args[2:]); err != nil {
@@ -80,16 +82,23 @@ func main() {
 			fmt.Printf("\n--- %s ---\n%s", name, content)
 		}
 	case "run":
-		opts := kollaps.Options{
-			DissemStrategy: *dissemFlag,
-			DissemEpsilon:  *epsilon,
-			DissemResync:   *resync,
-			DissemFanout:   *fanout,
+		dissemOpts := []kollaps.DissemOption{
+			kollaps.DissemEpsilon(*epsilon),
+			kollaps.DissemResync(*resync),
+			kollaps.DissemFanout(*fanout),
 		}
-		if err := exp.Deploy(*hosts, opts); err != nil {
+		if *adaptive {
+			dissemOpts = append(dissemOpts, kollaps.DissemAdaptive())
+		}
+		if err := exp.Deploy(*hosts,
+			kollaps.WithSeed(*seed),
+			kollaps.WithDissem(*dissemFlag, dissemOpts...),
+		); err != nil {
 			fatal(err)
 		}
-		exp.Run(*runFor)
+		if err := exp.Run(*runFor); err != nil {
+			fatal(err)
+		}
 		sent, recv := exp.MetadataTraffic()
 		fmt.Printf("ran %v of virtual time on %d hosts; metadata %dB sent / %dB received\n",
 			*runFor, *hosts, sent, recv)
@@ -102,7 +111,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: kollaps {validate|collapse|plan|run} [-hosts N] [-for D] [-dissem broadcast|delta|tree] [-epsilon E] [-resync N] [-fanout K] topology.{yaml,xml}")
+	fmt.Fprintln(os.Stderr, "usage: kollaps {validate|collapse|plan|run} [-hosts N] [-for D] [-seed S] [-dissem broadcast|delta|tree] [-epsilon E] [-adaptive-eps] [-resync N] [-fanout K] topology.{yaml,xml}")
 	os.Exit(2)
 }
 

@@ -62,7 +62,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := exp.Deploy(2, kollaps.Options{}); err != nil {
+	if err := exp.Deploy(2); err != nil {
 		log.Fatal(err)
 	}
 	cli, _ := exp.Container("client")

@@ -30,7 +30,7 @@ func run(latencyScale float64) (readP50, updateP50, opsPerSec float64) {
 		log.Fatal(err)
 	}
 	exp := &kollaps.Experiment{Topology: top}
-	if err := exp.Deploy(3, kollaps.Options{}); err != nil {
+	if err := exp.Deploy(3); err != nil {
 		log.Fatal(err)
 	}
 	cluster, err := apps.DeployCassandra(exp.Eng, exp, 2, 100, apps.CassandraOptions{})

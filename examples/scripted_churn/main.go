@@ -1,0 +1,119 @@
+// Scripted churn: the live-experiment API driving a scenario the YAML
+// dialect cannot express. The topology is built programmatically (no
+// YAML), a partition and heal are scheduled like dynamic: events, node
+// churn is *sampled per seed* (a Poisson process over the engine's
+// seeded RNG — change -seed and the churn schedule changes with it,
+// deterministically), and an observer reacts to the running emulation:
+// when the client's measured RTT shows the slow backup path carrying the
+// traffic, the script upgrades that path's latency mid-run. Every one of
+// those decisions is Go code around the same five event primitives the
+// YAML dynamic: section compiles to, so the run stays fully
+// deterministic and reproducible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/units"
+	"repro/kollaps"
+)
+
+func main() {
+	log.SetFlags(0)
+	seed := flag.Int64("seed", 11, "experiment seed (0 is honored)")
+	flag.Parse()
+
+	// client -- s1 ==(primary 10ms)== s2 -- server
+	//            \\--(backup 50ms)-- s3 --//
+	exp, err := kollaps.NewTopology().
+		Service("client").
+		Service("server").
+		Bridge("s1", "s2", "s3").
+		Link("client", "s1", kollaps.Latency(5*time.Millisecond), kollaps.Up(100*units.Mbps)).
+		Link("server", "s2", kollaps.Latency(5*time.Millisecond), kollaps.Up(100*units.Mbps)).
+		Link("s1", "s2", kollaps.Latency(10*time.Millisecond), kollaps.Up(100*units.Mbps)).
+		Link("s1", "s3", kollaps.Latency(50*time.Millisecond), kollaps.Up(10*units.Mbps)).
+		Link("s3", "s2", kollaps.Latency(50*time.Millisecond), kollaps.Up(10*units.Mbps)).
+		Experiment()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := exp.Deploy(2, kollaps.WithSeed(*seed)); err != nil {
+		log.Fatal(err)
+	}
+
+	// Scheduled events, the programmatic twin of a YAML dynamic: section:
+	// the primary inter-bridge link fails at 10s and heals at 20s.
+	must(exp.At(10*time.Second, kollaps.LinkDown("s1", "s2")))
+	must(exp.At(20*time.Second, kollaps.LinkUp("s1", "s2")))
+
+	cli, _ := exp.Container("client")
+	srv, _ := exp.Container("server")
+	pinger := apps.NewPinger(exp.Eng, cli.Stack, srv.IP, 250*time.Millisecond)
+
+	// The observer: once a second, look at the latest RTT the running
+	// emulation produced. If the slow backup is carrying the traffic
+	// (RTT well above the primary's ~40ms), upgrade the backup's latency
+	// — an "operator reaction" driven by measurements, which a frozen
+	// event list cannot do.
+	reacted := false
+	exp.Eng.Every(time.Second, func() {
+		if reacted || pinger.RTTs.Count() == 0 {
+			return
+		}
+		if pinger.RTTs.Percentile(99) > 150 { // milliseconds
+			reacted = true
+			fmt.Printf("t=%2.0fs observer: backup path detected (p99 %.0fms), tuning it to 15ms hops\n",
+				exp.Eng.Now().Seconds(), pinger.RTTs.Percentile(99))
+			must(exp.SetLink("s1", "s3", kollaps.Latency(15*time.Millisecond)))
+			must(exp.SetLink("s3", "s2", kollaps.Latency(15*time.Millisecond)))
+		}
+	})
+
+	// From 25s, seeded churn takes the server down and up — a Poisson
+	// process at 0.5 events/s with 1.5s mean downtime, drawn from the
+	// deployment's RNG, so the exact outage schedule is a function of
+	// the seed alone.
+	exp.Eng.At(25*time.Second, func() {
+		_, err := exp.Churn(0.5,
+			kollaps.ChurnTargets("server"),
+			kollaps.ChurnDowntime(1500*time.Millisecond),
+			kollaps.ChurnUntil(40*time.Second))
+		must(err)
+	})
+
+	// Progress report per 5s window.
+	lastCount, lastLost := int64(0), 0
+	exp.Eng.Every(5*time.Second, func() {
+		replies := int64(pinger.RTTs.Count()) - lastCount
+		lost := pinger.Lost() - lastLost
+		lastCount += replies
+		lastLost += lost
+		fmt.Printf("t=%2.0fs window: %2d replies, %d lost, cumulative p50 %.0fms\n",
+			exp.Eng.Now().Seconds(), replies, lost, pinger.RTTs.Percentile(50))
+	})
+
+	if err := exp.Run(45 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nseed %d: %d replies, %d lost\n", exp.Seed(), pinger.RTTs.Count(), pinger.Lost())
+	fmt.Printf("RTT p10=%.0fms p50=%.0fms p90=%.0fms p99=%.0fms\n",
+		pinger.RTTs.Percentile(10), pinger.RTTs.Percentile(50),
+		pinger.RTTs.Percentile(90), pinger.RTTs.Percentile(99))
+	fmt.Println("\nPhases: 0-10s primary path (~40ms), 10-20s partition onto the 200ms")
+	fmt.Println("backup until the observer tunes it (~80ms), 20s heal back to the")
+	fmt.Println("primary, 25-40s seeded server churn (lost pings). Re-run with the")
+	fmt.Println("same -seed for a bit-identical run; change it and only the churn")
+	fmt.Println("schedule moves.")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

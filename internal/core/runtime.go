@@ -89,16 +89,23 @@ type Container struct {
 // TCAL exposes the container's shaping layer (tests, dashboard).
 func (c *Container) TCAL() *tcal.TCAL { return c.tcal }
 
-// Runtime is one Kollaps deployment: the emulated topology (with its
-// pre-computed dynamic states), the physical cluster, the containers and
-// one Emulation Manager per host.
+// Runtime is one Kollaps deployment: the emulated topology as a live
+// incremental state machine, the physical cluster, the containers and one
+// Emulation Manager per host. Topology changes — pre-registered dynamic
+// events and runtime mutations alike — are Event patches applied to the
+// live graph on the fly; there is no precomputed state sequence.
 type Runtime struct {
 	Eng     *sim.Engine
 	Cluster *fabric.Network
 
-	states   []topology.State
-	stateIdx int
-	wide     bool
+	live *topology.Live
+	wide bool
+
+	// pending holds events registered before Start; Start sorts them,
+	// groups same-timestamp events into one atomic application (the
+	// grouping Precompute used) and arms one engine timer per group.
+	pending []topology.Event
+	evErr   error
 
 	containers []*Container
 	byName     map[string]*Container
@@ -143,12 +150,15 @@ func (n containerNet) NotifyWritable(src, dst packet.IP, fn func()) {
 	n.c.tcal.NotifyWritable(dst, fn)
 }
 
-// NewRuntime deploys the topology states over a cluster of nHosts physical
-// machines (40 GbE star, as in the paper's testbed). Containers are placed
-// round-robin unless placement maps a container name to a host index.
-func NewRuntime(eng *sim.Engine, states []topology.State, nHosts int, placement map[string]int, opts Options) (*Runtime, error) {
-	if len(states) == 0 {
-		return nil, fmt.Errorf("core: no topology states")
+// NewRuntime deploys a built topology graph over a cluster of nHosts
+// physical machines (40 GbE star, as in the paper's testbed). Containers
+// are placed round-robin unless placement maps a container name to a host
+// index. Dynamic behaviour is added separately: register events with
+// ScheduleEvents (or use NewRuntimeFromTopology, which pre-registers the
+// description's dynamic: events).
+func NewRuntime(eng *sim.Engine, g *graph.Graph, nHosts int, placement map[string]int, opts Options) (*Runtime, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil topology graph")
 	}
 	if nHosts < 1 {
 		return nil, fmt.Errorf("core: need at least one host")
@@ -158,15 +168,14 @@ func NewRuntime(eng *sim.Engine, states []topology.State, nHosts int, placement 
 	rt := &Runtime{
 		Eng:     eng,
 		Cluster: cluster,
-		states:  states,
-		wide:    metadata.Wide(states[0].Graph.NumLinks()),
+		live:    topology.NewLive(g),
+		wide:    metadata.Wide(g.NumLinks()),
 		byName:  make(map[string]*Container),
 		byIP:    make(map[packet.IP]*Container),
 		byNode:  make(map[graph.NodeID]*Container),
 		opts:    opts,
 	}
 
-	g := states[0].Graph
 	idx := 0
 	for _, node := range g.Nodes() {
 		if node.Kind != graph.Service {
@@ -223,6 +232,26 @@ func NewRuntime(eng *sim.Engine, states []topology.State, nHosts int, placement 
 	return rt, nil
 }
 
+// NewRuntimeFromTopology builds the experiment description's graph,
+// deploys it, and pre-registers its dynamic events.
+func NewRuntimeFromTopology(eng *sim.Engine, top *topology.Topology, nHosts int, placement map[string]int, opts Options) (*Runtime, error) {
+	if top == nil {
+		return nil, fmt.Errorf("core: nil topology")
+	}
+	g, _, err := top.Build()
+	if err != nil {
+		return nil, err
+	}
+	rt, err := NewRuntime(eng, g, nHosts, placement, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.ScheduleEvents(top.Events...); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
 // Container returns the deployed container by topology node name.
 func (rt *Runtime) Container(name string) (*Container, bool) {
 	c, ok := rt.byName[name]
@@ -236,10 +265,10 @@ func (rt *Runtime) Containers() []*Container { return rt.containers }
 func (rt *Runtime) Managers() []*Manager { return rt.managers }
 
 // State returns the currently active topology state.
-func (rt *Runtime) State() *topology.State { return &rt.states[rt.stateIdx] }
+func (rt *Runtime) State() *topology.State { return rt.live.State() }
 
-// Start launches the Emulation Managers' loops and schedules the dynamic
-// topology swaps. Call once before Engine.Run.
+// Start launches the Emulation Managers' loops and arms timers for the
+// pre-registered dynamic events. Call once before Engine.Run.
 func (rt *Runtime) Start() {
 	if rt.started {
 		return
@@ -248,37 +277,95 @@ func (rt *Runtime) Start() {
 	for _, m := range rt.managers {
 		m.start()
 	}
-	for i := 1; i < len(rt.states); i++ {
-		i := i
-		rt.Eng.At(rt.states[i].At, func() { rt.applyState(i) })
+	pending := rt.pending
+	rt.pending = nil
+	rt.schedule(pending)
+}
+
+// ScheduleEvents registers topology events to apply at their absolute
+// virtual times. Before Start, events accumulate (and are dry-run
+// validated, so a bad pre-registered scenario fails at deploy time, like
+// the old offline precompute did); after Start, each call's events are
+// armed immediately and same-timestamp events within one call apply
+// atomically as one group. Scheduling in the virtual past is an error.
+func (rt *Runtime) ScheduleEvents(evs ...topology.Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	if !rt.started {
+		all := append(append([]topology.Event(nil), rt.pending...), evs...)
+		final, err := topology.DryRun(rt.live.State().Graph, all)
+		if err != nil {
+			return err
+		}
+		// Same veto applyGroup enforces at fire time, moved to deploy
+		// time for pre-registered events: fresh link-joins must not
+		// outgrow the 1-byte link-id space fixed by the initial graph.
+		if !rt.wide && metadata.Wide(final.Graph.NumLinks()) {
+			return fmt.Errorf("core: pre-registered link-joins grow the topology to %d links, past the 1-byte link-id space the initial graph fixes; declare the links in the topology instead", final.Graph.NumLinks())
+		}
+		rt.pending = all
+		return nil
+	}
+	now := rt.Eng.Now()
+	for _, e := range evs {
+		if e.At < now {
+			return fmt.Errorf("core: event %v at %v scheduled in the past (now %v)", e.Kind, e.At, now)
+		}
+	}
+	rt.schedule(evs)
+	return nil
+}
+
+// ApplyEvents applies events to the live topology at the current virtual
+// time, atomically: either all apply or none. It is the immediate-mutation
+// path of the public API and requires a started runtime.
+func (rt *Runtime) ApplyEvents(evs ...topology.Event) error {
+	if !rt.started {
+		return fmt.Errorf("core: ApplyEvents before Start")
+	}
+	return rt.applyGroup(evs)
+}
+
+// EventError returns the first error a scheduled event produced when it
+// fired (nil when every application succeeded so far). Scheduled events
+// run inside engine timers, where there is no caller to hand the error
+// to; the experiment surfaces it after Run.
+func (rt *Runtime) EventError() error { return rt.evErr }
+
+// schedule arms one engine timer per same-timestamp group.
+func (rt *Runtime) schedule(evs []topology.Event) {
+	for _, group := range topology.SortAndGroup(evs) {
+		group := group
+		rt.Eng.At(group[0].At, func() {
+			if err := rt.applyGroup(group); err != nil && rt.evErr == nil {
+				rt.evErr = err
+			}
+		})
 	}
 }
 
-// installPath materializes the TCAL chain from container c toward dstIP
-// under the current topology state. Reports false when the destination is
-// unknown or unreachable.
-func (rt *Runtime) installPath(c *Container, dstIP packet.IP) bool {
-	dst, ok := rt.byIP[dstIP]
-	if !ok {
-		return false
+// applyGroup advances the live topology by one event group and re-points
+// every installed TCAL chain at the new collapsed paths (or removes the
+// chain when its destination became unreachable).
+func (rt *Runtime) applyGroup(evs []topology.Event) error {
+	// The metadata wire encoding's link-id width was fixed at deploy from
+	// the initial graph; a link-join that creates *fresh* links (instead
+	// of restoring tombstones) can push ids past the narrow 1-byte space,
+	// which would silently wrap on the wire and corrupt every manager's
+	// view. Veto such groups before the state advances — declare the
+	// links up front (they can start removed via an event at t=0) so
+	// deploy sizes the id space.
+	err := rt.live.ApplyIf(rt.Eng.Now(), func(st *topology.State) error {
+		if !rt.wide && metadata.Wide(st.Graph.NumLinks()) {
+			return fmt.Errorf("core: runtime link-join grew the topology to %d links, past the 1-byte link-id space fixed at deploy; declare the links in the topology instead", st.Graph.NumLinks())
+		}
+		return nil
+	}, evs...)
+	if err != nil {
+		return err
 	}
-	p := rt.State().Collapsed.Path(c.Node, dst.Node)
-	if p == nil {
-		return false
-	}
-	c.tcal.InstallPath(dstIP, tcal.PathProps{
-		Latency: p.Latency, Jitter: p.Jitter, Loss: p.Loss, Bandwidth: p.Bandwidth,
-	})
-	c.lastAlloc[dstIP] = p.Bandwidth
-	return true
-}
-
-// applyState switches to pre-computed state i: every installed chain is
-// re-pointed at the new collapsed path (or removed when the destination
-// became unreachable).
-func (rt *Runtime) applyState(i int) {
-	rt.stateIdx = i
-	st := &rt.states[i]
+	st := rt.live.State()
 	for _, c := range rt.containers {
 		for _, dstIP := range c.tcal.Destinations() {
 			dst, ok := rt.byIP[dstIP]
@@ -298,6 +385,26 @@ func (rt *Runtime) applyState(i int) {
 			c.lastAlloc[dstIP] = p.Bandwidth
 		}
 	}
+	return nil
+}
+
+// installPath materializes the TCAL chain from container c toward dstIP
+// under the current topology state. Reports false when the destination is
+// unknown or unreachable.
+func (rt *Runtime) installPath(c *Container, dstIP packet.IP) bool {
+	dst, ok := rt.byIP[dstIP]
+	if !ok {
+		return false
+	}
+	p := rt.State().Collapsed.Path(c.Node, dst.Node)
+	if p == nil {
+		return false
+	}
+	c.tcal.InstallPath(dstIP, tcal.PathProps{
+		Latency: p.Latency, Jitter: p.Jitter, Loss: p.Loss, Bandwidth: p.Bandwidth,
+	})
+	c.lastAlloc[dstIP] = p.Bandwidth
+	return true
 }
 
 // MetadataTraffic sums the metadata bytes sent and received across all

@@ -97,12 +97,8 @@ func buildRuntime(t testing.TB, yaml string, hosts int, opts Options) *Runtime {
 	if err != nil {
 		t.Fatal(err)
 	}
-	states, err := top.Precompute()
-	if err != nil {
-		t.Fatal(err)
-	}
 	eng := sim.NewEngine(42)
-	rt, err := NewRuntime(eng, states, hosts, nil, opts)
+	rt, err := NewRuntimeFromTopology(eng, top, hosts, nil, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -426,19 +422,87 @@ func TestRuntimePlacementValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	states, err := top.Precompute()
-	if err != nil {
-		t.Fatal(err)
-	}
 	eng := sim.NewEngine(1)
-	if _, err := NewRuntime(eng, states, 2, map[string]int{"c1": 99}, Options{}); err == nil {
+	if _, err := NewRuntimeFromTopology(eng, top, 2, map[string]int{"c1": 99}, Options{}); err == nil {
 		t.Fatal("expected invalid placement error")
 	}
 	if _, err := NewRuntime(eng, nil, 2, nil, Options{}); err == nil {
-		t.Fatal("expected no-states error")
+		t.Fatal("expected nil-graph error")
 	}
-	if _, err := NewRuntime(eng, states, 0, nil, Options{}); err == nil {
+	if _, err := NewRuntimeFromTopology(eng, nil, 2, nil, Options{}); err == nil {
+		t.Fatal("expected nil-topology error")
+	}
+	if _, err := NewRuntimeFromTopology(eng, top, 0, nil, Options{}); err == nil {
 		t.Fatal("expected no-hosts error")
+	}
+}
+
+func TestRuntimeScheduleEventsValidation(t *testing.T) {
+	// A bad pre-registered event must fail at deploy time (the old
+	// offline-precompute behavior), not midway through the run.
+	top, err := topology.ParseYAML(fig8YAML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top.Events = append(top.Events, topology.Event{
+		At: time.Second, Kind: topology.EvLinkLeave, Orig: "c1", Dest: "s1", // no such direct link
+	})
+	if _, err := NewRuntimeFromTopology(sim.NewEngine(1), top, 2, nil, Options{}); err == nil {
+		t.Fatal("expected dry-run validation error for bad pre-registered event")
+	}
+}
+
+func TestRuntimeLiveMutation(t *testing.T) {
+	// ApplyEvents and post-Start ScheduleEvents drive the same incremental
+	// path the pre-registered events use.
+	const yaml = `
+experiment:
+  services:
+    name: a
+    name: b
+  links:
+    orig: a
+    dest: b
+    latency: 10
+    up: 100Mbps
+`
+	rt := buildRuntime(t, yaml, 2, Options{})
+	rt.Start()
+	if err := rt.ApplyEvents(topology.Event{Kind: topology.EvLinkLeave, Orig: "a", Dest: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := rt.Container("a")
+	b, _ := rt.Container("b")
+	if p := rt.State().Collapsed.Path(a.Node, b.Node); p != nil {
+		t.Fatal("path survived immediate link removal")
+	}
+	lat := 30 * time.Millisecond
+	if err := rt.ScheduleEvents(
+		topology.Event{At: time.Second, Kind: topology.EvLinkJoin, Orig: "a", Dest: "b"},
+		topology.Event{At: 2 * time.Second, Kind: topology.EvSetLink, Orig: "a", Dest: "b",
+			Props: topology.LinkPatch{Latency: &lat}},
+	); err != nil {
+		t.Fatal(err)
+	}
+	rt.Eng.Run(3 * time.Second)
+	if err := rt.EventError(); err != nil {
+		t.Fatal(err)
+	}
+	p := rt.State().Collapsed.Path(a.Node, b.Node)
+	if p == nil || p.Latency != lat {
+		t.Fatalf("scheduled join+set not applied: %+v", p)
+	}
+	// Scheduling in the virtual past must be rejected.
+	if err := rt.ScheduleEvents(topology.Event{At: time.Second, Kind: topology.EvLinkLeave, Orig: "a", Dest: "b"}); err == nil {
+		t.Fatal("expected past-event error")
+	}
+	// A scheduled event that fails at fire time surfaces via EventError.
+	if err := rt.ScheduleEvents(topology.Event{At: 4 * time.Second, Kind: topology.EvLinkLeave, Orig: "b", Dest: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Eng.Run(5 * time.Second)
+	if rt.EventError() == nil {
+		t.Fatal("expected EventError after failing scheduled event")
 	}
 }
 
@@ -447,12 +511,8 @@ func TestRuntimeExplicitPlacement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	states, err := top.Precompute()
-	if err != nil {
-		t.Fatal(err)
-	}
 	eng := sim.NewEngine(1)
-	rt, err := NewRuntime(eng, states, 3, map[string]int{"c1": 2, "s1": 2}, Options{})
+	rt, err := NewRuntimeFromTopology(eng, top, 3, map[string]int{"c1": 2, "s1": 2}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -498,5 +558,44 @@ func TestFlowIDHelpers(t *testing.T) {
 	}
 	if clampU32(-1) != 0 || clampU32(1<<40) != ^uint32(0) || clampU32(77) != 77 {
 		t.Fatal("clampU32 broken")
+	}
+}
+
+func TestRuntimeRejectsNarrowLinkIDOverflow(t *testing.T) {
+	// A topology just under the 1-byte link-id boundary: pre-registered
+	// or runtime link-joins that create fresh links past it must be
+	// rejected (deploy-time for pre-registered, veto for immediate), not
+	// silently wrap on the metadata wire.
+	top := &topology.Topology{}
+	for i := 0; i < 129; i++ {
+		top.Services = append(top.Services, topology.ServiceDef{Name: fmt.Sprintf("n%d", i)})
+	}
+	for i := 0; i < 128; i++ {
+		top.Links = append(top.Links, topology.LinkDef{
+			Orig: fmt.Sprintf("n%d", i), Dest: fmt.Sprintf("n%d", i+1),
+			Latency: time.Millisecond, Up: 1 << 20, Down: 1 << 20,
+		})
+	}
+	// 256 unidirectional links fill the 1-byte id space exactly; one
+	// fresh join pair crosses it.
+	join := topology.Event{At: time.Second, Kind: topology.EvLinkJoin, Orig: "n0", Dest: "n5"}
+
+	withEvent := *top
+	withEvent.Events = []topology.Event{join}
+	if _, err := NewRuntimeFromTopology(sim.NewEngine(1), &withEvent, 2, nil, Options{}); err == nil {
+		t.Fatal("deploy accepted pre-registered fresh links past the narrow id space")
+	}
+
+	rt, err := NewRuntimeFromTopology(sim.NewEngine(1), top, 2, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	if err := rt.ApplyEvents(topology.Event{Kind: topology.EvLinkJoin, Orig: "n0", Dest: "n5"}); err == nil {
+		t.Fatal("runtime accepted fresh links past the narrow id space")
+	}
+	// The vetoed group must not have advanced the live state.
+	if got := rt.State().Graph.NumLinks(); got != 256 {
+		t.Fatalf("vetoed join advanced the graph to %d links", got)
 	}
 }

@@ -29,11 +29,7 @@ experiment:
 	if err != nil {
 		t.Fatal(err)
 	}
-	states, err := top.Precompute()
-	if err != nil {
-		t.Fatal(err)
-	}
-	rt, err := core.NewRuntime(sim.NewEngine(1), states, 2, nil, core.Options{})
+	rt, err := core.NewRuntimeFromTopology(sim.NewEngine(1), top, 2, nil, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

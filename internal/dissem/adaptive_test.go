@@ -1,0 +1,79 @@
+package dissem
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/metadata"
+)
+
+func TestAdaptiveEpsilonThreshold(t *testing.T) {
+	cases := []struct {
+		name  string
+		base  float64
+		bps   uint32
+		total uint64
+		want  float64
+	}{
+		{"zero total keeps base", 0.05, 1000, 0, 0.05},
+		{"negligible share keeps base", 0.05, 1, 1_000_000, 0.05000005},
+		{"half share gets 1.5x", 0.05, 500, 1000, 0.075},
+		{"full share doubles", 0.05, 1000, 1000, 0.10},
+		{"disabled gate stays disabled", 0, 1000, 1000, 0},
+		{"quarter share", 0.1, 250, 1000, 0.125},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := adaptiveEpsilon(c.base, c.bps, c.total)
+			if math.Abs(got-c.want) > 1e-12 {
+				t.Fatalf("adaptiveEpsilon(%g, %d, %d) = %g, want %g",
+					c.base, c.bps, c.total, got, c.want)
+			}
+		})
+	}
+}
+
+func TestAdaptiveEpsilonSuppressesHeavyFlowWiggle(t *testing.T) {
+	// A dominant flow wiggling 8% — above the 5% base gate, below its
+	// adaptive ~10% gate — is suppressed only when Adaptive is on, while
+	// a light flow making the same relative move still propagates.
+	const period = 50 * time.Millisecond
+	run := func(adaptive bool) (heavyResent, lightResent bool) {
+		h := newHarness(t, Config{Kind: Delta, Epsilon: 0.05, Adaptive: adaptive, ResyncEvery: 100}, 2)
+		heavy := []uint16{0, 5}
+		light := []uint16{1, 5}
+		h.round(period, []*metadata.Message{
+			hostMsg(0,
+				metadata.FlowRecord{BPS: 1_000_000, Links: heavy},
+				metadata.FlowRecord{BPS: 10_000, Links: light}),
+			hostMsg(1),
+		})
+		h.round(period, []*metadata.Message{
+			hostMsg(0,
+				metadata.FlowRecord{BPS: 1_080_000, Links: heavy}, // +8%
+				metadata.FlowRecord{BPS: 10_800, Links: light}),   // +8%
+			hostMsg(1),
+		})
+		view := h.nodes[1].RemoteFlows(h.now, 3*period)
+		for _, rf := range view {
+			if pathKey(rf.Links) == pathKey(heavy) && rf.BPS == 1_080_000 {
+				heavyResent = true
+			}
+			if pathKey(rf.Links) == pathKey(light) && rf.BPS == 10_800 {
+				lightResent = true
+			}
+		}
+		return heavyResent, lightResent
+	}
+	if heavy, light := run(false); !heavy || !light {
+		t.Fatalf("base gate: heavy resent=%v light resent=%v, want both", heavy, light)
+	}
+	heavy, light := run(true)
+	if heavy {
+		t.Fatal("adaptive gate: dominant flow's 8% wiggle was re-sent, want suppressed")
+	}
+	if !light {
+		t.Fatal("adaptive gate: light flow's 8% move was suppressed, want re-sent")
+	}
+}

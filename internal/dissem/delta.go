@@ -163,6 +163,12 @@ func (n *deltaNode) minAcked() uint32 {
 // cover paths present in any windowed snapshot but gone now.
 func (n *deltaNode) diff(baseSeq uint32, cur deltaSnapshot) (changed deltaSnapshot, removed []string) {
 	changed = make(deltaSnapshot)
+	var total uint64
+	if n.cfg.Adaptive {
+		for _, v := range cur {
+			total += uint64(v.bps)
+		}
+	}
 	exceeds := func(old, v deltaVal, had bool) bool {
 		if !had || old.count != v.count {
 			return true
@@ -171,7 +177,11 @@ func (n *deltaNode) diff(baseSeq uint32, cur deltaSnapshot) (changed deltaSnapsh
 		if d < 0 {
 			d = -d
 		}
-		return float64(d) > n.cfg.Epsilon*float64(old.bps)
+		eps := n.cfg.Epsilon
+		if n.cfg.Adaptive {
+			eps = adaptiveEpsilon(eps, v.bps, total)
+		}
+		return float64(d) > eps*float64(old.bps)
 	}
 	removedSet := make(map[string]bool)
 	for _, s := range n.snapOrder {
@@ -382,3 +392,15 @@ func (n *deltaNode) RemoteFlows(now, maxAge time.Duration) []RemoteFlow {
 }
 
 func (n *deltaNode) Stats() *Stats { return &n.stats }
+
+// adaptiveEpsilon scales the base suppression threshold with the flow's
+// share of the total traffic this node currently reports (Config.Adaptive):
+// eps·(1+share), so a flow carrying the whole deployment is gated at 2·eps
+// while a negligible flow keeps the base threshold. With zero total (all
+// tombstones) the base threshold applies.
+func adaptiveEpsilon(base float64, bps uint32, total uint64) float64 {
+	if total == 0 {
+		return base
+	}
+	return base * (1 + float64(bps)/float64(total))
+}

@@ -93,7 +93,7 @@ func dissemScaleRun(strategy string, n int, duration time.Duration) dissemScaleR
 	if err != nil {
 		panic(fmt.Sprintf("experiments: bad dissem topology: %v", err))
 	}
-	if err := exp.Deploy(n, kollaps.Options{DissemStrategy: strategy, DissemEpsilon: dissemEpsilon}); err != nil {
+	if err := exp.Deploy(n, kollaps.WithDissem(strategy, kollaps.DissemEpsilon(dissemEpsilon))); err != nil {
 		panic(fmt.Sprintf("experiments: dissem deploy failed: %v", err))
 	}
 	pairs := dissemFlowsPerHost * n

@@ -28,7 +28,7 @@ func fig10Topology(latencyScale float64) *kollaps.Experiment {
 		panic(err)
 	}
 	exp := &kollaps.Experiment{Topology: top}
-	if err := exp.Deploy(5, kollaps.Options{}); err != nil {
+	if err := exp.Deploy(5); err != nil {
 		panic(err)
 	}
 	return exp

@@ -44,7 +44,7 @@ func RunFig4(duration time.Duration, hostCounts []int, connsPerClient int) *Tabl
 	}
 	for _, hosts := range hostCounts {
 		exp := &kollaps.Experiment{Topology: top}
-		if err := exp.Deploy(hosts, kollaps.Options{}); err != nil {
+		if err := exp.Deploy(hosts); err != nil {
 			panic(err)
 		}
 		var clients []*apps.MemtierClient

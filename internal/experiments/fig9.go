@@ -56,7 +56,7 @@ func fig9Run(replicaRegions []aws.Region, cfg apps.SMRConfig, duration time.Dura
 		panic(err)
 	}
 	exp := &kollaps.Experiment{Topology: top}
-	if err := exp.Deploy(5, kollaps.Options{}); err != nil {
+	if err := exp.Deploy(5); err != nil {
 		panic(err)
 	}
 	var ips []packet.IP

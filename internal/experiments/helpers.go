@@ -13,7 +13,7 @@ func mustKollaps(yaml string, hosts int) *kollaps.Experiment {
 	if err != nil {
 		panic(fmt.Sprintf("experiments: bad built-in topology: %v", err))
 	}
-	if err := exp.Deploy(hosts, kollaps.Options{}); err != nil {
+	if err := exp.Deploy(hosts); err != nil {
 		panic(fmt.Sprintf("experiments: deploy failed: %v", err))
 	}
 	return exp

@@ -92,13 +92,12 @@ func pingPairs(g *graph.Graph, n int, seed int64) [][2]graph.NodeID {
 
 func table4Kollaps(g *graph.Graph, pairs int, duration time.Duration) float64 {
 	eng := sim.NewEngine(42)
-	states := []topology.State{{At: 0, Graph: g, Collapsed: topology.Collapse(g)}}
-	rt, err := core.NewRuntime(eng, states, 4, nil, core.Options{})
+	rt, err := core.NewRuntime(eng, g, 4, nil, core.Options{})
 	if err != nil {
 		panic(err)
 	}
 	rt.Start()
-	col := states[0].Collapsed
+	col := rt.State().Collapsed
 	var obs, want []float64
 	for _, pr := range pingPairs(g, pairs, 7) {
 		src, dst := pr[0], pr[1]

@@ -132,8 +132,8 @@ func TestWideBoundaryRoundTrip(t *testing.T) {
 func TestDecodeErrorsTruncatedWide(t *testing.T) {
 	full := Encode(sample(), true)
 	cases := [][]byte{
-		full[:len(full)-1], // cut mid link id
-		full[:5],           // cut inside the first flow header
+		full[:len(full)-1],                // cut mid link id
+		full[:5],                          // cut inside the first flow header
 		{0, 1, 0, 2, 0, 0, 0, 1, 1, 0, 5}, // 2 flows promised, 1 present
 		{0, 1, 0, 1, 0, 0, 0, 1, 9, 0, 5}, // 9 links promised, 1 present
 	}

@@ -268,47 +268,168 @@ type State struct {
 	Collapsed *Collapsed
 }
 
+// Live is the incremental topology state machine: a current graph plus
+// the tombstone memory that lets join events restore removed links. Where
+// Precompute bakes every state before an experiment starts, a Live can
+// apply Event patches at any time — the runtime-mutation path of the
+// public API. Each Apply clones the current graph, patches the clone and
+// swaps it in with a fresh collapse, so previously returned States stay
+// valid snapshots.
+type Live struct {
+	st      *State
+	removed map[int]removedLink
+	// nodeDown counts outstanding node-leaves per declared name, so two
+	// independent actors taking the same node down (a scheduled NodeDown
+	// plus Churn on the same target) need two joins before the node's
+	// links come back — the first join must not end the other actor's
+	// outage early.
+	nodeDown map[string]int
+}
+
+// removedLink is one tombstoned link: its original properties plus the
+// set of events currently holding it down ("link:" or "node:"-prefixed
+// owners). A leave adds its owner — also to links already down, so
+// overlapping outages stack — and a join removes its owner; the link is
+// restored only when no owner remains. Without this provenance, one
+// actor's join would resurrect links a concurrent, still-active failure
+// intended to keep down — an interleaving the runtime-mutation API
+// (Churn over a topology with scheduled failures) makes routine.
+type removedLink struct {
+	props  graph.LinkProps
+	owners map[string]struct{}
+}
+
+func (rl removedLink) clone() removedLink {
+	owners := make(map[string]struct{}, len(rl.owners))
+	for o := range rl.owners {
+		owners[o] = struct{}{}
+	}
+	return removedLink{props: rl.props, owners: owners}
+}
+
+func linkOwner(orig, dest string) string { return "link:" + orig + "|" + dest }
+func nodeOwner(name string) string       { return "node:" + name }
+
+// NewLive starts the state machine at the given (built) graph, time 0.
+func NewLive(g *graph.Graph) *Live {
+	return &Live{
+		st:       &State{At: 0, Graph: g, Collapsed: Collapse(g)},
+		removed:  make(map[int]removedLink),
+		nodeDown: make(map[string]int),
+	}
+}
+
+// State returns the current state. Apply installs a fresh State rather
+// than mutating the returned one, so callers may hold it as a snapshot.
+func (l *Live) State() *State { return l.st }
+
+// Apply atomically applies a group of simultaneous events at time at:
+// either every event applies and the current state advances, or the
+// error is returned and the state is untouched. Events grouped into one
+// Apply produce a single state, matching Precompute's grouping of events
+// at identical timestamps.
+func (l *Live) Apply(at time.Duration, evs ...Event) error {
+	return l.ApplyIf(at, nil, evs...)
+}
+
+// ApplyIf is Apply with an invariant check on the candidate state,
+// evaluated before the state machine advances: if check returns an
+// error, the current state, tombstones and counters are untouched. The
+// runtime uses it to veto event groups whose result it could not
+// operate on (e.g. outgrowing the metadata link-id space).
+func (l *Live) ApplyIf(at time.Duration, check func(*State) error, evs ...Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	next := l.st.Graph.Clone()
+	removed := make(map[int]removedLink, len(l.removed))
+	for k, v := range l.removed {
+		removed[k] = v.clone()
+	}
+	nodeDown := make(map[string]int, len(l.nodeDown))
+	for k, v := range l.nodeDown {
+		nodeDown[k] = v
+	}
+	for _, e := range evs {
+		if err := applyEvent(next, e, removed, nodeDown); err != nil {
+			return err
+		}
+	}
+	st := &State{At: at, Graph: next, Collapsed: Collapse(next)}
+	if check != nil {
+		if err := check(st); err != nil {
+			return err
+		}
+	}
+	l.st = st
+	l.removed = removed
+	l.nodeDown = nodeDown
+	return nil
+}
+
+// SortAndGroup orders events by time (stable, so same-time events keep
+// their registration order) and splits them into same-timestamp groups.
+func SortAndGroup(evs []Event) [][]Event {
+	sorted := append([]Event(nil), evs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	var groups [][]Event
+	i := 0
+	for i < len(sorted) {
+		j := i
+		for j < len(sorted) && sorted[j].At == sorted[i].At {
+			j++
+		}
+		groups = append(groups, sorted[i:j])
+		i = j
+	}
+	return groups
+}
+
+// DryRun verifies that evs would apply cleanly in timestamp order
+// against g, returning the final state (so callers can also validate
+// invariants of the end result, e.g. the runtime's link-id-space bound).
+// It is how deploy-time code validates pre-registered events before the
+// experiment starts, without paying for path computation. g itself is
+// never mutated: Apply patches clones.
+func DryRun(g *graph.Graph, evs []Event) (*State, error) {
+	live := NewLive(g)
+	for _, group := range SortAndGroup(evs) {
+		if err := live.Apply(group[0].At, group...); err != nil {
+			return nil, err
+		}
+	}
+	return live.State(), nil
+}
+
 // Precompute builds the ordered sequence of graphs for the experiment's
 // dynamic events (§3 "Dynamic Topologies": all modifications are computed
 // offline before the experiment starts). The first state is at time 0.
+// It is a replay of the events through the Live state machine — the same
+// code path the runtime uses for events scheduled while running.
 func (t *Topology) Precompute() ([]State, error) {
 	g, _, err := t.Build()
 	if err != nil {
 		return nil, err
 	}
-	states := []State{{At: 0, Graph: g, Collapsed: Collapse(g)}}
-	if len(t.Events) == 0 {
-		return states, nil
-	}
-
-	events := append([]Event(nil), t.Events...)
-	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
-
-	cur := g
-	// Remember original props of tombstoned links so joins can restore.
-	removedProps := make(map[int]graph.LinkProps)
-	// Group events at identical timestamps into a single state.
-	i := 0
-	for i < len(events) {
-		at := events[i].At
-		next := cur.Clone()
-		for i < len(events) && events[i].At == at {
-			if err := applyEvent(next, events[i], removedProps); err != nil {
-				return nil, err
-			}
-			i++
+	live := NewLive(g)
+	states := []State{*live.State()}
+	for _, group := range SortAndGroup(t.Events) {
+		if err := live.Apply(group[0].At, group...); err != nil {
+			return nil, err
 		}
-		states = append(states, State{At: at, Graph: next, Collapsed: Collapse(next)})
-		cur = next
+		states = append(states, *live.State())
 	}
 	return states, nil
 }
 
-func applyEvent(g *graph.Graph, e Event, removed map[int]graph.LinkProps) error {
+func applyEvent(g *graph.Graph, e Event, removed map[int]removedLink, nodeDown map[string]int) error {
 	switch e.Kind {
 	case EvSetLink:
+		// Patch live links in place; a link currently down keeps its
+		// patched properties in the tombstone, so it comes back changed.
 		ids := linksBetween(g, e.Orig, e.Dest)
-		if len(ids) == 0 {
+		down := tombstonedBetween(g, removed, e.Orig, e.Dest)
+		if len(ids) == 0 && len(down) == 0 {
 			return fmt.Errorf("topology: event %v: no link %s->%s", e.Kind, e.Orig, e.Dest)
 		}
 		for _, pair := range ids {
@@ -317,56 +438,82 @@ func applyEvent(g *graph.Graph, e Event, removed map[int]graph.LinkProps) error 
 				patchLink(g, pair.rev, e.Props, false)
 			}
 		}
+		for _, li := range down {
+			rl := removed[li]
+			rl.props = patchProps(rl.props, e.Props, nameMatches(names(g, g.Link(li).From), e.Orig))
+			removed[li] = rl
+		}
 	case EvLinkLeave:
+		// Take live links down under this event's ownership; links
+		// already down (by a node-leave, say) gain it as an additional
+		// owner, so overlapping outages stack instead of erroring —
+		// Churn over scheduled link failures hits this interleaving.
+		owner := linkOwner(e.Orig, e.Dest)
 		ids := linksBetween(g, e.Orig, e.Dest)
-		if len(ids) == 0 {
+		down := tombstonedBetween(g, removed, e.Orig, e.Dest)
+		if len(ids) == 0 && len(down) == 0 {
 			return fmt.Errorf("topology: link-leave: no link %s->%s", e.Orig, e.Dest)
 		}
 		for _, pair := range ids {
-			removed[pair.fwd] = g.Link(pair.fwd).LinkProps
+			removed[pair.fwd] = removedLink{g.Link(pair.fwd).LinkProps, map[string]struct{}{owner: {}}}
 			g.RemoveLink(pair.fwd)
 			if pair.rev >= 0 {
-				removed[pair.rev] = g.Link(pair.rev).LinkProps
+				removed[pair.rev] = removedLink{g.Link(pair.rev).LinkProps, map[string]struct{}{owner: {}}}
 				g.RemoveLink(pair.rev)
 			}
 		}
+		for _, li := range down {
+			removed[li].owners[owner] = struct{}{}
+		}
 	case EvLinkJoin:
-		// Restore tombstoned links between the endpoints if any;
-		// otherwise add a fresh pair with the patch properties.
-		restored := false
-		for id, props := range removed {
-			l := g.Link(id)
-			if names(g, l.From) == e.Orig && names(g, l.To) == e.Dest ||
-				names(g, l.From) == e.Dest && names(g, l.To) == e.Orig {
-				g.SetLinkProps(id, props)
-				patchLink(g, id, e.Props, names(g, l.From) == e.Orig)
-				delete(removed, id)
-				restored = true
+		// Release this event's hold on tombstoned links between the
+		// endpoints; each is restored (with its stored, patched props)
+		// once no other outage still owns it. With no tombstones at all,
+		// add a fresh pair with the patch properties.
+		owner := linkOwner(e.Orig, e.Dest)
+		tomb := tombstonedBetween(g, removed, e.Orig, e.Dest)
+		if len(tomb) > 0 {
+			for _, li := range tomb {
+				rl := removed[li]
+				rl.props = patchProps(rl.props, e.Props, nameMatches(names(g, g.Link(li).From), e.Orig))
+				delete(rl.owners, owner)
+				if len(rl.owners) == 0 {
+					g.SetLinkProps(li, rl.props)
+					delete(removed, li)
+				} else {
+					removed[li] = rl
+				}
 			}
+			break
 		}
-		if !restored {
-			a, ok1 := g.Lookup(e.Orig)
-			b, ok2 := g.Lookup(e.Dest)
-			if !ok1 || !ok2 {
-				return fmt.Errorf("topology: link-join references unknown endpoints %s->%s", e.Orig, e.Dest)
-			}
-			var lp graph.LinkProps
-			fwd := g.AddLink(a, b, lp)
-			rev := g.AddLink(b, a, lp)
-			patchLink(g, fwd, e.Props, true)
-			patchLink(g, rev, e.Props, false)
+		a, ok1 := g.Lookup(e.Orig)
+		b, ok2 := g.Lookup(e.Dest)
+		if !ok1 || !ok2 {
+			return fmt.Errorf("topology: link-join references unknown endpoints %s->%s", e.Orig, e.Dest)
 		}
+		var lp graph.LinkProps
+		fwd := g.AddLink(a, b, lp)
+		rev := g.AddLink(b, a, lp)
+		patchLink(g, fwd, e.Props, true)
+		patchLink(g, rev, e.Props, false)
 	case EvNodeLeave:
 		ids := expandNodeName(g, e.Name)
 		if len(ids) == 0 {
 			return fmt.Errorf("topology: node-leave of unknown %q", e.Name)
 		}
+		owner := nodeOwner(e.Name)
+		nodeDown[e.Name]++
 		for _, id := range ids {
 			for li := 0; li < g.NumLinks(); li++ {
 				l := g.Link(li)
-				if (l.From == id || l.To == id) && !g.LinkRemoved(li) {
-					removed[li] = l.LinkProps
+				if l.From != id && l.To != id {
+					continue
+				}
+				if !g.LinkRemoved(li) {
+					removed[li] = removedLink{l.LinkProps, map[string]struct{}{owner: {}}}
 					g.RemoveLink(li)
+				} else if rl, ok := removed[li]; ok {
+					rl.owners[owner] = struct{}{}
 				}
 			}
 		}
@@ -375,17 +522,54 @@ func applyEvent(g *graph.Graph, e Event, removed map[int]graph.LinkProps) error 
 		if len(ids) == 0 {
 			return fmt.Errorf("topology: node-join of unknown %q", e.Name)
 		}
+		// Leaves of the same name stack: when two actors took the node
+		// down (scheduled NodeDown plus churn, say), the first join only
+		// decrements the count — the node's links come back with the
+		// last join, so neither actor's outage ends early. (Leave/join
+		// must use the same declared name to pair.)
+		if nodeDown[e.Name] > 1 {
+			nodeDown[e.Name]--
+			break
+		}
+		delete(nodeDown, e.Name)
+		owner := nodeOwner(e.Name)
 		for _, id := range ids {
-			for li, props := range removed {
+			for li, rl := range removed {
 				l := g.Link(li)
-				if l.From == id || l.To == id {
-					g.SetLinkProps(li, props)
+				if l.From != id && l.To != id {
+					continue
+				}
+				if _, held := rl.owners[owner]; !held {
+					continue // down for someone else's reasons only
+				}
+				delete(rl.owners, owner)
+				if len(rl.owners) == 0 {
+					g.SetLinkProps(li, rl.props)
 					delete(removed, li)
+				} else {
+					removed[li] = rl
 				}
 			}
 		}
 	}
 	return nil
+}
+
+// tombstonedBetween returns the tombstoned link ids between two declared
+// endpoints, in either direction (replica names expand by prefix, like
+// linksBetween).
+func tombstonedBetween(g *graph.Graph, removed map[int]removedLink, orig, dest string) []int {
+	var out []int
+	for li := range removed {
+		l := g.Link(li)
+		from, to := names(g, l.From), names(g, l.To)
+		if nameMatches(from, orig) && nameMatches(to, dest) ||
+			nameMatches(from, dest) && nameMatches(to, orig) {
+			out = append(out, li)
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // expandNodeName resolves a declared name to graph nodes: an exact match,
@@ -408,17 +592,20 @@ func names(g *graph.Graph, id graph.NodeID) string { return g.Node(id).Name }
 
 type linkPair struct{ fwd, rev int }
 
+// nameMatches reports whether a graph node name matches a declared name:
+// exact, or replica expansion ("sv-0" matches "sv").
+func nameMatches(nodeName, declared string) bool {
+	if nodeName == declared {
+		return true
+	}
+	return len(nodeName) > len(declared) &&
+		nodeName[:len(declared)] == declared && nodeName[len(declared)] == '-'
+}
+
 // linksBetween finds live link ids orig->dest (fwd) and dest->orig (rev).
 // Service names expand to their replicas' nodes by prefix match.
 func linksBetween(g *graph.Graph, orig, dest string) []linkPair {
-	match := func(nodeName, declared string) bool {
-		if nodeName == declared {
-			return true
-		}
-		// replica expansion: "sv-0" matches "sv"
-		return len(nodeName) > len(declared) &&
-			nodeName[:len(declared)] == declared && nodeName[len(declared)] == '-'
-	}
+	match := nameMatches
 	var out []linkPair
 	used := make(map[int]bool)
 	for li := 0; li < g.NumLinks(); li++ {
@@ -446,10 +633,9 @@ func linksBetween(g *graph.Graph, orig, dest string) []linkPair {
 	return out
 }
 
-// patchLink applies the non-nil patch fields; forward links take Up,
+// patchProps applies the non-nil patch fields; forward links take Up,
 // reverse links take Down.
-func patchLink(g *graph.Graph, id int, p LinkPatch, forward bool) {
-	lp := g.Link(id).LinkProps
+func patchProps(lp graph.LinkProps, p LinkPatch, forward bool) graph.LinkProps {
 	if p.Latency != nil {
 		lp.Latency = *p.Latency
 	}
@@ -468,5 +654,10 @@ func patchLink(g *graph.Graph, id int, p LinkPatch, forward bool) {
 	if !forward && p.Down == nil && p.Up != nil {
 		lp.Bandwidth = *p.Up
 	}
-	g.SetLinkProps(id, lp)
+	return lp
+}
+
+// patchLink is patchProps applied to a live link in place.
+func patchLink(g *graph.Graph, id int, p LinkPatch, forward bool) {
+	g.SetLinkProps(id, patchProps(g.Link(id).LinkProps, p, forward))
 }

@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -457,5 +458,355 @@ experiment:
 	}
 	if p := col.Path(b, a); p.Bandwidth != 100*units.Mbps {
 		t.Fatalf("down = %v", p.Bandwidth)
+	}
+}
+
+// liveTestYAML is a two-path topology for Live state-machine tests.
+const liveTestYAML = `
+experiment:
+  services:
+    name: a
+    name: b
+  links:
+    orig: a
+    dest: b
+    latency: 10
+    up: 10Mbps
+`
+
+func TestLiveApplyAtomic(t *testing.T) {
+	top, err := ParseYAML(liveTestYAML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := top.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := NewLive(g)
+	before := live.State()
+	a, _ := g.Lookup("a")
+	b, _ := g.Lookup("b")
+
+	// A group with a failing event must leave the state untouched.
+	lat := 50 * time.Millisecond
+	err = live.Apply(time.Second,
+		Event{Kind: EvSetLink, Orig: "a", Dest: "b", Props: LinkPatch{Latency: &lat}},
+		Event{Kind: EvLinkLeave, Orig: "a", Dest: "ghost"},
+	)
+	if err == nil {
+		t.Fatal("expected error from bad event in group")
+	}
+	if live.State() != before {
+		t.Fatal("failed group advanced the state")
+	}
+	if p := live.State().Collapsed.Path(a, b); p == nil || p.Latency != 10*time.Millisecond {
+		t.Fatalf("failed group mutated the graph: %+v", p)
+	}
+
+	// A clean group advances; the old state snapshot stays valid.
+	if err := live.Apply(time.Second,
+		Event{Kind: EvSetLink, Orig: "a", Dest: "b", Props: LinkPatch{Latency: &lat}}); err != nil {
+		t.Fatal(err)
+	}
+	if p := live.State().Collapsed.Path(a, b); p == nil || p.Latency != lat {
+		t.Fatalf("set-link not applied: %+v", p)
+	}
+	if p := before.Collapsed.Path(a, b); p == nil || p.Latency != 10*time.Millisecond {
+		t.Fatal("prior state snapshot was mutated in place")
+	}
+
+	// Leave/join round-trips through the tombstone memory.
+	if err := live.Apply(2*time.Second, Event{Kind: EvLinkLeave, Orig: "a", Dest: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if live.State().Collapsed.Path(a, b) != nil {
+		t.Fatal("leave kept the path alive")
+	}
+	if err := live.Apply(3*time.Second, Event{Kind: EvLinkJoin, Orig: "a", Dest: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if p := live.State().Collapsed.Path(a, b); p == nil || p.Latency != lat {
+		t.Fatalf("join did not restore patched props: %+v", p)
+	}
+	if at := live.State().At; at != 3*time.Second {
+		t.Fatalf("state At = %v, want 3s", at)
+	}
+}
+
+func TestDryRunValidates(t *testing.T) {
+	top, err := ParseYAML(liveTestYAML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := top.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := []Event{
+		{At: time.Second, Kind: EvLinkLeave, Orig: "a", Dest: "b"},
+		{At: 2 * time.Second, Kind: EvLinkJoin, Orig: "a", Dest: "b"},
+	}
+	final, err := DryRun(g, ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final == nil || final.At != 2*time.Second {
+		t.Fatalf("final state = %+v, want At=2s", final)
+	}
+	// DryRun must not touch the input graph.
+	a, _ := g.Lookup("a")
+	b, _ := g.Lookup("b")
+	if Collapse(g).Path(a, b) == nil {
+		t.Fatal("DryRun mutated the input graph")
+	}
+	// Order matters: a join before its leave has nothing to restore but
+	// creates a fresh link; a leave of a never-linked pair errors.
+	bad := []Event{{At: time.Second, Kind: EvLinkLeave, Orig: "b", Dest: "b"}}
+	if _, err := DryRun(g, bad); err == nil {
+		t.Fatal("expected DryRun error for leave of nonexistent link")
+	}
+}
+
+func TestPrecomputeMatchesLiveReplay(t *testing.T) {
+	// Precompute is defined as a Live replay; pin the equivalence so the
+	// two paths cannot drift apart.
+	src := liveTestYAML + `
+dynamic:
+  orig: a
+  dest: b
+  latency: 30
+  time: 2
+  action: leave
+  orig: a
+  dest: b
+  time: 4
+  action: join
+  orig: a
+  dest: b
+  time: 6
+`
+	top, err := ParseYAML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, err := top.Precompute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := top.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := NewLive(g)
+	a, _ := g.Lookup("a")
+	b, _ := g.Lookup("b")
+	if len(states) != 4 {
+		t.Fatalf("states = %d, want 4", len(states))
+	}
+	for i, group := range SortAndGroup(top.Events) {
+		if err := live.Apply(group[0].At, group...); err != nil {
+			t.Fatal(err)
+		}
+		st := states[i+1]
+		if st.At != live.State().At {
+			t.Fatalf("state %d At mismatch: %v vs %v", i+1, st.At, live.State().At)
+		}
+		pp := st.Collapsed.Path(a, b)
+		lp := live.State().Collapsed.Path(a, b)
+		if (pp == nil) != (lp == nil) {
+			t.Fatalf("state %d reachability mismatch", i+1)
+		}
+		if pp != nil && (pp.Latency != lp.Latency || pp.Bandwidth != lp.Bandwidth) {
+			t.Fatalf("state %d path mismatch: %+v vs %+v", i+1, pp, lp)
+		}
+	}
+}
+
+func TestNodeJoinRestoresOnlyItsOwnRemovals(t *testing.T) {
+	// A node-join must not resurrect links taken down by an unrelated,
+	// still-active link-leave (the Churn-over-scheduled-failures
+	// interleaving of the live API).
+	src := `
+experiment:
+  services:
+    name: a
+    name: b
+  bridges:
+    name: s1
+  links:
+    orig: a
+    dest: s1
+    latency: 5
+    up: 10Mbps
+    orig: b
+    dest: s1
+    latency: 5
+    up: 10Mbps
+`
+	top, err := ParseYAML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := top.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := NewLive(g)
+	a, _ := g.Lookup("a")
+	b, _ := g.Lookup("b")
+	// Scheduled failure: a-s1 goes down and is meant to stay down.
+	if err := live.Apply(1*time.Second, Event{Kind: EvLinkLeave, Orig: "a", Dest: "s1"}); err != nil {
+		t.Fatal(err)
+	}
+	// Churn: node a leaves (its remaining links — none live — tombstone
+	// under node ownership) and rejoins.
+	if err := live.Apply(2*time.Second, Event{Kind: EvNodeLeave, Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Apply(3*time.Second, Event{Kind: EvNodeJoin, Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if live.State().Collapsed.Path(a, b) != nil {
+		t.Fatal("node-join resurrected a link owned by a separate link-leave")
+	}
+	// The link's own join still restores it.
+	if err := live.Apply(4*time.Second, Event{Kind: EvLinkJoin, Orig: "a", Dest: "s1"}); err != nil {
+		t.Fatal(err)
+	}
+	if live.State().Collapsed.Path(a, b) == nil {
+		t.Fatal("link-join failed to restore its own link")
+	}
+	// And a plain node leave/join round-trip still heals fully.
+	if err := live.Apply(5*time.Second, Event{Kind: EvNodeLeave, Name: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if live.State().Collapsed.Path(a, b) != nil {
+		t.Fatal("node-leave did not cut the path")
+	}
+	if err := live.Apply(6*time.Second, Event{Kind: EvNodeJoin, Name: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if live.State().Collapsed.Path(a, b) == nil {
+		t.Fatal("node-join did not restore its own removals")
+	}
+}
+
+func TestNodeLeavesStack(t *testing.T) {
+	// Two independent leaves of the same node need two joins: the first
+	// join must not end the other actor's outage.
+	top, err := ParseYAML(liveTestYAML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := top.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := NewLive(g)
+	a, _ := g.Lookup("a")
+	b, _ := g.Lookup("b")
+	for i, ev := range []Event{
+		{Kind: EvNodeLeave, Name: "a"}, // scheduled outage
+		{Kind: EvNodeLeave, Name: "a"}, // churn hits the same node
+		{Kind: EvNodeJoin, Name: "a"},  // churn rejoin: still down
+	} {
+		if err := live.Apply(time.Duration(i+1)*time.Second, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if live.State().Collapsed.Path(a, b) != nil {
+		t.Fatal("first of two joins ended a doubly-held node outage")
+	}
+	if err := live.Apply(4*time.Second, Event{Kind: EvNodeJoin, Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if live.State().Collapsed.Path(a, b) == nil {
+		t.Fatal("final join did not restore the node")
+	}
+}
+
+func TestApplyIfVetoKeepsState(t *testing.T) {
+	top, err := ParseYAML(liveTestYAML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := top.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := NewLive(g)
+	before := live.State()
+	veto := fmt.Errorf("vetoed")
+	err = live.ApplyIf(time.Second, func(*State) error { return veto },
+		Event{Kind: EvLinkLeave, Orig: "a", Dest: "b"})
+	if err != veto {
+		t.Fatalf("err = %v, want the veto", err)
+	}
+	if live.State() != before {
+		t.Fatal("vetoed group advanced the state")
+	}
+	a, _ := g.Lookup("a")
+	b, _ := g.Lookup("b")
+	// The link must still be removable afterwards (tombstones untouched).
+	if err := live.Apply(time.Second, Event{Kind: EvLinkLeave, Orig: "a", Dest: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if live.State().Collapsed.Path(a, b) != nil {
+		t.Fatal("post-veto apply failed")
+	}
+}
+
+func TestOverlappingOutagesStack(t *testing.T) {
+	// Link- and node-outages over the same link compose in any
+	// interleaving: each leave adds a hold, each join releases its own,
+	// and the link returns only when no hold remains.
+	top, err := ParseYAML(liveTestYAML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := top.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := NewLive(g)
+	a, _ := g.Lookup("a")
+	b, _ := g.Lookup("b")
+	up := func() bool { return live.State().Collapsed.Path(a, b) != nil }
+	step := func(i int, ev Event) {
+		t.Helper()
+		if err := live.Apply(time.Duration(i)*time.Second, ev); err != nil {
+			t.Fatalf("step %d (%v): %v", i, ev.Kind, err)
+		}
+	}
+	// Node a goes down, then a scheduled link-leave lands on the already
+	// tombstoned link (no error), node a rejoins — the link outage holds.
+	step(1, Event{Kind: EvNodeLeave, Name: "a"})
+	step(2, Event{Kind: EvLinkLeave, Orig: "a", Dest: "b"})
+	step(3, Event{Kind: EvNodeJoin, Name: "a"})
+	if up() {
+		t.Fatal("node rejoin ended a link-leave outage")
+	}
+	// A set-link while down patches the stored props.
+	lat := 25 * time.Millisecond
+	step(4, Event{Kind: EvSetLink, Orig: "a", Dest: "b", Props: LinkPatch{Latency: &lat}})
+	step(5, Event{Kind: EvLinkJoin, Orig: "a", Dest: "b"})
+	if !up() {
+		t.Fatal("link-join did not end the last hold")
+	}
+	if p := live.State().Collapsed.Path(a, b); p.Latency != lat {
+		t.Fatalf("latency = %v, want patched %v applied while down", p.Latency, lat)
+	}
+	// Reverse interleaving: link down, node down, link up — the node's
+	// hold keeps it down until the node rejoins.
+	step(6, Event{Kind: EvLinkLeave, Orig: "a", Dest: "b"})
+	step(7, Event{Kind: EvNodeLeave, Name: "a"})
+	step(8, Event{Kind: EvLinkJoin, Orig: "a", Dest: "b"})
+	if up() {
+		t.Fatal("link-join ended a node outage's hold")
+	}
+	step(9, Event{Kind: EvNodeJoin, Name: "a"})
+	if !up() {
+		t.Fatal("node rejoin did not restore the link")
 	}
 }

@@ -1,0 +1,219 @@
+package kollaps
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// Event is one dynamic topology change, not yet bound to a time. Build
+// events with the constructors (Set, LinkDown, LinkUp, NodeDown, NodeUp)
+// and bind them with Experiment.At or TopologyBuilder.At; the immediate
+// mutators (SetLink, FailLink, ...) bind them to the current virtual
+// time. The same five event kinds back the YAML dynamic: section, so any
+// scripted scenario has a deterministic YAML-expressible core — what the
+// API adds is Go control flow, parameterization and seeded randomness
+// around them.
+type Event struct {
+	ev topology.Event
+}
+
+// Set changes properties of the link(s) between two declared endpoints;
+// omitted properties keep their values. Up applies to the orig->dest
+// direction and Down to the reverse; giving only Up sets both, like the
+// YAML dialect's set-link events.
+func Set(orig, dest string, opts ...LinkOption) Event {
+	var spec linkSpec
+	for _, o := range opts {
+		o(&spec)
+	}
+	return Event{ev: topology.Event{Kind: topology.EvSetLink, Orig: orig, Dest: dest, Props: spec.patch}}
+}
+
+// LinkDown removes the link(s) between two declared endpoints.
+func LinkDown(orig, dest string) Event {
+	return Event{ev: topology.Event{Kind: topology.EvLinkLeave, Orig: orig, Dest: dest}}
+}
+
+// LinkUp restores previously removed link(s) between two endpoints (with
+// their old properties, then patched by opts), or creates a fresh link
+// when none was removed.
+func LinkUp(orig, dest string, opts ...LinkOption) Event {
+	var spec linkSpec
+	for _, o := range opts {
+		o(&spec)
+	}
+	return Event{ev: topology.Event{Kind: topology.EvLinkJoin, Orig: orig, Dest: dest, Props: spec.patch}}
+}
+
+// NodeDown removes a service or bridge from the network: every link
+// touching it goes down. A replicated service name takes down all its
+// replicas.
+func NodeDown(name string) Event {
+	return Event{ev: topology.Event{Kind: topology.EvNodeLeave, Name: name}}
+}
+
+// NodeUp restores a previously removed node's links.
+func NodeUp(name string) Event {
+	return Event{ev: topology.Event{Kind: topology.EvNodeJoin, Name: name}}
+}
+
+// At schedules events at an absolute virtual time. Before Deploy, the
+// events are pre-registered on the topology (exactly like a YAML
+// dynamic: section — they are validated at Deploy and the two forms
+// produce identical deterministic runs). After Deploy, they are armed on
+// the live runtime; scheduling in the virtual past is an error. Events
+// passed in one call apply atomically as one topology change.
+func (e *Experiment) At(at time.Duration, evs ...Event) error {
+	if at < 0 {
+		return fmt.Errorf("kollaps: At(%v) is before the experiment start", at)
+	}
+	raw := unwrap(at, evs)
+	if e.Runtime == nil {
+		e.Topology.Events = append(e.Topology.Events, raw...)
+		return nil
+	}
+	return e.Runtime.ScheduleEvents(raw...)
+}
+
+// apply performs events immediately at the current virtual time.
+func (e *Experiment) apply(evs ...Event) error {
+	if e.Runtime == nil {
+		return fmt.Errorf("kollaps: runtime mutation before Deploy (use At to pre-register events)")
+	}
+	return e.Runtime.ApplyEvents(unwrap(e.Eng.Now(), evs)...)
+}
+
+func unwrap(at time.Duration, evs []Event) []topology.Event {
+	raw := make([]topology.Event, len(evs))
+	for i, ev := range evs {
+		raw[i] = ev.ev
+		raw[i].At = at
+	}
+	return raw
+}
+
+// SetLink immediately changes properties of the link(s) between two
+// endpoints — the runtime-mutation form of Set. Call it from engine
+// callbacks (timers, application hooks) to drive the topology from
+// observations of the running emulation.
+func (e *Experiment) SetLink(orig, dest string, opts ...LinkOption) error {
+	return e.apply(Set(orig, dest, opts...))
+}
+
+// FailLink immediately removes the link(s) between two endpoints.
+func (e *Experiment) FailLink(orig, dest string) error {
+	return e.apply(LinkDown(orig, dest))
+}
+
+// RestoreLink immediately restores previously failed link(s).
+func (e *Experiment) RestoreLink(orig, dest string, opts ...LinkOption) error {
+	return e.apply(LinkUp(orig, dest, opts...))
+}
+
+// Leave immediately removes a node (service, replica set or bridge) from
+// the network.
+func (e *Experiment) Leave(name string) error {
+	return e.apply(NodeDown(name))
+}
+
+// Join immediately restores a node removed by Leave.
+func (e *Experiment) Join(name string) error {
+	return e.apply(NodeUp(name))
+}
+
+// ChurnOption tunes Experiment.Churn.
+type ChurnOption func(*churnConfig)
+
+type churnConfig struct {
+	targets  []string
+	downtime time.Duration
+	until    time.Duration
+}
+
+// ChurnTargets restricts churn to the named containers (default: every
+// deployed container).
+func ChurnTargets(names ...string) ChurnOption {
+	return func(c *churnConfig) { c.targets = names }
+}
+
+// ChurnDowntime sets the mean downtime of a churned node (default 2s;
+// actual downtimes are exponentially distributed around it).
+func ChurnDowntime(mean time.Duration) ChurnOption {
+	return func(c *churnConfig) { c.downtime = mean }
+}
+
+// ChurnUntil stops generating new churn events after the given virtual
+// time (nodes already down still rejoin).
+func ChurnUntil(t time.Duration) ChurnOption {
+	return func(c *churnConfig) { c.until = t }
+}
+
+// Churn drives seeded random node churn: node-leave events arrive as a
+// Poisson process at rate events per virtual second, each taking one
+// random currently-up target down for an exponentially distributed
+// downtime. All randomness comes from the deployment's seeded engine, so
+// the exact churn schedule is a deterministic function of the seed — a
+// property the YAML dialect cannot express (its event list is fixed, not
+// sampled per seed). The returned stop function halts further churn.
+func (e *Experiment) Churn(rate float64, opts ...ChurnOption) (stop func(), err error) {
+	if e.Runtime == nil {
+		return nil, fmt.Errorf("kollaps: Churn before Deploy")
+	}
+	if rate <= 0 {
+		return nil, fmt.Errorf("kollaps: churn rate must be positive, got %g", rate)
+	}
+	cfg := churnConfig{downtime: 2 * time.Second}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.targets == nil {
+		for _, c := range e.Runtime.Containers() {
+			cfg.targets = append(cfg.targets, c.Name)
+		}
+	} else {
+		for _, n := range cfg.targets {
+			if _, ok := e.Runtime.Container(n); !ok {
+				return nil, fmt.Errorf("kollaps: churn target %q is not a deployed container", n)
+			}
+		}
+	}
+
+	eng := e.Eng
+	stopped := false
+	down := make(map[string]bool)
+	meanGap := float64(time.Second) / rate
+	var tick func()
+	arm := func() {
+		eng.After(time.Duration(eng.Rand().ExpFloat64()*meanGap), tick)
+	}
+	tick = func() {
+		if stopped || (cfg.until > 0 && eng.Now() >= cfg.until) {
+			return
+		}
+		up := cfg.targets[:0:0]
+		for _, n := range cfg.targets {
+			if !down[n] {
+				up = append(up, n)
+			}
+		}
+		if len(up) > 0 {
+			name := up[eng.Rand().Intn(len(up))]
+			if e.Leave(name) == nil {
+				down[name] = true
+				gap := time.Duration(eng.Rand().ExpFloat64() * float64(cfg.downtime))
+				// The rejoin fires even after stop: churn must not leave
+				// the topology permanently degraded.
+				eng.After(gap, func() {
+					if e.Join(name) == nil {
+						delete(down, name)
+					}
+				})
+			}
+		}
+		arm()
+	}
+	arm()
+	return func() { stopped = true }, nil
+}

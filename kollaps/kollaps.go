@@ -1,15 +1,31 @@
-// Package kollaps is the public API of the Kollaps reproduction: load an
-// experiment description (the paper's YAML dialect or ModelNet-like XML),
-// deploy it over a simulated physical cluster, and run unmodified
-// application workloads against the emulated network.
+// Package kollaps is the public API of the Kollaps reproduction: describe
+// an experiment (the paper's YAML dialect, ModelNet-like XML, or the
+// programmatic TopologyBuilder), deploy it over a simulated physical
+// cluster, run unmodified application workloads against the emulated
+// network, and mutate the topology while the experiment runs.
 //
 // A minimal experiment:
 //
 //	exp, err := kollaps.Load(topologyYAML)
-//	exp.Deploy(4, kollaps.Options{})          // 4 physical hosts
+//	exp.Deploy(4, kollaps.WithSeed(7))        // 4 physical hosts
 //	cli, _ := exp.Container("client")
 //	srv, _ := exp.Container("server")
 //	// ... dial cli.Stack -> srv.IP, attach workloads ...
+//	exp.Run(60 * time.Second)
+//
+// The same topology can be built without YAML and scripted live — events
+// can be scheduled (At), applied immediately from engine callbacks
+// (SetLink, FailLink, Leave, Join), or sampled per seed (Churn):
+//
+//	exp, _ := kollaps.NewTopology().
+//		Service("client").Service("server").Bridge("s1").
+//		Link("client", "s1", kollaps.Latency(5*time.Millisecond), kollaps.Up(10*units.Mbps)).
+//		Link("server", "s1", kollaps.Latency(5*time.Millisecond), kollaps.Up(10*units.Mbps)).
+//		Experiment()
+//	exp.Deploy(2)
+//	exp.At(10*time.Second, kollaps.LinkDown("client", "s1"))
+//	exp.At(20*time.Second, kollaps.LinkUp("client", "s1"))
+//	stop, _ := exp.Churn(0.5, kollaps.ChurnTargets("server"))
 //	exp.Run(60 * time.Second)
 //
 // The same workloads can run against a bare-metal deployment of the
@@ -33,33 +49,6 @@ import (
 	"repro/internal/transport"
 )
 
-// Options configure a deployment.
-type Options struct {
-	// Seed drives the deterministic simulation (default 42).
-	Seed int64
-	// Period is the Emulation Manager loop interval (default 50ms).
-	Period time.Duration
-	// Placement pins container names to host indices (default
-	// round-robin).
-	Placement map[string]int
-	// InjectLoss enables the §3 congestion-loss workaround (see
-	// core.Options.InjectLoss).
-	InjectLoss bool
-	// DissemStrategy selects how Emulation Managers exchange metadata:
-	// "broadcast" (the paper's full mesh, default), "delta" (incremental
-	// reports with epsilon gating and acked baselines), or "tree"
-	// (fanout-k hierarchical aggregation).
-	DissemStrategy string
-	// DissemEpsilon is the delta strategy's relative-change suppression
-	// threshold (default 0.05; negative disables the gate).
-	DissemEpsilon float64
-	// DissemResync is the number of periods between delta full-state
-	// resyncs (default 20).
-	DissemResync int
-	// DissemFanout is the tree strategy's arity (default 4).
-	DissemFanout int
-}
-
 // Experiment is a loaded and optionally deployed Kollaps experiment.
 type Experiment struct {
 	// Topology is the parsed experiment description.
@@ -69,7 +58,7 @@ type Experiment struct {
 	// Runtime is the Kollaps deployment (valid after Deploy).
 	Runtime *core.Runtime
 
-	states []topology.State
+	seed int64
 }
 
 // Load parses an experiment description, auto-detecting the YAML dialect
@@ -91,39 +80,43 @@ func Load(src string) (*Experiment, error) {
 	return &Experiment{Topology: top}, nil
 }
 
-// Deploy pre-computes the dynamic topology states and instantiates the
-// runtime over hosts physical machines.
-func (e *Experiment) Deploy(hosts int, opts Options) error {
-	if opts.Seed == 0 {
-		opts.Seed = 42
+// Deploy instantiates the runtime over hosts physical machines. The
+// topology's dynamic events (from the description or pre-registered with
+// At) are validated and armed; more can be scheduled or applied while the
+// experiment runs.
+func (e *Experiment) Deploy(hosts int, opts ...Option) error {
+	if e.Runtime != nil {
+		return fmt.Errorf("kollaps: experiment already deployed")
 	}
-	states, err := e.Topology.Precompute()
+	if hosts < 1 {
+		return fmt.Errorf("kollaps: Deploy needs at least one physical host, got %d", hosts)
+	}
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	kind, err := dissem.ParseKind(cfg.strategy)
 	if err != nil {
 		return err
 	}
-	kind, err := dissem.ParseKind(opts.DissemStrategy)
-	if err != nil {
-		return err
-	}
-	e.states = states
-	e.Eng = sim.NewEngine(opts.Seed)
-	rt, err := core.NewRuntime(e.Eng, states, hosts, opts.Placement, core.Options{
-		Period:     opts.Period,
-		InjectLoss: opts.InjectLoss,
-		Dissem: dissem.Config{
-			Kind:        kind,
-			Epsilon:     opts.DissemEpsilon,
-			ResyncEvery: opts.DissemResync,
-			Fanout:      opts.DissemFanout,
-		},
+	e.seed = cfg.seed
+	e.Eng = sim.NewEngine(cfg.seed)
+	rt, err := core.NewRuntimeFromTopology(e.Eng, e.Topology, hosts, cfg.placement, core.Options{
+		Period:     cfg.period,
+		InjectLoss: cfg.injectLoss,
+		Dissem:     cfg.dissemConfig(kind),
 	})
 	if err != nil {
+		e.Eng = nil
 		return err
 	}
 	e.Runtime = rt
 	rt.Start()
 	return nil
 }
+
+// Seed returns the seed the deployment runs under (valid after Deploy).
+func (e *Experiment) Seed() int64 { return e.seed }
 
 // Container looks up a deployed container by name ("sv" services with
 // replicas expand to "sv-0", "sv-1", ...).
@@ -148,11 +141,15 @@ func (e *Experiment) AppStack(name string) (*transport.Stack, packet.IP, error) 
 	return c.Stack, c.IP, nil
 }
 
-// Run advances the experiment to the given absolute virtual time.
-func (e *Experiment) Run(until time.Duration) {
-	if e.Eng != nil {
-		e.Eng.Run(until)
+// Run advances the experiment to the given absolute virtual time. It
+// errors when called before Deploy, and surfaces the first error any
+// scheduled topology event produced while running.
+func (e *Experiment) Run(until time.Duration) error {
+	if e.Runtime == nil {
+		return fmt.Errorf("kollaps: Run before Deploy")
 	}
+	e.Eng.Run(until)
+	return e.Runtime.EventError()
 }
 
 // MetadataTraffic reports total metadata bytes (sent, received) across
@@ -184,14 +181,12 @@ type Baremetal struct {
 }
 
 // NewBaremetal builds the ground-truth network for a topology, with one
-// transport stack per service container.
+// transport stack per service container. The seed is honored as given —
+// including 0, which used to silently mean "default 42".
 func NewBaremetal(top *topology.Topology, seed int64) (*Baremetal, error) {
 	g, _, err := top.Build()
 	if err != nil {
 		return nil, err
-	}
-	if seed == 0 {
-		seed = 42
 	}
 	eng := sim.NewEngine(seed)
 	nw := fabric.New(eng, g, fabric.Options{PerHopDelay: 20 * time.Microsecond})

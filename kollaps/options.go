@@ -1,0 +1,181 @@
+package kollaps
+
+import (
+	"time"
+
+	"repro/internal/dissem"
+)
+
+// Option configures a deployment. Options are applied in order, so later
+// options override earlier ones. The legacy Options struct also satisfies
+// Option, letting existing call sites migrate incrementally:
+//
+//	exp.Deploy(4)                                  // all defaults
+//	exp.Deploy(4, kollaps.WithSeed(0))             // explicit seed 0
+//	exp.Deploy(4, kollaps.Options{Seed: 7})        // deprecated shim
+type Option interface{ apply(*config) }
+
+type optionFunc func(*config)
+
+func (f optionFunc) apply(c *config) { f(c) }
+
+// config is the resolved deployment configuration.
+type config struct {
+	seed       int64
+	period     time.Duration
+	placement  map[string]int
+	injectLoss bool
+	strategy   string
+	dissem     dissemConfig
+}
+
+type dissemConfig struct {
+	epsilon  float64
+	adaptive bool
+	resync   int
+	fanout   int
+}
+
+func defaultConfig() config {
+	return config{seed: 42}
+}
+
+// WithSeed sets the seed of the deterministic simulation (default 42).
+// Unlike the deprecated Options.Seed field, an explicit 0 is honored as a
+// seed, not treated as "use the default".
+func WithSeed(seed int64) Option {
+	return optionFunc(func(c *config) { c.seed = seed })
+}
+
+// WithPeriod sets the Emulation Manager loop interval (default 50ms).
+func WithPeriod(period time.Duration) Option {
+	return optionFunc(func(c *config) { c.period = period })
+}
+
+// WithPlacement pins container names to host indices (default
+// round-robin).
+func WithPlacement(placement map[string]int) Option {
+	return optionFunc(func(c *config) { c.placement = placement })
+}
+
+// WithInjectLoss enables the §3 congestion-loss workaround (see
+// core.Options.InjectLoss).
+func WithInjectLoss() Option {
+	return optionFunc(func(c *config) { c.injectLoss = true })
+}
+
+// WithDissem selects how Emulation Managers exchange metadata:
+// "broadcast" (the paper's full mesh, default), "delta" (incremental
+// reports with epsilon gating and acked baselines), or "tree" (fanout-k
+// hierarchical aggregation), optionally tuned by DissemOptions:
+//
+//	kollaps.WithDissem("delta", kollaps.DissemEpsilon(0.02), kollaps.DissemAdaptive())
+func WithDissem(strategy string, opts ...DissemOption) Option {
+	return optionFunc(func(c *config) {
+		c.strategy = strategy
+		for _, o := range opts {
+			o(&c.dissem)
+		}
+	})
+}
+
+// DissemOption tunes the dissemination strategy selected by WithDissem.
+type DissemOption func(*dissemConfig)
+
+// DissemEpsilon sets the delta strategy's relative-change suppression
+// threshold (default 0.05; negative disables the gate).
+func DissemEpsilon(epsilon float64) DissemOption {
+	return func(c *dissemConfig) { c.epsilon = epsilon }
+}
+
+// DissemAdaptive scales the delta strategy's suppression threshold with
+// each flow's share of the reported traffic, so heavy flows are not
+// re-sent on wiggles that are tiny relative to the deployment's total
+// (see dissem.Config.Adaptive).
+func DissemAdaptive() DissemOption {
+	return func(c *dissemConfig) { c.adaptive = true }
+}
+
+// DissemResync sets the number of periods between delta full-state
+// resyncs (default 20).
+func DissemResync(periods int) DissemOption {
+	return func(c *dissemConfig) { c.resync = periods }
+}
+
+// DissemFanout sets the tree strategy's arity (default 4).
+func DissemFanout(fanout int) DissemOption {
+	return func(c *dissemConfig) { c.fanout = fanout }
+}
+
+// Options is the deprecated flat configuration struct. It satisfies
+// Option so existing exp.Deploy(hosts, Options{...}) call sites keep
+// working; new code should use the functional options (WithSeed,
+// WithPeriod, WithPlacement, WithInjectLoss, WithDissem).
+//
+// Deprecated: zero fields keep their defaults, which makes some values
+// unrepresentable — most notably Seed 0, which this struct maps to the
+// default 42. Use WithSeed(0) for an explicit zero seed.
+type Options struct {
+	// Seed drives the deterministic simulation (default 42; 0 means
+	// "default", use WithSeed to run with seed 0).
+	Seed int64
+	// Period is the Emulation Manager loop interval (default 50ms).
+	Period time.Duration
+	// Placement pins container names to host indices (default
+	// round-robin).
+	Placement map[string]int
+	// InjectLoss enables the §3 congestion-loss workaround (see
+	// core.Options.InjectLoss).
+	InjectLoss bool
+	// DissemStrategy selects how Emulation Managers exchange metadata:
+	// "broadcast" (default), "delta" or "tree".
+	DissemStrategy string
+	// DissemEpsilon is the delta strategy's relative-change suppression
+	// threshold (default 0.05; negative disables the gate).
+	DissemEpsilon float64
+	// DissemResync is the number of periods between delta full-state
+	// resyncs (default 20).
+	DissemResync int
+	// DissemFanout is the tree strategy's arity (default 4).
+	DissemFanout int
+}
+
+// apply maps the legacy struct onto the functional-option config,
+// preserving its documented semantics: zero-valued fields keep defaults.
+func (o Options) apply(c *config) {
+	if o.Seed != 0 {
+		c.seed = o.Seed
+	}
+	if o.Period != 0 {
+		c.period = o.Period
+	}
+	if o.Placement != nil {
+		c.placement = o.Placement
+	}
+	if o.InjectLoss {
+		c.injectLoss = true
+	}
+	if o.DissemStrategy != "" {
+		c.strategy = o.DissemStrategy
+	}
+	if o.DissemEpsilon != 0 {
+		c.dissem.epsilon = o.DissemEpsilon
+	}
+	if o.DissemResync != 0 {
+		c.dissem.resync = o.DissemResync
+	}
+	if o.DissemFanout != 0 {
+		c.dissem.fanout = o.DissemFanout
+	}
+}
+
+// dissemFromConfig assembles the core-level dissemination config.
+func (c config) dissemConfig(kind dissem.Kind) dissem.Config {
+	return dissem.Config{
+		Kind:        kind,
+		Epsilon:     c.dissem.epsilon,
+		Adaptive:    c.dissem.adaptive,
+		ResyncEvery: c.dissem.resync,
+		Fanout:      c.dissem.fanout,
+	}
+}
