@@ -1,0 +1,109 @@
+// Command benchcheck gates allocator performance in CI: it compares a
+// fresh BENCH_allocator.json (kollaps-bench -exp alloc) against the
+// committed baseline and fails when the indexed solver regresses.
+//
+// The hard gate is allocs/op — the property the allocation-free hot path
+// exists for: an entry fails when it exceeds max(ratio × baseline,
+// baseline + grace). The grace term keeps a 0→1 allocs/op jitter from
+// failing the build while still catching a real regression (0→3 fails
+// with the defaults). ns/op is compared too but only warns: wall-clock on
+// shared CI runners is too noisy to gate without flakes, while allocs/op
+// is deterministic.
+//
+// Usage:
+//
+//	benchcheck -baseline BENCH_allocator.json -current BENCH_allocator.new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func load(path string) (*experiments.AllocBenchReport, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r experiments.AllocBenchReport
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_allocator.json", "committed baseline report")
+	currentPath := flag.String("current", "BENCH_allocator.new.json", "freshly measured report")
+	ratio := flag.Float64("max-allocs-ratio", 2.0, "fail when allocs/op exceeds this multiple of the baseline")
+	grace := flag.Int64("allocs-grace", 2, "absolute allocs/op headroom before the ratio gate applies")
+	nsWarn := flag.Float64("ns-warn-ratio", 3.0, "warn (not fail) when ns/op exceeds this multiple of the baseline")
+	flag.Parse()
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	if baseline.Workload != current.Workload {
+		fmt.Fprintf(os.Stderr, "benchcheck: workload mismatch: baseline %q vs current %q\n",
+			baseline.Workload, current.Workload)
+		os.Exit(2)
+	}
+	base := make(map[string]experiments.AllocBenchEntry, len(baseline.Entries))
+	for _, e := range baseline.Entries {
+		base[e.Name] = e
+	}
+
+	failed := false
+	compared := 0
+	for _, cur := range current.Entries {
+		// Only the indexed solver is gated; the reference entries exist
+		// to document the before/after trajectory, not to be protected.
+		if strings.HasPrefix(cur.Name, "AllocateReference/") {
+			continue
+		}
+		b, ok := base[cur.Name]
+		if !ok {
+			fmt.Printf("benchcheck: %s: no baseline entry (new size?), skipping\n", cur.Name)
+			continue
+		}
+		limit := int64(*ratio * float64(b.AllocsPerOp))
+		if withGrace := b.AllocsPerOp + *grace; withGrace > limit {
+			limit = withGrace
+		}
+		compared++
+		if cur.AllocsPerOp > limit {
+			fmt.Printf("FAIL %s: %d allocs/op exceeds limit %d (baseline %d)\n",
+				cur.Name, cur.AllocsPerOp, limit, b.AllocsPerOp)
+			failed = true
+		} else {
+			fmt.Printf("ok   %s: %d allocs/op (baseline %d, limit %d)\n",
+				cur.Name, cur.AllocsPerOp, b.AllocsPerOp, limit)
+		}
+		if b.NsPerOp > 0 && cur.NsPerOp > *nsWarn*b.NsPerOp {
+			fmt.Printf("warn %s: %.0f ns/op vs baseline %.0f (>%.1fx; not gated)\n",
+				cur.Name, cur.NsPerOp, b.NsPerOp, *nsWarn)
+		}
+	}
+	// A gate that compared nothing is a disabled gate, not a passing one:
+	// renamed entries or changed sizes must update the baseline, not
+	// silently skip every comparison.
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no gated entry matched the baseline — regenerate the baseline with kollaps-bench -exp alloc")
+		os.Exit(1)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -7,6 +7,7 @@
 //	kollaps-bench -exp table2          # one experiment
 //	kollaps-bench -exp all             # everything (slow)
 //	kollaps-bench -exp fig8 -quick     # reduced durations
+//	kollaps-bench -exp alloc           # allocator microbench -> BENCH_allocator.json
 package main
 
 import (
@@ -20,9 +21,22 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table2 table3 table4 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 dissem or all")
+	exp := flag.String("exp", "all", "experiment id: table2 table3 table4 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 dissem alloc or all")
 	quick := flag.Bool("quick", false, "reduced durations (coarser numbers, much faster)")
+	benchOut := flag.String("bench-out", "BENCH_allocator.json", "output path for the alloc experiment's JSON report (empty = don't write)")
 	flag.Parse()
+	// `-exp all` must not silently rewrite the committed CI baseline on a
+	// developer box; the JSON is only written when the alloc experiment
+	// (or an output path) is requested explicitly.
+	benchOutSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "bench-out" {
+			benchOutSet = true
+		}
+	})
+	if *exp == "all" && !benchOutSet {
+		*benchOut = ""
+	}
 
 	d := func(full, fast time.Duration) time.Duration {
 		if *quick {
@@ -73,8 +87,19 @@ func main() {
 			}
 			experiments.RunDissemScale(d(5*time.Second, 2*time.Second), ns, nil).Fprint(os.Stdout)
 		},
+		"alloc": func() {
+			t, _, err := experiments.RunAllocBench(*benchOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			t.Fprint(os.Stdout)
+			if *benchOut != "" {
+				fmt.Printf("\nwrote %s\n", *benchOut)
+			}
+		},
 	}
-	order := []string{"table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table4", "fig9", "fig10", "fig11", "dissem"}
+	order := []string{"table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table4", "fig9", "fig10", "fig11", "dissem", "alloc"}
 
 	if *exp == "all" {
 		for _, id := range order {

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sort"
 	"time"
 
 	"repro/internal/dissem"
@@ -19,6 +18,13 @@ import (
 //
 //	(1) clear local flow state, (2) query TCAL usage, (3) disseminate,
 //	(4) compute global path/link usage, (5) enforce bandwidth.
+//
+// The loop is the control-plane hot path — at Table-4 scale it runs every
+// period on every host over thousands of remote flows — so all of its
+// intermediate state (flow lists, demand vectors, allocator scratch, wire
+// records and their link arrays, the dense capacity table) lives in
+// per-Manager buffers reused across periods: a steady-state iteration
+// performs no heap allocation.
 type Manager struct {
 	rt     *Runtime
 	host   int
@@ -35,6 +41,31 @@ type Manager struct {
 
 	// Iterations counts completed emulation loops.
 	Iterations int64
+
+	// ---- per-period scratch, reused across iterations ----
+
+	// alloc is the indexed min-max solver's arena.
+	alloc AllocState
+	// caps is the dense per-link capacity table handed to the allocator,
+	// rebuilt only when the live topology's generation moves.
+	caps    []float64
+	capsGen uint64
+
+	flowsBuf  []localFlow
+	allBuf    []FlowDemand
+	greedyBuf []FlowDemand
+	wdBuf     []Allocation
+	entBuf    []Allocation
+	rfBuf     []dissem.RemoteFlow
+	rlinks    []int // arena backing remote FlowDemand.Links
+
+	// msg and its records/link arena back the shared-memory report; the
+	// ring hands the pointer to disseminate() within the same iteration,
+	// and every dissemination strategy copies or serializes what it keeps,
+	// so reusing the storage next period is safe.
+	msg      metadata.Message
+	recBuf   []metadata.FlowRecord
+	recLinks []uint16
 }
 
 // managerTransport adapts the cluster fabric's UDP stack to
@@ -127,12 +158,11 @@ func (m *Manager) iterate() {
 
 // collectLocal builds the active local flow list from TCAL counters.
 func (m *Manager) collectLocal(period time.Duration) []localFlow {
-	var flows []localFlow
-	st := m.rt.State()
+	flows := m.flowsBuf[:0]
 	for _, c := range m.locals {
-		dsts := c.tcal.Destinations()
-		sort.Slice(dsts, func(i, j int) bool { return less(dsts[i], dsts[j]) })
-		for _, dstIP := range dsts {
+		// The TCAL maintains its destination set in sorted order; the
+		// per-period scan no longer re-sorts an unchanged set.
+		for _, dstIP := range c.tcal.Destinations() {
 			sent := c.tcal.Usage(dstIP)
 			req := c.tcal.Requested(dstIP)
 			rate := units.Bandwidth(float64(sent*8) / period.Seconds())
@@ -143,28 +173,18 @@ func (m *Manager) collectLocal(period time.Duration) []localFlow {
 			if demand < rate {
 				demand = rate
 			}
+			p := m.rt.cachedPath(c, dstIP)
+			if p == nil {
+				continue // unknown destination or unreachable path
+			}
 			if demand < m.rt.opts.ActiveThreshold {
 				// Idle: release the allocation back to the path max so
 				// a future flow starts unthrottled.
-				dst, ok := m.rt.byIP[dstIP]
-				if !ok {
-					continue
+				if c.lastAlloc[dstIP] != p.Bandwidth {
+					_ = c.tcal.SetBandwidth(dstIP, p.Bandwidth)
+					_ = c.tcal.InjectCongestionLoss(dstIP, 0)
+					c.lastAlloc[dstIP] = p.Bandwidth
 				}
-				if p := st.Collapsed.Path(c.Node, dst.Node); p != nil {
-					if c.lastAlloc[dstIP] != p.Bandwidth {
-						_ = c.tcal.SetBandwidth(dstIP, p.Bandwidth)
-						_ = c.tcal.InjectCongestionLoss(dstIP, 0)
-						c.lastAlloc[dstIP] = p.Bandwidth
-					}
-				}
-				continue
-			}
-			dst, ok := m.rt.byIP[dstIP]
-			if !ok {
-				continue
-			}
-			p := st.Collapsed.Path(c.Node, dst.Node)
-			if p == nil {
 				continue
 			}
 			flows = append(flows, localFlow{
@@ -174,17 +194,28 @@ func (m *Manager) collectLocal(period time.Duration) []localFlow {
 			})
 		}
 	}
+	m.flowsBuf = flows
 	// The Emulation Cores publish their reports to the Manager through
-	// shared memory; in-process this is the ring hand-off.
-	msg := &metadata.Message{Host: uint16(m.host)}
-	for _, f := range flows {
-		rec := metadata.FlowRecord{BPS: clampU32(int64(f.rate))}
-		for _, l := range f.links {
-			rec.Links = append(rec.Links, uint16(l))
+	// shared memory; in-process this is the ring hand-off. Records and
+	// their link arrays come from per-Manager arenas: disseminate() drains
+	// the ring within this same iteration and the dissemination node
+	// copies/serializes what it keeps, so the storage is free again next
+	// period.
+	recs := m.recBuf[:0]
+	arena := m.recLinks[:0]
+	for i := range flows {
+		start := len(arena)
+		for _, l := range flows[i].links {
+			arena = append(arena, uint16(l))
 		}
-		msg.Flows = append(msg.Flows, rec)
+		recs = append(recs, metadata.FlowRecord{
+			BPS:   clampU32(int64(flows[i].rate)),
+			Links: arena[start:len(arena):len(arena)],
+		})
 	}
-	m.ring.Publish(msg)
+	m.recBuf, m.recLinks = recs, arena
+	m.msg = metadata.Message{Host: uint16(m.host), Flows: recs}
+	m.ring.Publish(&m.msg)
 	return flows
 }
 
@@ -200,31 +231,46 @@ func (m *Manager) disseminate() {
 
 // globalFlows merges local flows with the dissemination node's remote
 // view into the allocator's input. Remote flows are identified by their
-// link lists; aggregated records (Count > 1) are split back into Count
-// equal demands so the RTT-weighted sharing model sees one entry per
-// underlying flow.
+// link lists; aggregated records (Count > 1) keep their count as the
+// entry's Weight — the solver treats a Weight-w entry exactly like w
+// duplicate flows, without materializing them.
 func (m *Manager) globalFlows(local []localFlow) []FlowDemand {
 	now := m.rt.Eng.Now()
 	stale := 3 * m.rt.opts.Period
 	g := m.rt.State().Graph
+	nLinks := g.NumLinks()
 
-	var all []FlowDemand
-	for i, f := range local {
+	all := m.allBuf[:0]
+	for i := range local {
 		all = append(all, FlowDemand{
-			ID:     flowID(m.host, i),
-			Links:  f.links,
-			RTT:    f.rtt,
-			Demand: m.demandLocal(f),
+			ID:     LocalFlowID(m.host, i),
+			Links:  local[i].links,
+			RTT:    local[i].rtt,
+			Demand: m.demandLocal(&local[i]),
 		})
 	}
-	for i, rf := range m.node.RemoteFlows(now, stale) {
-		links := make([]int, len(rf.Links))
+	m.rfBuf = m.node.AppendRemoteFlows(now, stale, m.rfBuf[:0])
+	arena := m.rlinks[:0]
+	stats := m.node.Stats()
+	for i := range m.rfBuf {
+		rf := &m.rfBuf[i]
+		start := len(arena)
 		var lat time.Duration
-		for j, l := range rf.Links {
-			links[j] = int(l)
-			if int(l) < g.NumLinks() {
-				lat += g.Link(int(l)).Latency
+		for _, l := range rf.Links {
+			if int(l) >= nLinks {
+				// A link id outside the live graph's id space comes from a
+				// stale or corrupt report: it has no capacity or latency to
+				// price and nothing to enforce against. Drop the id (the
+				// seed fed it to the allocator as a phantom) and count it.
+				stats.StaleLinks.Inc()
+				continue
 			}
+			lat += g.Link(int(l)).Latency
+			arena = append(arena, int(l))
+		}
+		links := arena[start:len(arena):len(arena)]
+		if len(links) == 0 && len(rf.Links) > 0 {
+			continue // every link was stale: nothing left to constrain
 		}
 		count := int(rf.Count)
 		if count < 1 {
@@ -242,15 +288,16 @@ func (m *Manager) globalFlows(local []localFlow) []FlowDemand {
 		if rf.Age > m.rt.opts.Period+m.rt.opts.Period/2 {
 			demand = 0
 		}
-		for j := 0; j < count; j++ {
-			all = append(all, FlowDemand{
-				ID:     "r" + itoa(i) + "." + itoa(j),
-				Links:  links,
-				RTT:    2 * lat,
-				Demand: demand,
-			})
-		}
+		all = append(all, FlowDemand{
+			ID:     RemoteFlowID(i),
+			Links:  links,
+			RTT:    2 * lat,
+			Demand: demand,
+			Weight: count,
+		})
 	}
+	m.rlinks = arena
+	m.allBuf = all
 	return all
 }
 
@@ -261,7 +308,7 @@ func (m *Manager) globalFlows(local []localFlow) []FlowDemand {
 // A flow using less is application-limited; it is capped at headroom ×
 // usage so the maximization step can hand the slack to competitors while
 // still letting the flow ramp exponentially if its demand grows (§3).
-func (m *Manager) demandLocal(f localFlow) units.Bandwidth {
+func (m *Manager) demandLocal(f *localFlow) units.Bandwidth {
 	if f.alloc <= 0 || f.demand*2 >= f.alloc {
 		return 0 // greedy
 	}
@@ -277,21 +324,33 @@ func (m *Manager) demandOf(usage units.Bandwidth) units.Bandwidth {
 	return units.Bandwidth(float64(usage) * m.rt.opts.DemandHeadroom)
 }
 
+// linkCaps returns the dense per-link capacity table for the current
+// topology generation. Link capacities only move when the live topology
+// mutates, so the table is rebuilt per generation, not per period.
+// Tombstoned links keep their negative sentinel: the allocator prices
+// them as zero-capacity constraints, exactly like the seed's map build.
+func (m *Manager) linkCaps() []float64 {
+	gen := m.rt.live.Gen()
+	if m.capsGen == gen {
+		return m.caps
+	}
+	g := m.rt.State().Graph
+	n := g.NumLinks()
+	m.caps = grow(m.caps, n)
+	for l := 0; l < n; l++ {
+		m.caps[l] = float64(g.Link(l).Bandwidth)
+	}
+	m.capsGen = gen
+	return m.caps
+}
+
 // enforce applies the allocation to local flows: htb rate per destination
 // plus injected loss when the application demands more than its share.
 func (m *Manager) enforce(local []localFlow, all []FlowDemand) {
 	if len(all) == 0 {
 		return
 	}
-	caps := make(map[int]units.Bandwidth)
-	g := m.rt.State().Graph
-	for _, f := range all {
-		for _, l := range f.Links {
-			if _, ok := caps[l]; !ok && l < g.NumLinks() {
-				caps[l] = g.Link(l).Bandwidth
-			}
-		}
-	}
+	caps := m.linkCaps()
 	// Two passes of the sharing model. The demand-aware pass implements
 	// the §3 maximization step: application-limited flows release their
 	// surplus to competitors. The greedy pass computes each flow's
@@ -299,14 +358,17 @@ func (m *Manager) enforce(local []localFlow, all []FlowDemand) {
 	// A flow's own htb is set to the larger of the two, so an idle flow's
 	// ramp-up is never throttled below its fair share (the next period
 	// rebalances), while competitors enjoy the maximized allocation.
-	withDemand := Allocate(caps, all)
-	greedy := make([]FlowDemand, len(all))
-	copy(greedy, all)
+	withDemand := m.alloc.Allocate(caps, all, m.wdBuf)
+	m.wdBuf = withDemand
+	greedy := append(m.greedyBuf[:0], all...)
 	for i := range greedy {
 		greedy[i].Demand = 0
 	}
-	entitled := Allocate(caps, greedy)
-	for i, f := range local {
+	m.greedyBuf = greedy
+	entitled := m.alloc.Allocate(caps, greedy, m.entBuf)
+	m.entBuf = entitled
+	for i := range local {
+		f := &local[i]
 		// Local flows occupy the first len(local) slots.
 		rate := withDemand[i].Rate
 		if entitled[i].Rate > rate {
@@ -351,31 +413,4 @@ func clampU32(v int64) uint32 {
 		return ^uint32(0)
 	}
 	return uint32(v)
-}
-
-func less(a, b packet.IP) bool {
-	for i := range a {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
-	}
-	return false
-}
-
-func flowID(host, i int) string {
-	return "h" + itoa(host) + "f" + itoa(i)
-}
-
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
-	}
-	var b [8]byte
-	i := len(b)
-	for v > 0 {
-		i--
-		b[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return string(b[i:])
 }

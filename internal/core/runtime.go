@@ -79,6 +79,13 @@ type Container struct {
 
 	tcal *tcal.TCAL
 	rt   *Runtime
+	// pathCache memoizes collapsed-path lookups toward each destination
+	// (nil = unknown or unreachable), invalidated wholesale when the live
+	// topology's generation counter moves. The §4.1 loop resolves every
+	// destination of every container every period; against a static
+	// topology that is a pure cache hit.
+	pathCache map[packet.IP]*graph.Path
+	pathGen   uint64
 	// lastAlloc remembers the allocation enforced toward each dst.
 	lastAlloc map[packet.IP]units.Bandwidth
 	// overSub counts consecutive emulation periods a destination's
@@ -197,6 +204,7 @@ func NewRuntime(eng *sim.Engine, g *graph.Graph, nHosts int, placement map[strin
 			Host:      host,
 			Node:      node.ID,
 			rt:        rt,
+			pathCache: make(map[packet.IP]*graph.Path),
 			lastAlloc: make(map[packet.IP]units.Bandwidth),
 			overSub:   make(map[packet.IP]int),
 		}
@@ -388,15 +396,32 @@ func (rt *Runtime) applyGroup(evs []topology.Event) error {
 	return nil
 }
 
+// cachedPath resolves the collapsed path from container c toward dstIP
+// under the current topology state, memoized per container. A nil result
+// (unknown destination or unreachable path) is cached too. The cache is
+// dropped when the live topology's generation moves, so mutations are
+// visible at the event instant — same as the uncached lookup.
+func (rt *Runtime) cachedPath(c *Container, dstIP packet.IP) *graph.Path {
+	if gen := rt.live.Gen(); c.pathGen != gen {
+		clear(c.pathCache)
+		c.pathGen = gen
+	}
+	if p, ok := c.pathCache[dstIP]; ok {
+		return p
+	}
+	var p *graph.Path
+	if dst, ok := rt.byIP[dstIP]; ok {
+		p = rt.live.State().Collapsed.Path(c.Node, dst.Node)
+	}
+	c.pathCache[dstIP] = p
+	return p
+}
+
 // installPath materializes the TCAL chain from container c toward dstIP
 // under the current topology state. Reports false when the destination is
 // unknown or unreachable.
 func (rt *Runtime) installPath(c *Container, dstIP packet.IP) bool {
-	dst, ok := rt.byIP[dstIP]
-	if !ok {
-		return false
-	}
-	p := rt.State().Collapsed.Path(c.Node, dst.Node)
+	p := rt.cachedPath(c, dstIP)
 	if p == nil {
 		return false
 	}

@@ -550,8 +550,14 @@ func TestUniqueContainerIPs(t *testing.T) {
 }
 
 func TestFlowIDHelpers(t *testing.T) {
-	if flowID(3, 7) != "h3f7" {
-		t.Fatalf("flowID = %q", flowID(3, 7))
+	if got := LocalFlowID(3, 7).String(); got != "h3f7" {
+		t.Fatalf("LocalFlowID(3,7) = %q", got)
+	}
+	if got := RemoteFlowID(5).String(); got != "r5" {
+		t.Fatalf("RemoteFlowID(5) = %q", got)
+	}
+	if LocalFlowID(3, 7) == LocalFlowID(7, 3) || LocalFlowID(0, 1)&remoteIDFlag != 0 {
+		t.Fatal("FlowID packing broken")
 	}
 	if itoa(0) != "0" || itoa(255) != "255" {
 		t.Fatal("itoa broken")

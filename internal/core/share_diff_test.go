@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+// Differential tests: the indexed solver (share.go) against the seed's
+// map-based reference (share_reference.go). The two must agree *exactly* —
+// same rounded Rate, same Bottleneck — over randomized topologies, RTTs,
+// demands and degenerate inputs (duplicate links in a path, ids outside
+// the capacity table, zero RTTs, uncapacitated links). Weighted aggregate
+// entries must match their expansion into duplicate flows.
+
+// diffCase builds one randomized allocation instance. Some link ids in
+// paths intentionally fall outside the capacitated set (unconstrained) or
+// repeat within one path (hairpin routes).
+func diffCase(rng *rand.Rand) (map[int]units.Bandwidth, []FlowDemand) {
+	nLinks := 1 + rng.Intn(24)
+	caps := make(map[int]units.Bandwidth)
+	for l := 0; l < nLinks; l++ {
+		if rng.Intn(10) < 8 {
+			caps[l] = units.Bandwidth(rng.Int63n(int64(1000*units.Mbps)) + int64(100*units.Kbps))
+		}
+	}
+	nFlows := 1 + rng.Intn(20)
+	flows := make([]FlowDemand, nFlows)
+	for i := range flows {
+		k := 1 + rng.Intn(5)
+		links := make([]int, k)
+		for j := range links {
+			links[j] = rng.Intn(nLinks + 3) // occasionally past the table
+		}
+		if rng.Intn(6) == 0 && k > 1 {
+			links[k-1] = links[0] // duplicate link within the path
+		}
+		var demand units.Bandwidth
+		if rng.Intn(2) == 0 {
+			demand = units.Bandwidth(rng.Int63n(int64(300*units.Mbps)) + 1)
+		}
+		rtt := time.Duration(rng.Int63n(int64(250 * time.Millisecond)))
+		if rng.Intn(8) == 0 {
+			rtt = 0 // exercise the minRTT floor
+		}
+		flows[i] = FlowDemand{ID: FlowID(i), Links: links, RTT: rtt, Demand: demand}
+	}
+	return caps, flows
+}
+
+func sameAllocations(t *testing.T, label string, got, want []Allocation) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Rate != want[i].Rate || got[i].Bottleneck != want[i].Bottleneck {
+			t.Fatalf("%s: flow %d diverged: got (rate %d, bottleneck %d), want (rate %d, bottleneck %d)",
+				label, i, got[i].Rate, got[i].Bottleneck, want[i].Rate, want[i].Bottleneck)
+		}
+	}
+}
+
+// TestAllocateMatchesReference fuzzes both solvers over seeded random
+// instances and demands bit-identical allocations. One AllocState is
+// shared across all cases, so the test simultaneously proves that arena
+// reuse leaks no state between calls.
+func TestAllocateMatchesReference(t *testing.T) {
+	var shared AllocState
+	var capsBuf []float64
+	var outBuf []Allocation
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for iter := 0; iter < 40; iter++ {
+			caps, flows := diffCase(rng)
+			want := AllocateReference(caps, flows)
+			got := Allocate(caps, flows)
+			sameAllocations(t, "fresh state", got, want)
+			capsBuf = DenseCaps(caps, capsBuf)
+			outBuf = shared.Allocate(capsBuf, flows, outBuf)
+			sameAllocations(t, "reused arena", outBuf, want)
+		}
+	}
+}
+
+// TestAllocateSyntheticMatchesReference pins the benchmark workload
+// itself: the inputs measured by BenchmarkAllocate are solved identically
+// by both entry points, so the speedup is not bought with drift.
+func TestAllocateSyntheticMatchesReference(t *testing.T) {
+	for _, n := range []int{16, 64, 256, 1024} {
+		caps, flows := SyntheticAllocation(n, n/2+8, 42)
+		sameAllocations(t, "synthetic", Allocate(caps, flows), AllocateReference(caps, flows))
+	}
+}
+
+// expandWeights turns every Weight-w entry into w duplicate unit entries —
+// the representation the reference solver (and the seed's globalFlows)
+// used for aggregated remote flows.
+func expandWeights(flows []FlowDemand) []FlowDemand {
+	var out []FlowDemand
+	for _, f := range flows {
+		w := f.Weight
+		if w < 1 {
+			w = 1
+		}
+		unit := f
+		unit.Weight = 0
+		for j := 0; j < w; j++ {
+			out = append(out, unit)
+		}
+	}
+	return out
+}
+
+// TestAllocateWeightedMatchesExpansion proves the native weighted form is
+// exactly the duplicate materialization it replaces: a Weight-w entry
+// receives the same per-flow rate the w expanded duplicates each receive,
+// and the unweighted flows around it are unaffected bit for bit.
+func TestAllocateWeightedMatchesExpansion(t *testing.T) {
+	for seed := int64(100); seed < 112; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for iter := 0; iter < 30; iter++ {
+			caps, flows := diffCase(rng)
+			for i := range flows {
+				if rng.Intn(2) == 0 {
+					flows[i].Weight = 1 + rng.Intn(5)
+				}
+			}
+			expanded := expandWeights(flows)
+			want := Allocate(caps, expanded)
+			wantRef := AllocateReference(caps, expanded)
+			sameAllocations(t, "expanded vs reference", want, wantRef)
+			got := Allocate(caps, flows)
+			at := 0
+			for i, f := range flows {
+				w := f.Weight
+				if w < 1 {
+					w = 1
+				}
+				for j := 0; j < w; j++ {
+					if got[i].Rate != want[at].Rate {
+						t.Fatalf("seed %d: weighted flow %d (unit %d/%d): rate %d, expansion got %d",
+							seed, i, j+1, w, got[i].Rate, want[at].Rate)
+					}
+					at++
+				}
+				if got[i].Bottleneck != want[at-1].Bottleneck {
+					t.Fatalf("seed %d: weighted flow %d bottleneck %d, expansion %d",
+						seed, i, got[i].Bottleneck, want[at-1].Bottleneck)
+				}
+			}
+		}
+	}
+}
+
+// TestAllocateOutBufferReuse checks the out-slice contract: results land
+// in the provided storage when it is large enough and are complete either
+// way.
+func TestAllocateOutBufferReuse(t *testing.T) {
+	caps, flows := SyntheticAllocation(32, 16, 7)
+	var s AllocState
+	dense := DenseCaps(caps, nil)
+	first := s.Allocate(dense, flows, nil)
+	buf := make([]Allocation, 0, len(flows))
+	second := s.Allocate(dense, flows, buf)
+	sameAllocations(t, "out reuse", second, first)
+	if cap(second) != cap(buf) {
+		t.Fatalf("out buffer not reused: cap %d, want %d", cap(second), cap(buf))
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/units"
+)
+
+// AllocateReference is the seed's map-based progressive-filling solver,
+// retained verbatim (modulo the string→FlowID id type) as the
+// differential-testing oracle and the benchmark baseline for the indexed
+// solver in share.go. It predates weighted aggregate flows and ignores
+// FlowDemand.Weight — differential tests expand Weight-w entries into w
+// duplicates before calling it.
+//
+// Do not optimize this function; its value is being the unoptimized
+// original the fast path is proven against.
+func AllocateReference(capacities map[int]units.Bandwidth, flows []FlowDemand) []Allocation {
+	n := len(flows)
+	out := make([]Allocation, n)
+	if n == 0 {
+		return out
+	}
+
+	weight := make([]float64, n)
+	for i, f := range flows {
+		rtt := f.RTT
+		if rtt < minRTT {
+			rtt = minRTT
+		}
+		weight[i] = 1 / rtt.Seconds()
+		out[i] = Allocation{ID: f.ID, Bottleneck: -1}
+	}
+
+	// capLeft holds remaining capacity (bits/s) per constrained link.
+	capLeft := make(map[int]float64, len(capacities))
+	for id, c := range capacities {
+		capLeft[id] = float64(c)
+	}
+	// flowsOn maps each constrained link to the unfrozen flows crossing it.
+	flowsOn := make(map[int][]int)
+	for i, f := range flows {
+		seen := make(map[int]bool, len(f.Links))
+		for _, l := range f.Links {
+			if _, constrained := capLeft[l]; !constrained || seen[l] {
+				continue
+			}
+			seen[l] = true
+			flowsOn[l] = append(flowsOn[l], i)
+		}
+	}
+
+	frozen := make([]bool, n)
+	remaining := n
+	for remaining > 0 {
+		// Find the tightest constraint: the link (or flow demand) whose
+		// fill level theta = capacity / Σ weights is smallest.
+		bestTheta := math.Inf(1)
+		bestLink := -1 // -2 means a demand constraint
+		bestFlow := -1
+		// Deterministic iteration: sort link ids.
+		linkIDs := make([]int, 0, len(flowsOn))
+		for l := range flowsOn {
+			if len(flowsOn[l]) > 0 {
+				linkIDs = append(linkIDs, l)
+			}
+		}
+		sort.Ints(linkIDs)
+		for _, l := range linkIDs {
+			sumW := 0.0
+			for _, fi := range flowsOn[l] {
+				sumW += weight[fi]
+			}
+			if sumW == 0 {
+				continue
+			}
+			c := capLeft[l]
+			if c < 0 {
+				c = 0
+			}
+			theta := c / sumW
+			if theta < bestTheta {
+				bestTheta, bestLink, bestFlow = theta, l, -1
+			}
+		}
+		for i, f := range flows {
+			if frozen[i] || f.Demand <= 0 {
+				continue
+			}
+			theta := float64(f.Demand) / weight[i]
+			if theta < bestTheta {
+				bestTheta, bestLink, bestFlow = theta, -2, i
+			}
+		}
+
+		if bestLink == -1 && bestFlow == -1 {
+			// No constraint applies to the remaining flows: they are
+			// unbounded. Freeze them at +inf conceptually; report 0 demand
+			// flows as unconstrained max.
+			for i := range flows {
+				if !frozen[i] {
+					frozen[i] = true
+					remaining--
+					out[i].Rate = units.Bandwidth(math.MaxInt64 / 2)
+					out[i].Bottleneck = -1
+				}
+			}
+			break
+		}
+
+		freeze := func(fi int, rate float64, bottleneck int) {
+			frozen[fi] = true
+			remaining--
+			if rate < 0 {
+				rate = 0
+			}
+			out[fi].Rate = units.Bandwidth(rate + 0.5)
+			out[fi].Bottleneck = bottleneck
+			// Subtract from every constrained link on the path and drop
+			// the flow from the unfrozen sets.
+			seen := make(map[int]bool)
+			for _, l := range flows[fi].Links {
+				if _, constrained := capLeft[l]; !constrained || seen[l] {
+					continue
+				}
+				seen[l] = true
+				capLeft[l] -= rate
+				if capLeft[l] < 0 {
+					capLeft[l] = 0
+				}
+				ff := flowsOn[l][:0]
+				for _, x := range flowsOn[l] {
+					if x != fi {
+						ff = append(ff, x)
+					}
+				}
+				flowsOn[l] = ff
+			}
+		}
+
+		if bestFlow >= 0 {
+			// A demand constraint binds first: the flow takes exactly its
+			// demand and stops competing.
+			freeze(bestFlow, float64(flows[bestFlow].Demand), -1)
+			continue
+		}
+		// The link bestLink saturates: all its unfrozen flows freeze at
+		// weight-proportional shares of what is left.
+		for _, fi := range append([]int(nil), flowsOn[bestLink]...) {
+			freeze(fi, weight[fi]*bestTheta, bestLink)
+		}
+	}
+	return out
+}

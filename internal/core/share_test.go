@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -40,16 +39,32 @@ func fig8Flow(i int) FlowDemand {
 	} else {
 		links = []int{i, 7, 8 + i}
 	}
-	return FlowDemand{ID: fmt.Sprintf("c%d", i+1), Links: links, RTT: 2 * lat}
+	return FlowDemand{ID: FlowID(i + 1), Links: links, RTT: 2 * lat}
+}
+
+// solvers are the two entry points of the sharing model: the indexed
+// allocation-free solver and the seed's reference implementation it is
+// differentially tested against. Model-level tests run against both.
+var solvers = []struct {
+	name string
+	f    func(map[int]units.Bandwidth, []FlowDemand) []Allocation
+}{
+	{"indexed", Allocate},
+	{"reference", AllocateReference},
 }
 
 func allocMbps(t *testing.T, n int) []float64 {
+	t.Helper()
+	return allocMbpsVia(t, Allocate, n)
+}
+
+func allocMbpsVia(t *testing.T, solver func(map[int]units.Bandwidth, []FlowDemand) []Allocation, n int) []float64 {
 	t.Helper()
 	flows := make([]FlowDemand, n)
 	for i := range flows {
 		flows[i] = fig8Flow(i)
 	}
-	got := Allocate(fig8Capacities(), flows)
+	got := solver(fig8Capacities(), flows)
 	out := make([]float64, n)
 	for i, a := range got {
 		out[i] = float64(a.Rate) / float64(units.Mbps)
@@ -75,42 +90,47 @@ func checkClose(t *testing.T, got []float64, want []float64, tol float64) {
 // model yields 16.93/23.70; the remaining ten published values match to
 // two decimals).
 func TestFigure8Breakpoints(t *testing.T) {
-	t.Run("c1 alone", func(t *testing.T) {
-		checkClose(t, allocMbps(t, 1), []float64{50}, 0.05)
-	})
-	t.Run("c1+c2", func(t *testing.T) {
-		// Paper: 23.08 and 26.92 on the shared 50Mb/s B1-B2 link.
-		checkClose(t, allocMbps(t, 2), []float64{23.0769, 26.9231}, 0.05)
-	})
-	t.Run("c1..c3", func(t *testing.T) {
-		// Paper: 18.45, 21.55, 10 (C3 capped by its 10Mb/s access link,
-		// surplus redistributed proportionally).
-		checkClose(t, allocMbps(t, 3), []float64{18.4615, 21.5385, 10}, 0.05)
-	})
-	t.Run("c1..c4", func(t *testing.T) {
-		// Paper: C4 reaches 50 because B2-B3 can fit everyone.
-		checkClose(t, allocMbps(t, 4), []float64{18.4615, 21.5385, 10, 50}, 0.05)
-	})
-	t.Run("c1..c5", func(t *testing.T) {
-		// Paper: 16.89, 19.75, 10, 23.74, 29.62 — all five competing for
-		// the 100Mb/s B2-B3 link. The model's exact fixed point is
-		// 16.93/19.75/10/23.70/29.62 (the paper's 16.89/23.74 differ by
-		// 0.04, its own rounding); we assert the model's values and that
-		// the published ones are within 0.05.
-		got := allocMbps(t, 5)
-		checkClose(t, got, []float64{16.9276, 19.7489, 10, 23.6986, 29.6233}, 0.05)
-		sum := 0.0
-		for _, v := range got {
-			sum += v
-		}
-		if math.Abs(sum-100) > 0.1 {
-			t.Errorf("B2-B3 not fully utilized: Σ=%v", sum)
-		}
-	})
-	t.Run("all six", func(t *testing.T) {
-		// Paper: 15.04, 17.55, 10, 21.06, 26.33, 10.
-		checkClose(t, allocMbps(t, 6), []float64{15.047, 17.555, 10, 21.066, 26.333, 10}, 0.05)
-	})
+	for _, solver := range solvers {
+		solver := solver
+		t.Run(solver.name, func(t *testing.T) {
+			t.Run("c1 alone", func(t *testing.T) {
+				checkClose(t, allocMbpsVia(t, solver.f, 1), []float64{50}, 0.05)
+			})
+			t.Run("c1+c2", func(t *testing.T) {
+				// Paper: 23.08 and 26.92 on the shared 50Mb/s B1-B2 link.
+				checkClose(t, allocMbpsVia(t, solver.f, 2), []float64{23.0769, 26.9231}, 0.05)
+			})
+			t.Run("c1..c3", func(t *testing.T) {
+				// Paper: 18.45, 21.55, 10 (C3 capped by its 10Mb/s access link,
+				// surplus redistributed proportionally).
+				checkClose(t, allocMbpsVia(t, solver.f, 3), []float64{18.4615, 21.5385, 10}, 0.05)
+			})
+			t.Run("c1..c4", func(t *testing.T) {
+				// Paper: C4 reaches 50 because B2-B3 can fit everyone.
+				checkClose(t, allocMbpsVia(t, solver.f, 4), []float64{18.4615, 21.5385, 10, 50}, 0.05)
+			})
+			t.Run("c1..c5", func(t *testing.T) {
+				// Paper: 16.89, 19.75, 10, 23.74, 29.62 — all five competing for
+				// the 100Mb/s B2-B3 link. The model's exact fixed point is
+				// 16.93/19.75/10/23.70/29.62 (the paper's 16.89/23.74 differ by
+				// 0.04, its own rounding); we assert the model's values and that
+				// the published ones are within 0.05.
+				got := allocMbpsVia(t, solver.f, 5)
+				checkClose(t, got, []float64{16.9276, 19.7489, 10, 23.6986, 29.6233}, 0.05)
+				sum := 0.0
+				for _, v := range got {
+					sum += v
+				}
+				if math.Abs(sum-100) > 0.1 {
+					t.Errorf("B2-B3 not fully utilized: Σ=%v", sum)
+				}
+			})
+			t.Run("all six", func(t *testing.T) {
+				// Paper: 15.04, 17.55, 10, 21.06, 26.33, 10.
+				checkClose(t, allocMbpsVia(t, solver.f, 6), []float64{15.047, 17.555, 10, 21.066, 26.333, 10}, 0.05)
+			})
+		})
+	}
 }
 
 func TestFigure8ReverseShutdown(t *testing.T) {
@@ -152,8 +172,8 @@ func TestAllocateDemandCap(t *testing.T) {
 	// A flow demanding less than its share frees the rest for others.
 	caps := map[int]units.Bandwidth{0: 100 * units.Mbps}
 	flows := []FlowDemand{
-		{ID: "a", Links: []int{0}, RTT: 50 * time.Millisecond, Demand: 10 * units.Mbps},
-		{ID: "b", Links: []int{0}, RTT: 50 * time.Millisecond},
+		{ID: 1, Links: []int{0}, RTT: 50 * time.Millisecond, Demand: 10 * units.Mbps},
+		{ID: 2, Links: []int{0}, RTT: 50 * time.Millisecond},
 	}
 	got := Allocate(caps, flows)
 	if got[0].Rate != 10*units.Mbps {
@@ -171,7 +191,7 @@ func TestAllocateDemandCap(t *testing.T) {
 }
 
 func TestAllocateNoConstraints(t *testing.T) {
-	flows := []FlowDemand{{ID: "x", Links: []int{99}, RTT: time.Millisecond}}
+	flows := []FlowDemand{{ID: 1, Links: []int{99}, RTT: time.Millisecond}}
 	got := Allocate(nil, flows)
 	if got[0].Rate <= 0 {
 		t.Error("unconstrained flow should get a huge allocation")
@@ -188,8 +208,8 @@ func TestAllocateZeroRTT(t *testing.T) {
 	// Zero RTT must not divide by zero; it is floored.
 	caps := map[int]units.Bandwidth{0: 10 * units.Mbps}
 	flows := []FlowDemand{
-		{ID: "a", Links: []int{0}, RTT: 0},
-		{ID: "b", Links: []int{0}, RTT: 0},
+		{ID: 1, Links: []int{0}, RTT: 0},
+		{ID: 2, Links: []int{0}, RTT: 0},
 	}
 	got := Allocate(caps, flows)
 	want := 5 * units.Mbps
@@ -204,7 +224,7 @@ func TestAllocateDuplicateLinkInPath(t *testing.T) {
 	// A path listing the same link twice (can happen with hairpin routes)
 	// must not double-subtract.
 	caps := map[int]units.Bandwidth{0: 10 * units.Mbps}
-	flows := []FlowDemand{{ID: "a", Links: []int{0, 0}, RTT: time.Millisecond}}
+	flows := []FlowDemand{{ID: 1, Links: []int{0, 0}, RTT: time.Millisecond}}
 	got := Allocate(caps, flows)
 	if math.Abs(float64(got[0].Rate)-float64(10*units.Mbps)) > 1e3 {
 		t.Errorf("rate = %v, want 10Mbps", got[0].Rate)
@@ -243,7 +263,7 @@ func TestAllocateInvariants(t *testing.T) {
 				demand = units.Bandwidth(int64(c.Demands[i]%500)+1) * units.Mbps
 			}
 			flows[i] = FlowDemand{
-				ID:     fmt.Sprintf("f%d", i),
+				ID:     FlowID(i),
 				Links:  links,
 				RTT:    time.Duration(c.RTTs[i]%200+1) * time.Millisecond,
 				Demand: demand,
@@ -294,7 +314,7 @@ func TestAllocateWorkConserving(t *testing.T) {
 		caps := map[int]units.Bandwidth{0: 100 * units.Mbps}
 		flows := make([]FlowDemand, len(rtts))
 		for i, r := range rtts {
-			flows[i] = FlowDemand{ID: fmt.Sprintf("f%d", i), Links: []int{0},
+			flows[i] = FlowDemand{ID: FlowID(i), Links: []int{0},
 				RTT: time.Duration(r%300+1) * time.Millisecond}
 		}
 		got := Allocate(caps, flows)
@@ -313,8 +333,8 @@ func TestAllocateRTTBias(t *testing.T) {
 	// Lower RTT flows receive strictly more on a shared bottleneck.
 	caps := map[int]units.Bandwidth{0: 100 * units.Mbps}
 	flows := []FlowDemand{
-		{ID: "slow", Links: []int{0}, RTT: 200 * time.Millisecond},
-		{ID: "fast", Links: []int{0}, RTT: 20 * time.Millisecond},
+		{ID: 1, Links: []int{0}, RTT: 200 * time.Millisecond},
+		{ID: 2, Links: []int{0}, RTT: 20 * time.Millisecond},
 	}
 	got := Allocate(caps, flows)
 	if got[1].Rate <= got[0].Rate {
@@ -348,7 +368,7 @@ func BenchmarkAllocateLarge(b *testing.B) {
 	flows := make([]FlowDemand, 512)
 	for i := range flows {
 		flows[i] = FlowDemand{
-			ID:    fmt.Sprintf("f%d", i),
+			ID:    FlowID(i),
 			Links: []int{i % 128, (i * 7) % 128, (i * 13) % 128},
 			RTT:   time.Duration(10+i%90) * time.Millisecond,
 		}

@@ -18,6 +18,7 @@ type broadcastNode struct {
 	stats Stats
 
 	remote map[uint16]broadcastEntry
+	hosts  []int // scratch for the per-view deterministic host ordering
 }
 
 type broadcastEntry struct {
@@ -60,13 +61,16 @@ func (n *broadcastNode) Receive(now time.Duration, payload []byte) {
 }
 
 func (n *broadcastNode) RemoteFlows(now, maxAge time.Duration) []RemoteFlow {
-	hosts := make([]int, 0, len(n.remote))
+	return n.AppendRemoteFlows(now, maxAge, nil)
+}
+
+func (n *broadcastNode) AppendRemoteFlows(now, maxAge time.Duration, out []RemoteFlow) []RemoteFlow {
+	n.hosts = n.hosts[:0]
 	for h := range n.remote {
-		hosts = append(hosts, int(h))
+		n.hosts = append(n.hosts, int(h))
 	}
-	sort.Ints(hosts)
-	var out []RemoteFlow
-	for _, h := range hosts {
+	sort.Ints(n.hosts)
+	for _, h := range n.hosts {
 		e := n.remote[uint16(h)]
 		age := now - e.at
 		if age > maxAge {

@@ -41,6 +41,10 @@ type deltaNode struct {
 
 	// receiver side
 	peers map[uint16]*deltaPeer
+
+	// view scratch (AppendRemoteFlows determinism without per-call allocs)
+	hostsBuf []int
+	keysBuf  []string
 }
 
 // deltaVal is one flow-path aggregate: summed usage and the number of
@@ -358,24 +362,28 @@ func (n *deltaNode) ack(to int, seq uint32) {
 }
 
 func (n *deltaNode) RemoteFlows(now, maxAge time.Duration) []RemoteFlow {
-	hosts := make([]int, 0, len(n.peers))
+	return n.AppendRemoteFlows(now, maxAge, nil)
+}
+
+func (n *deltaNode) AppendRemoteFlows(now, maxAge time.Duration, out []RemoteFlow) []RemoteFlow {
+	n.hostsBuf = n.hostsBuf[:0]
 	for h := range n.peers {
-		hosts = append(hosts, int(h))
+		n.hostsBuf = append(n.hostsBuf, int(h))
 	}
-	sort.Ints(hosts)
-	var out []RemoteFlow
-	for _, h := range hosts {
+	sort.Ints(n.hostsBuf)
+	for _, h := range n.hostsBuf {
 		p := n.peers[uint16(h)]
 		if now-p.refreshed > maxAge {
 			delete(n.peers, uint16(h))
 			continue
 		}
 		age := now - p.originTS
-		keys := make([]string, 0, len(p.flows))
+		keys := n.keysBuf[:0]
 		for k := range p.flows {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
+		n.keysBuf = keys
 		for _, k := range keys {
 			v := p.flows[k]
 			out = append(out, RemoteFlow{

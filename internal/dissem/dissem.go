@@ -186,6 +186,11 @@ type Stats struct {
 	// ages are recorded at double the stride, bounding memory while
 	// keeping the percentiles.
 	Staleness metrics.Histogram
+	// StaleLinks counts remote-flow link ids the consumer (the Emulation
+	// Manager) had to drop because they fall outside the live topology's
+	// link-id space — the footprint of stale or corrupt reports that can
+	// no longer be priced against a real link.
+	StaleLinks metrics.Counter
 
 	staleStride int
 	staleSkip   int
@@ -254,6 +259,9 @@ func Summarize(stats []*Stats) Summary {
 // the deterministic simulation is single-threaded.
 type Node interface {
 	// Publish disseminates the manager's local report for this period.
+	// The message, its flow records and their link slices remain owned by
+	// the caller, which reuses them next period: implementations must
+	// copy (or immediately serialize) anything they retain past the call.
 	Publish(now time.Duration, msg *metadata.Message)
 	// Receive processes one control datagram addressed to this node.
 	Receive(now time.Duration, payload []byte)
@@ -261,6 +269,12 @@ type Node interface {
 	// manager's flows, dropping entries not refreshed within maxAge.
 	// The result is deterministic: ordered by origin, then path.
 	RemoteFlows(now, maxAge time.Duration) []RemoteFlow
+	// AppendRemoteFlows is RemoteFlows appending into buf's storage, so a
+	// per-period caller reuses one buffer instead of allocating a view
+	// every tick. The returned entries' Links slices stay owned by the
+	// node (valid until its next state change); callers copy what they
+	// keep.
+	AppendRemoteFlows(now, maxAge time.Duration, buf []RemoteFlow) []RemoteFlow
 	// Stats exposes the node's control-plane counters.
 	Stats() *Stats
 }

@@ -49,9 +49,10 @@ type treeNode struct {
 	parent   int // -1 for the root
 	children []int
 
-	local   []aggRec            // own flows as aggregate records
-	childUp map[int]*treeReport // child host -> latest subtree aggregate
-	extern  *treeReport         // latest extern from the parent
+	local      []aggRec            // own flows as aggregate records
+	localLinks []uint16            // arena backing local's link slices
+	childUp    map[int]*treeReport // child host -> latest subtree aggregate
+	extern     *treeReport         // latest extern from the parent
 }
 
 // aggRec is one aggregated flow record.
@@ -89,14 +90,20 @@ func (n *treeNode) Publish(now time.Duration, msg *metadata.Message) {
 	if msg == nil || n.cfg.NumHosts < 2 {
 		return
 	}
+	// n.local outlives this call (ups are re-sent when a child's report
+	// arrives), while the caller owns and reuses msg's link slices — copy
+	// them into the node's own arena.
 	n.local = n.local[:0]
+	n.localLinks = n.localLinks[:0]
 	for _, f := range msg.Flows {
+		start := len(n.localLinks)
+		n.localLinks = append(n.localLinks, f.Links...)
 		n.local = append(n.local, aggRec{
 			origin: uint16(n.host),
 			bps:    uint64(f.BPS),
 			count:  1,
 			ts:     now,
-			links:  f.Links,
+			links:  n.localLinks[start:len(n.localLinks):len(n.localLinks)],
 		})
 	}
 	n.sendUp(now)
@@ -268,6 +275,10 @@ func (n *treeNode) Receive(now time.Duration, payload []byte) {
 }
 
 func (n *treeNode) RemoteFlows(now, maxAge time.Duration) []RemoteFlow {
+	return n.AppendRemoteFlows(now, maxAge, nil)
+}
+
+func (n *treeNode) AppendRemoteFlows(now, maxAge time.Duration, out []RemoteFlow) []RemoteFlow {
 	parts := make([][]aggRec, 0, len(n.children)+1)
 	if n.extern != nil && now-n.extern.at <= maxAge {
 		parts = append(parts, n.extern.recs)
@@ -278,7 +289,6 @@ func (n *treeNode) RemoteFlows(now, maxAge time.Duration) []RemoteFlow {
 		}
 	}
 	merged := mergeRecs(parts)
-	out := make([]RemoteFlow, 0, len(merged))
 	for _, r := range merged {
 		age := now - r.ts
 		out = append(out, RemoteFlow{

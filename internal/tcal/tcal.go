@@ -13,7 +13,9 @@
 package tcal
 
 import (
+	"bytes"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/netem"
@@ -46,6 +48,13 @@ type TCAL struct {
 	egress func(*packet.Packet)
 	filter *netem.U32Filter
 	chains map[packet.IP]*chain
+
+	// dsts caches the installed destinations in ascending IP order so the
+	// Emulation Manager's per-period scan does not re-sort (or even
+	// re-materialize) an unchanged set; dstsDirty marks it for a lazy
+	// rebuild after a path install/remove.
+	dsts      []packet.IP
+	dstsDirty bool
 
 	// UnmatchedDropped counts packets to destinations with no installed
 	// path (unreachable in the current topology state).
@@ -97,6 +106,9 @@ func (t *TCAL) InstallPath(dst packet.IP, p PathProps) {
 			w()
 		}
 	}
+	if _, existed := t.chains[dst]; !existed {
+		t.dstsDirty = true
+	}
 	t.chains[dst] = c
 	t.filter.Add(dst, c.qdisc)
 }
@@ -127,6 +139,9 @@ func (t *TCAL) NotifyWritable(dst packet.IP, fn func()) {
 // RemovePath removes the chain toward dst; subsequent packets are dropped
 // (destination unreachable).
 func (t *TCAL) RemovePath(dst packet.IP) {
+	if _, existed := t.chains[dst]; existed {
+		t.dstsDirty = true
+	}
 	delete(t.chains, dst)
 	t.filter.Remove(dst)
 }
@@ -137,13 +152,23 @@ func (t *TCAL) HasPath(dst packet.IP) bool {
 	return ok
 }
 
-// Destinations returns the installed destinations (unordered).
+// Destinations returns the installed destinations in ascending IP order.
+// The returned slice is owned by the TCAL and reused: it stays valid (and
+// unchanged, even across a RemovePath issued mid-iteration) until the
+// next Destinations call after a path mutation. Callers must not mutate
+// or retain it across periods.
 func (t *TCAL) Destinations() []packet.IP {
-	out := make([]packet.IP, 0, len(t.chains))
-	for ip := range t.chains {
-		out = append(out, ip)
+	if t.dstsDirty {
+		t.dsts = t.dsts[:0]
+		for ip := range t.chains {
+			t.dsts = append(t.dsts, ip)
+		}
+		sort.Slice(t.dsts, func(i, j int) bool {
+			return bytes.Compare(t.dsts[i][:], t.dsts[j][:]) < 0
+		})
+		t.dstsDirty = false
 	}
-	return out
+	return t.dsts
 }
 
 // Send classifies a packet into its destination chain — the container's

@@ -276,7 +276,11 @@ type State struct {
 // swaps it in with a fresh collapse, so previously returned States stay
 // valid snapshots.
 type Live struct {
-	st      *State
+	st *State
+	// gen counts successful mutations. Consumers that cache state-derived
+	// lookups (collapsed paths, link capacity tables) key their caches on
+	// it instead of re-deriving every emulation period.
+	gen     uint64
 	removed map[int]removedLink
 	// nodeDown counts outstanding node-leaves per declared name, so two
 	// independent actors taking the same node down (a scheduled NodeDown
@@ -314,10 +318,16 @@ func nodeOwner(name string) string       { return "node:" + name }
 func NewLive(g *graph.Graph) *Live {
 	return &Live{
 		st:       &State{At: 0, Graph: g, Collapsed: Collapse(g)},
+		gen:      1,
 		removed:  make(map[int]removedLink),
 		nodeDown: make(map[string]int),
 	}
 }
+
+// Gen returns the live topology's mutation generation: 1 at creation,
+// incremented by every successful Apply/ApplyIf. A cache built at
+// generation g is valid exactly while Gen() == g.
+func (l *Live) Gen() uint64 { return l.gen }
 
 // State returns the current state. Apply installs a fresh State rather
 // than mutating the returned one, so callers may hold it as a snapshot.
@@ -362,6 +372,7 @@ func (l *Live) ApplyIf(at time.Duration, check func(*State) error, evs ...Event)
 		}
 	}
 	l.st = st
+	l.gen++
 	l.removed = removed
 	l.nodeDown = nodeDown
 	return nil
