@@ -21,21 +21,21 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table2 table3 table4 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 dissem alloc or all")
+	exp := flag.String("exp", "all", "experiment id: table2 table3 table4 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 dissem alloc failover or all")
 	quick := flag.Bool("quick", false, "reduced durations (coarser numbers, much faster)")
 	benchOut := flag.String("bench-out", "BENCH_allocator.json", "output path for the alloc experiment's JSON report (empty = don't write)")
+	failoverOut := flag.String("failover-out", "BENCH_failover.json", "output path for the failover experiment's JSON report (empty = don't write)")
 	flag.Parse()
-	// `-exp all` must not silently rewrite the committed CI baseline on a
-	// developer box; the JSON is only written when the alloc experiment
-	// (or an output path) is requested explicitly.
-	benchOutSet := false
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "bench-out" {
-			benchOutSet = true
-		}
-	})
-	if *exp == "all" && !benchOutSet {
+	// `-exp all` must not silently rewrite the committed CI baselines on a
+	// developer box; each JSON is only written when its experiment (or an
+	// explicit output path) is requested.
+	outSet := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { outSet[f.Name] = true })
+	if *exp == "all" && !outSet["bench-out"] {
 		*benchOut = ""
+	}
+	if *exp == "all" && !outSet["failover-out"] {
+		*failoverOut = ""
 	}
 
 	d := func(full, fast time.Duration) time.Duration {
@@ -98,8 +98,25 @@ func main() {
 				fmt.Printf("\nwrote %s\n", *benchOut)
 			}
 		},
+		"failover": func() {
+			// The acceptance scenario: one of N=32 managers dead for 50
+			// emulation periods, then restarted.
+			n, deadPeriods := 32, 50
+			if *quick {
+				n, deadPeriods = 8, 30
+			}
+			t, _, err := experiments.RunFailover(*failoverOut, n, deadPeriods)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			t.Fprint(os.Stdout)
+			if *failoverOut != "" {
+				fmt.Printf("\nwrote %s\n", *failoverOut)
+			}
+		},
 	}
-	order := []string{"table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table4", "fig9", "fig10", "fig11", "dissem", "alloc"}
+	order := []string{"table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table4", "fig9", "fig10", "fig11", "dissem", "alloc", "failover"}
 
 	if *exp == "all" {
 		for _, id := range order {

@@ -39,6 +39,16 @@ type Manager struct {
 	// ring receives local Emulation Core reports through shared memory.
 	ring *metadata.Ring
 
+	// dead marks a killed Emulation Manager: its loop is muted and its
+	// datagrams are dropped both ways, while the host's containers keep
+	// running against their last enforced allocations (only the control
+	// plane died). kills counts KillManager calls — a generation token
+	// that lets churn-style automation tell whether the kill it scheduled
+	// a restart for was superseded by another actor. Set through
+	// Runtime.KillManager / RestartManager.
+	dead  bool
+	kills int
+
 	// Iterations counts completed emulation loops.
 	Iterations int64
 
@@ -75,6 +85,9 @@ type managerTransport struct{ m *Manager }
 
 func (t managerTransport) SendTo(host int, payload []byte) {
 	m := t.m
+	if m.dead {
+		return // a killed manager's datagrams never reach the wire
+	}
 	port := m.rt.opts.MetadataPort
 	m.stack.SendUDP(m.emIPs[host], port, port, len(payload), payload)
 }
@@ -97,21 +110,34 @@ func newManager(rt *Runtime, host int, emIPs []packet.IP) (*Manager, error) {
 		emIPs: emIPs,
 		ring:  metadata.NewRing(64),
 	}
-	cfg := rt.opts.Dissem
-	cfg.NumHosts = len(emIPs)
-	cfg.Wide = rt.wide
-	node, err := dissem.New(cfg, host, managerTransport{m})
-	if err != nil {
+	if err := m.newNode(); err != nil {
 		return nil, err
 	}
-	m.node = node
 	m.stack = transport.NewStack(rt.Eng, rt.Cluster, emIPs[host])
 	m.stack.HandleUDP(rt.opts.MetadataPort, m.onMetadata)
 	return m, nil
 }
 
+// newNode builds a fresh dissemination endpoint. A restarted manager
+// gets a new one — like a restarted process, it remembers nothing: no
+// peer views, no ack baselines, no overlay suspicions.
+func (m *Manager) newNode() error {
+	cfg := m.rt.opts.Dissem
+	cfg.NumHosts = len(m.emIPs)
+	cfg.Wide = m.rt.wide
+	node, err := dissem.New(cfg, m.host, managerTransport{m})
+	if err != nil {
+		return err
+	}
+	m.node = node
+	return nil
+}
+
 // Host returns the manager's host index.
 func (m *Manager) Host() int { return m.host }
+
+// Down reports whether the manager is currently killed.
+func (m *Manager) Down() bool { return m.dead }
 
 // MetadataSent returns the cumulative metadata bytes this Manager sent.
 func (m *Manager) MetadataSent() int64 { return m.node.Stats().BytesSent.Value() }
@@ -128,14 +154,17 @@ func (m *Manager) start() {
 
 func (m *Manager) onMetadata(src packet.IP, srcPort uint16, size int, payload any) {
 	raw, ok := payload.([]byte)
-	if !ok {
-		return
+	if !ok || m.dead {
+		return // inbound datagrams to a killed manager are dropped
 	}
 	m.node.Receive(m.rt.Eng.Now(), raw)
 }
 
 // iterate is one emulation loop pass.
 func (m *Manager) iterate() {
+	if m.dead {
+		return // killed: no polling, no dissemination, no enforcement
+	}
 	m.Iterations++
 	period := m.rt.opts.Period
 

@@ -432,6 +432,77 @@ func (rt *Runtime) installPath(c *Container, dstIP packet.IP) bool {
 	return true
 }
 
+// KillManager kills host's Emulation Manager: its emulation loop stops,
+// its Publish is muted, and its control datagrams are dropped both ways.
+// The host's containers keep running — only the control plane died, so
+// traffic continues under the last enforced allocations while peers
+// detect the silence and route around it. Killing an already-dead
+// manager is an error.
+func (rt *Runtime) KillManager(host int) error {
+	if host < 0 || host >= len(rt.managers) {
+		return fmt.Errorf("core: KillManager(%d): host out of range [0,%d)", host, len(rt.managers))
+	}
+	m := rt.managers[host]
+	if m.dead {
+		return fmt.Errorf("core: KillManager(%d): manager already dead", host)
+	}
+	m.dead = true
+	m.kills++
+	return nil
+}
+
+// RestartManager revives a killed Emulation Manager as a fresh process:
+// its dissemination endpoint is rebuilt from scratch (no peer views, no
+// ack baselines, no suspicions), so recovery exercises the strategies'
+// re-admission paths, not warm in-memory state. Restarting a live
+// manager is an error.
+func (rt *Runtime) RestartManager(host int) error {
+	if host < 0 || host >= len(rt.managers) {
+		return fmt.Errorf("core: RestartManager(%d): host out of range [0,%d)", host, len(rt.managers))
+	}
+	m := rt.managers[host]
+	if !m.dead {
+		return fmt.Errorf("core: RestartManager(%d): manager is not dead", host)
+	}
+	old := *m.node.Stats()
+	if err := m.newNode(); err != nil {
+		return err
+	}
+	// Control-plane counters are deployment observability, not process
+	// state: keep them monotonic across restarts so experiments that
+	// subtract warmup snapshots (bytes/period, staleness) stay valid.
+	*m.node.Stats() = old
+	// The TCAL usage counters are drained on read by the emulation loop,
+	// which stopped polling while dead: drain them now, or the first
+	// live pass would read the whole outage's traffic as one period's
+	// rate and publish demands inflated by a factor of the downtime.
+	for _, c := range m.locals {
+		for _, dst := range c.tcal.Destinations() {
+			_ = c.tcal.Usage(dst)
+			_ = c.tcal.Requested(dst)
+		}
+	}
+	m.dead = false
+	return nil
+}
+
+// ManagerDown reports whether host's Emulation Manager is currently
+// killed. Out-of-range hosts report false.
+func (rt *Runtime) ManagerDown(host int) bool {
+	return host >= 0 && host < len(rt.managers) && rt.managers[host].dead
+}
+
+// ManagerKills returns how many times host's Emulation Manager has been
+// killed — a generation token: automation that kills a manager and
+// schedules its restart compares it at restart time, so it only revives
+// its *own* kill and never silently undoes a later one by another actor.
+func (rt *Runtime) ManagerKills(host int) int {
+	if host < 0 || host >= len(rt.managers) {
+		return 0
+	}
+	return rt.managers[host].kills
+}
+
 // MetadataTraffic sums the metadata bytes sent and received across all
 // Managers — the quantity Figures 3 and 4 report.
 func (rt *Runtime) MetadataTraffic() (sent, received int64) {

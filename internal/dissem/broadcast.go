@@ -11,6 +11,11 @@ import (
 // original Emulation Manager: each period the full local report is encoded
 // once with the paper's wire format and unicast to every peer; the view is
 // simply the latest report from each peer, expiring after maxAge.
+//
+// Failure model: Broadcast is the one strategy that needs no suspicion
+// (Config.SuspectAfter is ignored) — it holds no per-peer protocol state
+// beyond the view itself, so a dead manager simply ages out after maxAge
+// and a restarted one reappears with its first report.
 type broadcastNode struct {
 	cfg   Config
 	host  int

@@ -16,6 +16,17 @@ import (
 // losing updates. Every ResyncEvery periods — or whenever a peer falls
 // behind the retained snapshot window — the full state is re-sent.
 //
+// Liveness: every peer reports every period (empty diffs are the
+// heartbeat), so a peer silent for more than SuspectAfter periods is
+// suspected dead. Suspected peers are excluded from the acked baseline
+// and their ack state is garbage-collected — one dead manager would
+// otherwise pin minAcked forever, and once its snapshot fell out of
+// retention *every* report would degrade to a full resync. Reports keep
+// flowing to suspects (they cost no fresh encoding and break the mutual
+// silence a false suspicion could otherwise deadlock into); the first
+// datagram heard from a suspect re-admits it and schedules it a targeted
+// full report, which rebuilds its state — and its ack — from scratch.
+//
 // Flows are keyed by their link path (the paper's flow identity); flows
 // sharing one path are summed but keep a count so receivers can hand the
 // sharing model one demand per underlying flow. Records carry absolute
@@ -33,6 +44,10 @@ type deltaNode struct {
 	snapOrder []uint32
 	acked     map[int]uint32 // peer host -> highest acked seq
 	sinceFull int
+	// live suspects peers silent for more than SuspectAfter periods;
+	// needFull marks re-admitted peers owed a targeted full report.
+	live     *liveness
+	needFull map[int]bool
 	// lastSent holds, per path, the value most recently included in any
 	// report. Epsilon-comparing against it catches slow monotonic drift
 	// that stays sub-epsilon within the ack window but compounds across
@@ -66,26 +81,44 @@ type deltaPeer struct {
 }
 
 func newDeltaNode(cfg Config, host int, tr Transport) *deltaNode {
-	return &deltaNode{
-		cfg:   cfg,
-		host:  host,
-		tr:    tr,
-		snaps: make(map[uint32]deltaSnapshot),
-		acked: make(map[int]uint32),
-		peers: make(map[uint16]*deltaPeer),
+	n := &deltaNode{
+		cfg:      cfg,
+		host:     host,
+		tr:       tr,
+		snaps:    make(map[uint32]deltaSnapshot),
+		acked:    make(map[int]uint32),
+		peers:    make(map[uint16]*deltaPeer),
+		live:     newLiveness(cfg.SuspectAfter),
+		needFull: make(map[int]bool),
 	}
+	for h := 0; h < cfg.NumHosts; h++ {
+		if h != host {
+			n.live.watch(h)
+		}
+	}
+	return n
 }
 
 func (n *deltaNode) Publish(now time.Duration, msg *metadata.Message) {
 	if msg == nil || n.cfg.NumHosts < 2 {
 		return
 	}
+	// Advance the failure detector one period. A newly suspected peer's
+	// ack state is garbage-collected: it must neither pin the baseline
+	// nor, if stale, be trusted after the peer restarts with empty state.
+	for _, h := range n.live.advance() {
+		n.stats.Suspicions.Inc()
+		delete(n.acked, h)
+		delete(n.needFull, h)
+	}
 	cur := make(deltaSnapshot, len(msg.Flows))
 	for _, f := range msg.Flows {
 		k := pathKey(f.Links)
 		v := cur[k]
 		v.bps = clampU32(uint64(v.bps) + uint64(f.BPS))
-		v.count++
+		if v.count < ^uint16(0) {
+			v.count++
+		}
 		cur[k] = v
 	}
 	n.seq++
@@ -105,47 +138,92 @@ func (n *deltaNode) Publish(now time.Duration, msg *metadata.Message) {
 	var raw []byte
 	if full {
 		n.sinceFull = 0
-		raw = n.encodeReport(msgDeltaFull, now, cur, nil)
-		n.lastSent = make(deltaSnapshot, len(cur))
-		for k, v := range cur {
-			n.lastSent[k] = v
+		curKeys := sortedKeys(cur)
+		var sent int
+		raw, sent, _ = n.encodeReport(msgDeltaFull, now, cur, curKeys, nil)
+		n.lastSent = make(deltaSnapshot, sent)
+		for _, k := range curKeys[:sent] {
+			n.lastSent[k] = cur[k]
 		}
+		clear(n.needFull) // everyone gets this full anyway
 	} else {
 		changed, removed := n.diff(baseSeq, cur)
-		raw = n.encodeReport(msgDeltaDiff, now, changed, removed)
+		changedKeys := sortedKeys(changed)
+		var sentFlows, sentRemoved int
+		raw, sentFlows, sentRemoved = n.encodeReport(msgDeltaDiff, now, changed, changedKeys, removed)
 		if n.lastSent == nil {
 			n.lastSent = make(deltaSnapshot)
 		}
-		for k, v := range changed {
-			n.lastSent[k] = v
+		// lastSent only records what actually made it onto the wire: a
+		// record clamped off a saturated datagram must stay eligible for
+		// the next diff, or its drift would be suppressed forever.
+		for _, k := range changedKeys[:sentFlows] {
+			n.lastSent[k] = changed[k]
 		}
-		for _, k := range removed {
+		for _, k := range removed[:sentRemoved] {
 			delete(n.lastSent, k)
 		}
 	}
-	for h := 0; h < n.cfg.NumHosts; h++ {
-		if h != n.host {
-			n.stats.send(n.tr, h, raw)
-		}
-	}
-}
-
-// minAcked returns the lowest sequence number acknowledged by every peer
-// (0 when some peer has never acked).
-func (n *deltaNode) minAcked() uint32 {
-	min := ^uint32(0)
+	// Re-admitted peers get a targeted full instead of the diff: after a
+	// restart (or an expiry-induced state flush) they have no baseline to
+	// apply a diff against and would stay silent — and unacked — forever.
+	// lastSent is untouched: the full went to one peer, not all.
+	var readmit []byte
 	for h := 0; h < n.cfg.NumHosts; h++ {
 		if h == n.host {
 			continue
 		}
+		if !full && n.needFull[h] {
+			if readmit == nil {
+				readmit, _, _ = n.encodeReport(msgDeltaFull, now, cur, sortedKeys(cur), nil)
+			}
+			n.stats.send(n.tr, h, readmit)
+			delete(n.needFull, h)
+			continue
+		}
+		n.stats.send(n.tr, h, raw)
+	}
+}
+
+// minAcked returns the lowest sequence number acknowledged by every peer
+// not suspected dead (0 when some live peer has never acked). Excluding
+// suspects is what keeps one dead manager from freezing the baseline:
+// with it pinned, the baseline snapshot eventually falls out of
+// retention and every report degrades to a full resync — strictly worse
+// than Broadcast, forever. With *no* live peer at all (every other
+// manager suspected), the baseline is the current snapshot: nobody can
+// apply a diff anyway, so the node heartbeats empty diffs instead of
+// degrading to a full per period; re-admission fulls rebuild returning
+// peers.
+func (n *deltaNode) minAcked() uint32 {
+	min := ^uint32(0)
+	found := false
+	for h := 0; h < n.cfg.NumHosts; h++ {
+		if h == n.host || n.live.suspected(h) {
+			continue
+		}
+		found = true
 		if a := n.acked[h]; a < min {
 			min = a
 		}
+	}
+	if !found {
+		return n.seq
 	}
 	if min == ^uint32(0) {
 		return 0
 	}
 	return min
+}
+
+// sortedKeys returns a snapshot's path keys in deterministic order.
+func sortedKeys(s deltaSnapshot) []string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // diff lists path aggregates to re-send, gated two ways:
@@ -222,36 +300,55 @@ func (n *deltaNode) diff(baseSeq uint32, cur deltaSnapshot) (changed deltaSnapsh
 	return changed, removed
 }
 
+// maxWireRecords is the most records one control datagram can carry:
+// the wire's record count is 16 bits, so a larger report would wrap the
+// count and make the receiver's trailing-bytes check reject the whole
+// datagram. Encoders clamp to it and count the overflow in
+// Stats.TruncatedRecords.
+const maxWireRecords = int(^uint16(0))
+
 // encodeReport serializes a full or diff report:
 //
 //	[type][host:2][seq:4][ts:8][n:2] n×(bps:4, count:2, nlinks:1, links)
 //
-// removed paths are appended as bps==0, count==0 tombstones.
-func (n *deltaNode) encodeReport(typ byte, now time.Duration, flows deltaSnapshot, removed []string) []byte {
-	keys := make([]string, 0, len(flows))
-	for k := range flows {
-		keys = append(keys, k)
+// keys must be flows' path keys in deterministic (sorted) order; removed
+// paths are appended as bps==0, count==0 tombstones. Reports that would
+// overflow the 16-bit record count are clamped — live records take
+// priority over tombstones — and the drop is counted; the clamped tail
+// heals through later diffs (lastSent is only advanced for records
+// actually sent) and resyncs. It returns the encoded datagram and how
+// many flow records and tombstones were included.
+func (n *deltaNode) encodeReport(typ byte, now time.Duration, flows deltaSnapshot, keys, removed []string) (raw []byte, sentFlows, sentRemoved int) {
+	sentFlows = len(keys)
+	if sentFlows > maxWireRecords {
+		sentFlows = maxWireRecords
 	}
-	sort.Strings(keys)
+	sentRemoved = len(removed)
+	if sentFlows+sentRemoved > maxWireRecords {
+		sentRemoved = maxWireRecords - sentFlows
+	}
+	if dropped := len(keys) + len(removed) - sentFlows - sentRemoved; dropped > 0 {
+		n.stats.TruncatedRecords.Add(int64(dropped))
+	}
 
-	buf := make([]byte, 0, 17+len(flows)*10)
+	buf := make([]byte, 0, 17+(sentFlows+sentRemoved)*10)
 	buf = append(buf, typ)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(n.host))
 	buf = binary.BigEndian.AppendUint32(buf, n.seq)
 	buf = binary.BigEndian.AppendUint64(buf, uint64(now))
-	buf = binary.BigEndian.AppendUint16(buf, uint16(len(keys)+len(removed)))
-	for _, k := range keys {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(sentFlows+sentRemoved))
+	for _, k := range keys[:sentFlows] {
 		v := flows[k]
 		buf = binary.BigEndian.AppendUint32(buf, v.bps)
 		buf = binary.BigEndian.AppendUint16(buf, v.count)
 		buf = appendLinks(buf, keyLinks(k), n.cfg.Wide)
 	}
-	for _, k := range removed {
+	for _, k := range removed[:sentRemoved] {
 		buf = binary.BigEndian.AppendUint32(buf, 0)
 		buf = binary.BigEndian.AppendUint16(buf, 0)
 		buf = appendLinks(buf, keyLinks(k), n.cfg.Wide)
 	}
-	return buf
+	return buf, sentFlows, sentRemoved
 }
 
 func (n *deltaNode) Receive(now time.Duration, payload []byte) {
@@ -266,6 +363,18 @@ func (n *deltaNode) Receive(now time.Duration, payload []byte) {
 	// transport indexes peers by host) or pollute peer state.
 	if int(from) >= n.cfg.NumHosts || int(from) == n.host {
 		return
+	}
+	// Any traffic proves the peer alive. A re-admitted suspect is owed a
+	// full report: whatever state it holds (none after a restart, stale
+	// after a partition) is rebuilt wholesale rather than diffed against.
+	// Our own state for it is dropped symmetrically — a restarted peer's
+	// sequence numbers regress, so its reports would otherwise be
+	// mistaken for duplicates of the pre-failure stream.
+	if n.live.heard(int(from)) {
+		n.stats.Recoveries.Inc()
+		n.live.watch(int(from))
+		n.needFull[int(from)] = true
+		delete(n.peers, from)
 	}
 	switch typ {
 	case msgDeltaAck:
@@ -302,8 +411,13 @@ func (n *deltaNode) receiveReport(now time.Duration, typ byte, from uint16, payl
 		n.peers[from] = p
 	}
 	// Reordered or duplicate datagrams: re-ack (the sender tracks the
-	// max) but do not regress the state.
-	if p.gotAny && seq <= p.lastSeq {
+	// max) but do not regress the state. One exception: a *full* whose
+	// sequence moved backwards is a restarted sender (a fresh node counts
+	// from 1 again) — possibly one that died and returned faster than the
+	// suspicion threshold, so no recovery fired. Its full is authoritative
+	// current state; treating it as a duplicate would pin the view on the
+	// pre-failure stream until the retention fallback.
+	if p.gotAny && seq <= p.lastSeq && !(typ == msgDeltaFull && seq < p.lastSeq) {
 		n.maybeAck(typ, int(from), seq)
 		return
 	}

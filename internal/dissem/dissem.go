@@ -30,6 +30,7 @@ package dissem
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/metadata"
@@ -104,6 +105,15 @@ type Config struct {
 	AckEvery int
 	// Fanout is the arity of the Tree overlay (default 4, minimum 2).
 	Fanout int
+	// SuspectAfter is the failure-detection threshold, in emulation
+	// periods: a peer this node expects traffic from (every peer for
+	// Delta, overlay neighbors for Tree) that stays silent for more than
+	// SuspectAfter consecutive publishes is suspected dead (default 3).
+	// Suspected peers stop pinning Delta's ack baseline and are routed
+	// around in the Tree overlay; the first datagram heard from one
+	// re-admits it. Broadcast needs no suspicion — its per-peer view
+	// simply expires.
+	SuspectAfter int
 	// NumHosts is the number of Emulation Managers; filled in by the
 	// runtime at deployment.
 	NumHosts int
@@ -127,6 +137,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Fanout <= 0 {
 		c.Fanout = 4
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3
 	}
 	return c
 }
@@ -191,6 +204,18 @@ type Stats struct {
 	// link-id space — the footprint of stale or corrupt reports that can
 	// no longer be priced against a real link.
 	StaleLinks metrics.Counter
+	// Suspicions counts peers this node declared suspected dead (silent
+	// for more than SuspectAfter periods); Recoveries counts suspected
+	// peers re-admitted on first contact. A restartless run keeps both at
+	// zero.
+	Suspicions metrics.Counter
+	Recoveries metrics.Counter
+	// TruncatedRecords counts flow records dropped because a control
+	// datagram's 16-bit record count saturated (more than 65535 path
+	// aggregates in one report — far past any benchmarked scale). The
+	// encoders clamp instead of letting the count wrap, which used to
+	// make receivers reject the entire datagram as trailing garbage.
+	TruncatedRecords metrics.Counter
 
 	staleStride int
 	staleSkip   int
@@ -280,13 +305,16 @@ type Node interface {
 }
 
 // New builds a node for manager host under the given configuration.
+// Config.NumHosts must be set: without it Tree would compute a bogus
+// parent for any nonzero host and every strategy would misjudge its
+// peer set, so any host index outside [0, NumHosts) is rejected.
 func New(cfg Config, host int, tr Transport) (Node, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if host < 0 || (cfg.NumHosts > 0 && host >= cfg.NumHosts) {
-		return nil, fmt.Errorf("dissem: host %d out of range [0,%d)", host, cfg.NumHosts)
+	if host < 0 || host >= cfg.NumHosts {
+		return nil, fmt.Errorf("dissem: host %d out of range [0,%d) (Config.NumHosts must cover every manager)", host, cfg.NumHosts)
 	}
 	switch cfg.Kind {
 	case Broadcast:
@@ -380,4 +408,96 @@ func clampU32(v uint64) uint32 {
 		return ^uint32(0)
 	}
 	return uint32(v)
+}
+
+// ---- liveness ----
+
+// liveness is the failure detector Delta and Tree share: it watches the
+// peers a node expects traffic from and suspects any that stay silent
+// for more than suspectAfter of the node's own publish ticks. Publishes
+// are the node's only clock — one per emulation period — so thresholds
+// are counted in periods without the node knowing the period length.
+// Suspicion is sticky until the suspect is heard from again (suspects
+// stay off the watch list, so they cannot be re-suspected while dead);
+// re-admission is the caller's signal to heal protocol state. All state
+// transitions are driven by the deterministic publish/receive sequence,
+// preserving the simulation's reproducibility.
+type liveness struct {
+	suspectAfter int
+	tick         int
+	lastHeard    map[int]int  // watched peer -> last tick traffic arrived
+	suspects     map[int]bool // peers currently suspected dead
+}
+
+func newLiveness(suspectAfter int) *liveness {
+	return &liveness{
+		suspectAfter: suspectAfter,
+		lastHeard:    make(map[int]int),
+		suspects:     make(map[int]bool),
+	}
+}
+
+// watch starts monitoring a peer, granting it a full suspectAfter grace
+// window from now. Watching an already-watched peer keeps its deadline.
+func (l *liveness) watch(host int) {
+	if _, ok := l.lastHeard[host]; !ok && !l.suspects[host] {
+		l.lastHeard[host] = l.tick
+	}
+}
+
+// unwatch stops monitoring a peer (it left the node's overlay
+// neighborhood); an existing suspicion is kept until the peer is heard.
+func (l *liveness) unwatch(host int) {
+	delete(l.lastHeard, host)
+}
+
+// heard records traffic from a peer. It reports true when the peer was
+// suspected dead — the caller must then re-admit it (re-add to the
+// overlay, schedule a full report, ...).
+func (l *liveness) heard(host int) bool {
+	if l.suspects[host] {
+		delete(l.suspects, host)
+		return true
+	}
+	if _, ok := l.lastHeard[host]; ok {
+		l.lastHeard[host] = l.tick
+	}
+	return false
+}
+
+// advance moves the publish clock one period and returns the watched
+// peers newly suspected dead, in ascending host order (deterministic).
+func (l *liveness) advance() []int {
+	l.tick++
+	var newly []int
+	for h, last := range l.lastHeard {
+		if l.tick-last > l.suspectAfter {
+			newly = append(newly, h)
+		}
+	}
+	if len(newly) == 0 {
+		return nil
+	}
+	sort.Ints(newly)
+	for _, h := range newly {
+		delete(l.lastHeard, h)
+		l.suspects[h] = true
+	}
+	return newly
+}
+
+// suspected reports whether a peer is currently suspected dead.
+func (l *liveness) suspected(host int) bool { return l.suspects[host] }
+
+// suspectList returns the current suspects in ascending host order.
+func (l *liveness) suspectList() []int {
+	if len(l.suspects) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(l.suspects))
+	for h := range l.suspects {
+		out = append(out, h)
+	}
+	sort.Ints(out)
+	return out
 }

@@ -11,11 +11,15 @@ import (
 )
 
 // harness wires N nodes of one strategy together with a synchronous
-// in-memory transport; drop lets tests inject loss per (from, to) pair.
+// in-memory transport; drop lets tests inject loss per (from, to) pair
+// and dead marks killed managers (muted publish, datagrams dropped both
+// ways — the same semantics core.Runtime.KillManager enforces).
 type harness struct {
+	cfg   Config
 	nodes []Node
 	now   time.Duration
 	drop  func(from, to int, payload []byte) bool
+	dead  map[int]bool
 	sent  []sentRec
 }
 
@@ -31,6 +35,9 @@ type harnessTr struct {
 
 func (t harnessTr) SendTo(host int, payload []byte) {
 	t.h.sent = append(t.h.sent, sentRec{t.from, host, payload})
+	if t.h.dead[t.from] || t.h.dead[host] {
+		return
+	}
 	if t.h.drop != nil && t.h.drop(t.from, host, payload) {
 		return
 	}
@@ -40,7 +47,7 @@ func (t harnessTr) SendTo(host int, payload []byte) {
 func newHarness(t *testing.T, cfg Config, n int) *harness {
 	t.Helper()
 	cfg.NumHosts = n
-	h := &harness{}
+	h := &harness{cfg: cfg, dead: make(map[int]bool)}
 	for i := 0; i < n; i++ {
 		node, err := New(cfg, i, harnessTr{h, i})
 		if err != nil {
@@ -51,12 +58,30 @@ func newHarness(t *testing.T, cfg Config, n int) *harness {
 	return h
 }
 
-// round advances time by period and publishes each host's report in host
-// order, as the emulation loop does.
+// kill marks a manager dead: it stops publishing and its datagrams are
+// dropped both ways.
+func (h *harness) kill(host int) { h.dead[host] = true }
+
+// restart revives a killed manager with a fresh node — like a restarted
+// process it remembers nothing.
+func (h *harness) restart(t *testing.T, host int) {
+	t.Helper()
+	node, err := New(h.cfg, host, harnessTr{h, host})
+	if err != nil {
+		t.Fatalf("restart New(%d): %v", host, err)
+	}
+	h.nodes[host] = node
+	delete(h.dead, host)
+}
+
+// round advances time by period and publishes each live host's report in
+// host order, as the emulation loop does.
 func (h *harness) round(period time.Duration, msgs []*metadata.Message) {
 	h.now += period
 	for i, n := range h.nodes {
-		n.Publish(h.now, msgs[i])
+		if !h.dead[i] {
+			n.Publish(h.now, msgs[i])
+		}
 	}
 }
 
@@ -96,6 +121,97 @@ func TestParseKind(t *testing.T) {
 	}
 	if _, err := New(Config{NumHosts: 2}, 5, nil); err == nil {
 		t.Error("New with out-of-range host should fail")
+	}
+	// NumHosts left unset (0) used to accept any host index, and Tree
+	// then computed a bogus parent; it must be rejected for every host.
+	for _, host := range []int{0, 1, 7} {
+		for _, kind := range []Kind{Broadcast, Delta, Tree} {
+			if _, err := New(Config{Kind: kind}, host, harnessTr{}); err == nil {
+				t.Errorf("New(%v) with NumHosts=0, host=%d should fail", kind, host)
+			}
+		}
+	}
+	if _, err := New(Config{NumHosts: 3}, -1, harnessTr{}); err == nil {
+		t.Error("New with negative host should fail")
+	}
+}
+
+// TestMergeRecsCountSaturates: merging aggregates whose summed flow count
+// exceeds 16 bits must saturate, not wrap — a wrapped count mis-weights
+// the min-max solver (a 65537-flow aggregate would claim weight 1).
+func TestMergeRecsCountSaturates(t *testing.T) {
+	links := []uint16{4, 5}
+	parts := [][]aggRec{
+		{{origin: 1, bps: 1000, count: 40_000, ts: 1, links: links}},
+		{{origin: 2, bps: 2000, count: 40_000, ts: 2, links: links}},
+	}
+	out := mergeRecs(parts)
+	if len(out) != 1 {
+		t.Fatalf("mergeRecs returned %d records, want 1", len(out))
+	}
+	if out[0].count != ^uint16(0) {
+		t.Fatalf("merged count = %d, want saturation at %d (wrapped!)", out[0].count, ^uint16(0))
+	}
+	if out[0].bps != 3000 || out[0].origin != MergedOrigin || out[0].ts != 1 {
+		t.Fatalf("merged record = %+v", out[0])
+	}
+	// Below the limit, counts still add exactly.
+	parts[1][0].count = 3
+	if out := mergeRecs(parts); out[0].count != 40_003 {
+		t.Fatalf("merged count = %d, want 40003", out[0].count)
+	}
+}
+
+// overflowMsg builds a report with more distinct flow paths than the
+// wire's 16-bit record count can carry.
+func overflowMsg(host, nflows int) *metadata.Message {
+	msg := &metadata.Message{Host: uint16(host)}
+	for i := 0; i < nflows; i++ {
+		msg.Flows = append(msg.Flows, metadata.FlowRecord{
+			BPS:   uint32(i + 1),
+			Links: []uint16{uint16(i / 256), uint16(300 + i%256)},
+		})
+	}
+	return msg
+}
+
+// TestDeltaWireOverflowClamped: a report with more than 65535 path
+// aggregates used to wrap the record count, making the receiver reject
+// the entire datagram as trailing garbage — the sender's whole view
+// silently vanished. The encoder must clamp and count the drop.
+func TestDeltaWireOverflowClamped(t *testing.T) {
+	const period = 50 * time.Millisecond
+	const nflows = maxWireRecords + 500
+	h := newHarness(t, Config{Kind: Delta, Wide: true}, 2)
+	h.round(period, []*metadata.Message{overflowMsg(0, nflows), hostMsg(1)})
+	v := h.nodes[1].RemoteFlows(h.now, 3*period)
+	if len(v) == 0 {
+		t.Fatal("receiver rejected the oversized report outright (record count wrapped)")
+	}
+	if len(v) != maxWireRecords {
+		t.Fatalf("receiver view has %d records, want clamp at %d", len(v), maxWireRecords)
+	}
+	if got := h.nodes[0].Stats().TruncatedRecords.Value(); got != 500 {
+		t.Fatalf("TruncatedRecords = %d, want 500", got)
+	}
+}
+
+// TestTreeWireOverflowClamped is the same regression through Tree's
+// up-path encoder.
+func TestTreeWireOverflowClamped(t *testing.T) {
+	const period = 50 * time.Millisecond
+	const nflows = maxWireRecords + 500
+	h := newHarness(t, Config{Kind: Tree, Fanout: 2, Wide: true}, 2)
+	h.round(period, []*metadata.Message{hostMsg(0), overflowMsg(1, nflows)})
+	v := h.nodes[0].RemoteFlows(h.now, 3*period)
+	if len(v) == 0 {
+		t.Fatal("root rejected the oversized up aggregate outright (record count wrapped)")
+	}
+	if len(v) != maxWireRecords {
+		t.Fatalf("root view has %d records, want clamp at %d", len(v), maxWireRecords)
+	}
+	if got := h.nodes[1].Stats().TruncatedRecords.Value(); got != 500 {
+		t.Fatalf("TruncatedRecords = %d, want 500", got)
 	}
 }
 

@@ -1,0 +1,351 @@
+package dissem
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/metadata"
+)
+
+// This file pins the failure model: manager death is a first-class,
+// recoverable event. The scenarios mirror the acceptance criteria — one
+// manager dead for 50 periods at N=32 must not degrade Delta to
+// full-every-period (bytes stay within 2× steady state), must not blind
+// any Tree subtree, and a restart must reconverge every view within
+// K + log_k(N) periods — plus a seeded chaos run under all strategies.
+
+const foPeriod = 50 * time.Millisecond
+
+// foMaxAge mirrors core.Manager's view expiry (3 emulation periods).
+const foMaxAge = 3 * foPeriod
+
+// foMsgs builds one stable report per host: two unique-path flows each,
+// plus one path shared between hosts 2 and 3 so Tree's interior merging
+// stays exercised. scale perturbs every usage beyond any epsilon gate.
+func foMsgs(n int, scale uint32) []*metadata.Message {
+	msgs := make([]*metadata.Message, n)
+	for i := 0; i < n; i++ {
+		m := hostMsg(i,
+			metadata.FlowRecord{BPS: (1000*uint32(i) + 500) * scale, Links: []uint16{uint16(i), 200}},
+			metadata.FlowRecord{BPS: (700*uint32(i) + 300) * scale, Links: []uint16{uint16(i), 201}})
+		if i == 2 || i == 3 {
+			m.Flows = append(m.Flows, metadata.FlowRecord{BPS: 4000 * scale, Links: []uint16{90, 91}})
+		}
+		msgs[i] = m
+	}
+	return msgs
+}
+
+// oracleTotals is the broadcast ground truth: what a viewer must see is
+// exactly the union of every live peer's current report, summed per path.
+func oracleTotals(msgs []*metadata.Message, dead map[int]bool, viewer int) map[string][2]uint64 {
+	want := make(map[string][2]uint64)
+	for o, m := range msgs {
+		if o == viewer || dead[o] {
+			continue
+		}
+		for _, f := range m.Flows {
+			k := pathKey(f.Links)
+			v := want[k]
+			v[0] += uint64(f.BPS)
+			v[1]++
+			want[k] = v
+		}
+	}
+	return want
+}
+
+// viewsMatchOracle checks every live node's fused view against the
+// oracle, returning a description of the first divergence.
+func viewsMatchOracle(h *harness, msgs []*metadata.Message) (bool, string) {
+	for v := range h.nodes {
+		if h.dead[v] {
+			continue
+		}
+		got := viewTotals(h.nodes[v].RemoteFlows(h.now, foMaxAge))
+		want := oracleTotals(msgs, h.dead, v)
+		if len(got) != len(want) {
+			return false, fmt.Sprintf("node %d sees %d paths, oracle has %d", v, len(got), len(want))
+		}
+		for k, w := range want {
+			if g, ok := got[k]; !ok || g != w {
+				return false, fmt.Sprintf("node %d path %v: got %v, want %v", v, keyLinks(k), got[k], w)
+			}
+		}
+	}
+	return true, ""
+}
+
+// sortedHosts returns a host set in ascending order.
+func sortedHosts(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for h := range set {
+		out = append(out, h)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// roundBytes runs one round and returns the control bytes put on the
+// wire (including datagrams addressed to dead hosts — they are sent,
+// then lost).
+func (h *harness) roundBytes(msgs []*metadata.Message) int64 {
+	h.sent = h.sent[:0]
+	h.round(foPeriod, msgs)
+	var b int64
+	for _, s := range h.sent {
+		b += int64(len(s.payload))
+	}
+	return b
+}
+
+// TestFailoverOneDeadManager is the acceptance scenario: N=32, manager 1
+// (an interior Tree node with its own subtree) dead for 50 periods, then
+// restarted with fresh state.
+func TestFailoverOneDeadManager(t *testing.T) {
+	const (
+		n            = 32
+		suspectAfter = 3
+		fanout       = 4
+		resync       = 20
+		deadRounds   = 50
+		// Reconvergence bound from the issue: K + log_k(N) periods
+		// (ceil(log_4 32) = 3), counted from the kill/restart round.
+		bound = suspectAfter + 3
+	)
+	msgs := foMsgs(n, 1)
+	for _, kind := range []Kind{Broadcast, Delta, Tree} {
+		t.Run(kind.String(), func(t *testing.T) {
+			h := newHarness(t, Config{
+				Kind: kind, Fanout: fanout, ResyncEvery: resync,
+				SuspectAfter: suspectAfter,
+			}, n)
+
+			// Steady state: converge, then measure bytes/period across a
+			// window that includes a periodic resync.
+			for r := 0; r < 10; r++ {
+				h.round(foPeriod, msgs)
+			}
+			if ok, why := viewsMatchOracle(h, msgs); !ok {
+				t.Fatalf("steady state never converged: %s", why)
+			}
+			var steady int64
+			for r := 0; r < resync; r++ {
+				steady += h.roundBytes(msgs)
+			}
+			steady /= resync
+
+			// Kill manager 1. Its flows must age out of every surviving
+			// view, and the survivors must keep complete sight of each
+			// other — a blinded subtree would show up as missing paths.
+			h.kill(1)
+			var deadBytes int64
+			var fulls int
+			for r := 1; r <= deadRounds; r++ {
+				h.sent = h.sent[:0]
+				h.round(foPeriod, msgs)
+				for _, s := range h.sent {
+					deadBytes += int64(len(s.payload))
+					if s.payload[0] == msgDeltaFull {
+						fulls++
+					}
+				}
+				ok, why := viewsMatchOracle(h, msgs)
+				if r >= bound && !ok {
+					t.Fatalf("round %d after kill: surviving views diverged: %s", r, why)
+				}
+			}
+			deadBytes /= deadRounds
+			if kind == Delta {
+				if deadBytes > 2*steady {
+					t.Fatalf("delta bytes/period during failure = %d, steady = %d: dead peer degraded the protocol past 2x", deadBytes, steady)
+				}
+				// The pre-fix failure mode: once the dead peer's snapshot
+				// left retention, every report of every sender became a
+				// full resync (~31 senders x ~24 rounds). With suspicion,
+				// only the periodic resyncs remain.
+				if periodic := (n - 1) * (deadRounds/resync + 1) * (n - 1); fulls > periodic {
+					t.Fatalf("delta sent %d fulls during the dead phase (allowing %d): full-every-period collapse", fulls, periodic)
+				}
+			}
+
+			// Restart with fresh state: every view — including the
+			// restarted manager's own — must recover within the bound.
+			h.restart(t, 1)
+			recovered := -1
+			for r := 1; r <= bound+1; r++ {
+				h.round(foPeriod, msgs)
+				if ok, _ := viewsMatchOracle(h, msgs); ok {
+					recovered = r
+					break
+				}
+			}
+			if recovered < 0 || recovered > bound {
+				_, why := viewsMatchOracle(h, msgs)
+				t.Fatalf("views not recovered within %d periods of restart (last divergence: %s)", bound, why)
+			}
+			if kind != Broadcast {
+				var susp, recov int64
+				for _, node := range h.nodes {
+					susp += node.Stats().Suspicions.Value()
+					recov += node.Stats().Recoveries.Value()
+				}
+				if susp == 0 || recov == 0 {
+					t.Fatalf("%v: suspicion/recovery counters not exercised (suspicions=%d recoveries=%d)", kind, susp, recov)
+				}
+			}
+		})
+	}
+}
+
+// TestFailoverAllPeersDead pins the N=2 corner: with its only peer dead,
+// a Delta sender has no live baseline at all. It must fall back to empty
+// heartbeat diffs — not a full-size resync every period — and rebuild
+// the returning peer through the re-admission full.
+func TestFailoverAllPeersDead(t *testing.T) {
+	const resync = 20
+	msgs := foMsgs(2, 1)
+	h := newHarness(t, Config{Kind: Delta, ResyncEvery: resync, SuspectAfter: 3}, 2)
+	for r := 0; r < 6; r++ {
+		h.round(foPeriod, msgs)
+	}
+	h.kill(1)
+	for r := 0; r < 5; r++ { // ride out suspicion
+		h.round(foPeriod, msgs)
+	}
+	h.sent = h.sent[:0]
+	const deadRounds = 40
+	var fulls int
+	for r := 0; r < deadRounds; r++ {
+		h.round(foPeriod, msgs)
+	}
+	for _, s := range h.sent {
+		if s.from == 0 && s.payload[0] == msgDeltaFull {
+			fulls++
+		}
+	}
+	if max := deadRounds/resync + 2; fulls > max {
+		t.Fatalf("sender with all peers dead sent %d fulls over %d rounds (want <= periodic %d): full-every-period collapse", fulls, deadRounds, max)
+	}
+	h.restart(t, 1)
+	for r := 0; r < 4; r++ {
+		h.round(foPeriod, msgs)
+	}
+	if ok, why := viewsMatchOracle(h, msgs); !ok {
+		t.Fatalf("views not rebuilt after sole peer returned: %s", why)
+	}
+}
+
+// TestFailoverRootDeath kills Tree's root: the lowest live host must take
+// over as overlay root and adopt the orphaned subtrees — previously the
+// overlay partitioned into fanout blind islands.
+func TestFailoverRootDeath(t *testing.T) {
+	const n, bound = 21, 3 + 3
+	msgs := foMsgs(n, 1)
+	h := newHarness(t, Config{Kind: Tree, Fanout: 4, SuspectAfter: 3}, n)
+	for r := 0; r < 8; r++ {
+		h.round(foPeriod, msgs)
+	}
+	if ok, why := viewsMatchOracle(h, msgs); !ok {
+		t.Fatalf("steady state never converged: %s", why)
+	}
+	h.kill(0)
+	for r := 1; r <= bound+2; r++ {
+		h.round(foPeriod, msgs)
+	}
+	if ok, why := viewsMatchOracle(h, msgs); !ok {
+		t.Fatalf("views diverged after root death: %s", why)
+	}
+	h.restart(t, 0)
+	for r := 1; r <= bound+2; r++ {
+		h.round(foPeriod, msgs)
+	}
+	if ok, why := viewsMatchOracle(h, msgs); !ok {
+		t.Fatalf("views diverged after root restart: %s", why)
+	}
+}
+
+// TestFailoverMutualFalseSuspicion partitions a live Tree parent/child
+// pair in both directions for longer than the suspicion threshold, so
+// each suspects the other, then heals the path. Without the periodic
+// suspect probe neither would ever address the other again and the
+// child's subtree would stay partitioned forever.
+func TestFailoverMutualFalseSuspicion(t *testing.T) {
+	const n = 7
+	msgs := foMsgs(n, 1)
+	h := newHarness(t, Config{Kind: Tree, Fanout: 2, SuspectAfter: 3}, n)
+	for r := 0; r < 6; r++ {
+		h.round(foPeriod, msgs)
+	}
+	if ok, why := viewsMatchOracle(h, msgs); !ok {
+		t.Fatalf("steady state never converged: %s", why)
+	}
+	// Sever 1<->3 (parent and child, both live) in both directions until
+	// both sides are well past the suspicion threshold.
+	h.drop = func(from, to int, payload []byte) bool {
+		return (from == 1 && to == 3) || (from == 3 && to == 1)
+	}
+	for r := 0; r < 8; r++ {
+		h.round(foPeriod, msgs)
+	}
+	h.drop = nil
+	for r := 0; r < 10; r++ {
+		h.round(foPeriod, msgs)
+	}
+	if ok, why := viewsMatchOracle(h, msgs); !ok {
+		t.Fatalf("overlay never healed after mutual false suspicion: %s", why)
+	}
+}
+
+// TestFailoverChaos kills and restarts random managers mid-run — usage
+// moving every round — under every strategy, then freezes the workload
+// and demands reconvergence to the broadcast oracle. Seeded and
+// deterministic.
+func TestFailoverChaos(t *testing.T) {
+	const (
+		n           = 17
+		churnRounds = 40
+		quietRounds = 25 // > ResyncEvery + suspicion + tree depth
+	)
+	for _, kind := range []Kind{Broadcast, Delta, Tree} {
+		t.Run(kind.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			h := newHarness(t, Config{
+				Kind: kind, Fanout: 4, ResyncEvery: 10, SuspectAfter: 3,
+			}, n)
+			for r := 0; r < 6; r++ {
+				h.round(foPeriod, foMsgs(n, 1))
+			}
+			for r := 0; r < churnRounds; r++ {
+				if len(h.dead) < n/2 && rng.Float64() < 0.25 {
+					if v := rng.Intn(n); !h.dead[v] {
+						h.kill(v)
+					}
+				}
+				// Draw in sorted host order: ranging over the map would
+				// consume rng values in randomized iteration order and
+				// de-seed the schedule.
+				for _, v := range sortedHosts(h.dead) {
+					if rng.Float64() < 0.2 {
+						h.restart(t, v)
+					}
+				}
+				// Usage keeps moving beyond any epsilon gate.
+				h.round(foPeriod, foMsgs(n, uint32(1+r%3)))
+			}
+			for _, v := range sortedHosts(h.dead) {
+				h.restart(t, v)
+			}
+			final := foMsgs(n, 2)
+			for r := 0; r < quietRounds; r++ {
+				h.round(foPeriod, final)
+			}
+			if ok, why := viewsMatchOracle(h, final); !ok {
+				t.Fatalf("%v: views never reconverged after chaos: %s", kind, why)
+			}
+		})
+	}
+}

@@ -1,0 +1,113 @@
+package dissem
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metadata"
+)
+
+// Fuzz targets for the control-plane wire decoders: arbitrary datagrams
+// must never panic a node, and a node fed garbage must stay internally
+// consistent (its view remains computable and deterministic). CI runs
+// these briefly (-fuzztime) as a smoke test; longer local runs explore
+// deeper.
+
+// discardTr drops everything a fuzzed node tries to send.
+type discardTr struct{}
+
+func (discardTr) SendTo(int, []byte) {}
+
+// fuzzSeeds returns well-formed frames of every message type to seed the
+// corpus, so mutation starts from valid structure instead of pure noise.
+func fuzzSeeds(t interface{ Helper() }) [][]byte {
+	h := &harness{cfg: Config{}, dead: map[int]bool{}}
+	cfg := Config{Kind: Delta, NumHosts: 4}
+	for i := 0; i < 4; i++ {
+		node, err := New(cfg, i, harnessTr{h, i})
+		if err != nil {
+			panic(err)
+		}
+		h.nodes = append(h.nodes, node)
+	}
+	msgs := []*metadata.Message{
+		hostMsg(0, metadata.FlowRecord{BPS: 1000, Links: []uint16{1, 2}}),
+		hostMsg(1, metadata.FlowRecord{BPS: 2000, Links: []uint16{3}}),
+		hostMsg(2), hostMsg(3),
+	}
+	h.round(50*time.Millisecond, msgs)
+	h.round(50*time.Millisecond, msgs)
+	tcfg := Config{Kind: Tree, NumHosts: 4, Fanout: 2}
+	th := &harness{cfg: tcfg, dead: map[int]bool{}}
+	for i := 0; i < 4; i++ {
+		node, err := New(tcfg, i, harnessTr{th, i})
+		if err != nil {
+			panic(err)
+		}
+		th.nodes = append(th.nodes, node)
+	}
+	th.round(50*time.Millisecond, msgs)
+	var seeds [][]byte
+	for _, s := range append(h.sent, th.sent...) {
+		seeds = append(seeds, s.payload)
+	}
+	return seeds
+}
+
+func FuzzDecodeTree(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s, false, int64(50*time.Millisecond))
+	}
+	f.Fuzz(func(t *testing.T, data []byte, wide bool, now int64) {
+		recs, ok := decodeTree(data, time.Duration(now), wide)
+		if !ok && recs != nil {
+			t.Fatal("decodeTree returned records alongside failure")
+		}
+		for _, r := range recs {
+			if len(r.links) > 255 {
+				t.Fatalf("decoded %d links from a 1-byte length field", len(r.links))
+			}
+		}
+	})
+}
+
+func FuzzDeltaReceive(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s, false)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, wide bool) {
+		node, err := New(Config{Kind: Delta, NumHosts: 3, Wide: wide}, 0, discardTr{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		now := 50 * time.Millisecond
+		node.Receive(now, data)
+		node.Receive(now, data) // duplicates must be idempotent
+		v1 := node.RemoteFlows(now, time.Second)
+		v2 := node.RemoteFlows(now, time.Second)
+		if len(v1) != len(v2) {
+			t.Fatalf("view not deterministic: %d vs %d records", len(v1), len(v2))
+		}
+	})
+}
+
+func FuzzTreeReceive(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s, false)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, wide bool) {
+		// Host 1: has both a parent (0) and children (3, 4) to confuse.
+		node, err := New(Config{Kind: Tree, NumHosts: 5, Fanout: 2, Wide: wide}, 1, discardTr{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		now := 50 * time.Millisecond
+		node.Receive(now, data)
+		node.Receive(now, data)
+		v1 := node.RemoteFlows(now, time.Second)
+		v2 := node.RemoteFlows(now, time.Second)
+		if len(v1) != len(v2) {
+			t.Fatalf("view not deterministic: %d vs %d records", len(v1), len(v2))
+		}
+	})
+}

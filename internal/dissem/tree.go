@@ -40,12 +40,30 @@ import (
 // consumer (core.Manager) treats records older than a period as greedy
 // rather than demand-capped, which keeps the sharing model conservative
 // under aggregation delay.
+//
+// Failure model: the overlay re-forms deterministically around suspected
+// dead managers. Each node watches only its current neighbors (they
+// exchange traffic every period); a neighbor silent for more than
+// SuspectAfter periods is suspected, and the node recomputes its
+// neighborhood over the static tree with suspects skipped: a live node's
+// parent is its nearest live static ancestor, a dead interior node's
+// orphaned children are grafted onto that same ancestor, and when a
+// node's whole ancestor chain is dead (the root died) the lowest-indexed
+// live host becomes the root and adopts the orphaned subtree roots.
+// State keyed to the old shape (ups from ex-children, the ex-parent's
+// extern) is flushed so nothing is double-counted across the re-graft.
+// Because the overlay is a pure function of the static tree and the
+// local suspect set, two nodes that momentarily disagree simply drop
+// each other's messages until the first datagram heard from a suspect
+// clears the suspicion and both converge back — false suspicion
+// self-heals the same way a restart does.
 type treeNode struct {
 	cfg   Config
 	host  int
 	tr    Transport
 	stats Stats
 
+	live     *liveness
 	parent   int // -1 for the root
 	children []int
 
@@ -74,21 +92,101 @@ func newTreeNode(cfg Config, host int, tr Transport) *treeNode {
 		cfg:     cfg,
 		host:    host,
 		tr:      tr,
-		parent:  (host - 1) / cfg.Fanout,
+		live:    newLiveness(cfg.SuspectAfter),
 		childUp: make(map[int]*treeReport),
 	}
-	if host == 0 {
-		n.parent = -1
-	}
-	for c := host*cfg.Fanout + 1; c <= host*cfg.Fanout+cfg.Fanout && c < cfg.NumHosts; c++ {
-		n.children = append(n.children, c)
-	}
+	n.reform()
 	return n
+}
+
+// parentOf computes host i's overlay parent under the node's current
+// suspect set: the nearest live static ancestor (static parent(i) =
+// (i−1)/fanout), or — when the whole chain up to and including host 0 is
+// suspected — the lowest-indexed live host, which adopts every orphaned
+// subtree so a dead root cannot partition the overlay. Returns -1 for
+// the overlay root. The result is a pure function of (static tree,
+// suspect set): no negotiation, no extra messages, deterministic.
+func (n *treeNode) parentOf(i int) int {
+	for i > 0 {
+		p := (i - 1) / n.cfg.Fanout
+		if !n.live.suspected(p) {
+			return p
+		}
+		i = p
+	}
+	return -1
+}
+
+// overlayParent resolves host i's parent, handling the dead-root graft.
+func (n *treeNode) overlayParent(i int) int {
+	if p := n.parentOf(i); p >= 0 {
+		return p
+	}
+	// i's entire static ancestor chain (possibly empty: i == 0) is dead.
+	// The lowest-indexed live host is the overlay root; every other
+	// orphan attaches to it.
+	root := 0
+	for root < n.cfg.NumHosts && n.live.suspected(root) {
+		root++
+	}
+	if i == root {
+		return -1
+	}
+	return root
+}
+
+// reform recomputes the node's overlay neighborhood from the current
+// suspect set and flushes state keyed to the old shape: ups from hosts
+// that are no longer children would double-count once their flows arrive
+// through the new shape, and the old parent's extern partitions the
+// world along a boundary that no longer exists.
+func (n *treeNode) reform() {
+	oldParent := n.parent
+	n.parent = n.overlayParent(n.host)
+	n.children = n.children[:0]
+	for h := 0; h < n.cfg.NumHosts; h++ {
+		if h == n.host || n.live.suspected(h) {
+			continue
+		}
+		if n.overlayParent(h) == n.host {
+			n.children = append(n.children, h)
+		}
+	}
+	// Watch exactly the new neighbors; newly adopted ones get a fresh
+	// grace window. Suspects stay remembered inside live until heard.
+	watched := make(map[int]bool, len(n.children)+1)
+	if n.parent >= 0 {
+		watched[n.parent] = true
+		n.live.watch(n.parent)
+	}
+	for _, c := range n.children {
+		watched[c] = true
+		n.live.watch(c)
+	}
+	for h := 0; h < n.cfg.NumHosts; h++ {
+		if !watched[h] {
+			n.live.unwatch(h)
+		}
+	}
+	for h := range n.childUp {
+		if !watched[h] {
+			delete(n.childUp, h)
+		}
+	}
+	if n.parent != oldParent {
+		n.extern = nil
+	}
 }
 
 func (n *treeNode) Publish(now time.Duration, msg *metadata.Message) {
 	if msg == nil || n.cfg.NumHosts < 2 {
 		return
+	}
+	// Advance the failure detector one period and re-form the overlay
+	// around any neighbor that went silent.
+	if newly := n.live.advance(); len(newly) > 0 {
+		n.stats.Suspicions.Add(int64(len(newly)))
+		n.reform()
 	}
 	// n.local outlives this call (ups are re-sent when a child's report
 	// arrives), while the caller owns and reuses msg's link slices — copy
@@ -114,6 +212,23 @@ func (n *treeNode) Publish(now time.Duration, msg *metadata.Message) {
 	if n.parent < 0 {
 		n.sendDowns(now)
 	}
+	// Probe every suspect once per SuspectAfter periods with the subtree
+	// aggregate. Suspicion is otherwise sticky-until-heard, and after a
+	// *mutual* false suspicion (control loss in both directions between
+	// two live nodes) neither overlay neighbor would ever address the
+	// other again — the partition could never heal. The probe is the
+	// healing path: its first delivery clears the receiver's suspicion,
+	// the receiver re-forms and its next datagram clears ours. Probes to
+	// genuinely dead hosts just drop; the cost is one datagram per
+	// suspect per SuspectAfter periods.
+	if n.live.tick%n.cfg.SuspectAfter == 0 {
+		if suspects := n.live.suspectList(); len(suspects) > 0 {
+			probe := encodeTree(msgTreeUp, n.host, now, mergeRecs([][]aggRec{n.local}), n.cfg.Wide, &n.stats)
+			for _, h := range suspects {
+				n.stats.send(n.tr, h, probe)
+			}
+		}
+	}
 }
 
 // sendUp pushes the subtree aggregate to the parent.
@@ -127,7 +242,7 @@ func (n *treeNode) sendUp(now time.Duration) {
 			parts = append(parts, r.recs)
 		}
 	}
-	n.stats.send(n.tr, n.parent, encodeTree(msgTreeUp, n.host, now, mergeRecs(parts), n.cfg.Wide))
+	n.stats.send(n.tr, n.parent, encodeTree(msgTreeUp, n.host, now, mergeRecs(parts), n.cfg.Wide, &n.stats))
 }
 
 // sendDowns pushes extern(c) to every child c.
@@ -145,7 +260,7 @@ func (n *treeNode) sendDowns(now time.Duration) {
 				parts = append(parts, r.recs)
 			}
 		}
-		n.stats.send(n.tr, c, encodeTree(msgTreeDown, n.host, now, mergeRecs(parts), n.cfg.Wide))
+		n.stats.send(n.tr, c, encodeTree(msgTreeDown, n.host, now, mergeRecs(parts), n.cfg.Wide, &n.stats))
 	}
 }
 
@@ -166,7 +281,14 @@ func mergeRecs(parts [][]aggRec) []aggRec {
 				continue
 			}
 			a.bps += r.bps
-			a.count += r.count
+			// Saturate: at deployment scale the per-path flow count can
+			// exceed 16 bits, and silent wraparound would hand the min-max
+			// solver a tiny weight for the heaviest aggregate.
+			if s := uint32(a.count) + uint32(r.count); s <= uint32(^uint16(0)) {
+				a.count = uint16(s)
+			} else {
+				a.count = ^uint16(0)
+			}
 			if r.ts < a.ts {
 				a.ts = r.ts
 			}
@@ -188,7 +310,17 @@ func mergeRecs(parts [][]aggRec) []aggRec {
 // 4 bytes instead of an absolute timestamp:
 //
 //	[type][host:2][n:2] n×(origin:2, bps:4, count:2, ageµs:4, nlinks:1, links)
-func encodeTree(typ byte, host int, now time.Duration, recs []aggRec, wide bool) []byte {
+//
+// Aggregates larger than the 16-bit record count are clamped (the count
+// would otherwise wrap and the receiver's trailing-bytes check would
+// reject the entire datagram, silently blinding the subtree); recs is
+// path-sorted, so which records survive is deterministic, and the drop
+// is counted in stats.
+func encodeTree(typ byte, host int, now time.Duration, recs []aggRec, wide bool, stats *Stats) []byte {
+	if len(recs) > maxWireRecords {
+		stats.TruncatedRecords.Add(int64(len(recs) - maxWireRecords))
+		recs = recs[:maxWireRecords]
+	}
 	buf := make([]byte, 0, 5+len(recs)*16)
 	buf = append(buf, typ)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(host))
@@ -250,9 +382,19 @@ func (n *treeNode) Receive(now time.Duration, payload []byte) {
 	}
 	typ := payload[0]
 	from := int(binary.BigEndian.Uint16(payload[1:]))
+	if from >= n.cfg.NumHosts || from < 0 || from == n.host {
+		return // corrupted or spoofed sender id
+	}
 	recs, ok := decodeTree(payload, now, n.cfg.Wide)
 	if !ok {
 		return // corrupted: the next report repairs
+	}
+	// Traffic from a suspect clears the suspicion before the message is
+	// dispatched, so a restarted (or falsely suspected) neighbor's first
+	// datagram already reaches it through the re-formed overlay.
+	if n.live.heard(from) {
+		n.stats.Recoveries.Inc()
+		n.reform()
 	}
 	switch typ {
 	case msgTreeUp:

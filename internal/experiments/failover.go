@@ -1,0 +1,332 @@
+// The failover experiment: what the paper's decentralized control plane
+// (§4.2) does when an Emulation Manager dies. The paper assumes every
+// manager stays alive; this experiment kills one mid-run — host 1, an
+// interior node of the Tree overlay with its own subtree — keeps it dead
+// for a configurable number of emulation periods, restarts it with fresh
+// state, and measures per strategy:
+//
+//   - control bytes/period before vs during the failure (a dead peer
+//     used to pin Delta's ack baseline and degrade every report to a
+//     full resync — strictly worse than Broadcast, forever);
+//   - surviving managers' view completeness (a dead Tree interior node
+//     used to blind its whole subtree once its relays expired);
+//   - per-flow share deviation of the survivors against Broadcast under
+//     the identical kill schedule;
+//   - recovery time: periods after the restart until every manager —
+//     including the restarted one — again sees every live flow.
+//
+// Results go to BENCH_failover.json (kollaps-bench -exp failover).
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/packet"
+	"repro/kollaps"
+)
+
+// FailoverStrategyResult is one strategy's measurements.
+type FailoverStrategyResult struct {
+	Strategy string `json:"strategy"`
+	// SteadyBytesPerPeriod / DeadBytesPerPeriod are control-plane bytes
+	// per emulation period before the kill and while the manager is dead;
+	// ByteRatio is their quotient (the acceptance bound is 2x for Delta).
+	SteadyBytesPerPeriod float64 `json:"steady_bytes_per_period"`
+	DeadBytesPerPeriod   float64 `json:"dead_bytes_per_period"`
+	ByteRatio            float64 `json:"byte_ratio"`
+	// ViewCompleteness is the worst surviving manager's coverage of live
+	// remote flows over the late dead phase (1.0 = no blinded subtree);
+	// DeadPathsVisible counts dead-manager flows still haunting views.
+	ViewCompleteness float64 `json:"view_completeness"`
+	DeadPathsVisible int     `json:"dead_paths_visible"`
+	// MaxShareDev / MeanShareDev compare surviving flows' goodput during
+	// the failure against Broadcast under the identical schedule.
+	MaxShareDev  float64 `json:"max_share_dev"`
+	MeanShareDev float64 `json:"mean_share_dev"`
+	// RecoveryPeriods is how many periods after the restart every view
+	// (including the restarted manager's) covered all live flows again;
+	// -1 means it never did within the measurement window.
+	RecoveryPeriods int `json:"recovery_periods"`
+}
+
+// FailoverReport is the BENCH_failover.json schema.
+type FailoverReport struct {
+	N            int                      `json:"n"`
+	FlowsPerHost int                      `json:"flows_per_host"`
+	KilledHost   int                      `json:"killed_host"`
+	DeadPeriods  int                      `json:"dead_periods"`
+	SuspectAfter int                      `json:"suspect_after"`
+	PeriodMs     float64                  `json:"period_ms"`
+	Strategies   []FailoverStrategyResult `json:"strategies"`
+}
+
+// failoverSuspectAfter is the suspicion threshold under test (periods).
+const failoverSuspectAfter = 3
+
+// failoverRun is one strategy's raw outcome.
+type failoverRun struct {
+	res         FailoverStrategyResult
+	goodputs    []float64 // surviving flows' dead-phase goodputs
+	originPaths map[int]map[string]bool
+}
+
+// pathID keys a remote flow by its link path (origin attribution is
+// unavailable under Tree, which merges records).
+func pathID(links []uint16) string { return fmt.Sprint(links) }
+
+// runFailover deploys the dissemination-sweep dumbbell on n managers,
+// kills host 1 for deadPeriods periods, restarts it, and measures.
+// originPaths maps each manager to its flows' path keys; nil (the
+// Broadcast run) harvests it from the converged per-origin views.
+func runFailover(strategy string, n, deadPeriods int, originPaths map[int]map[string]bool) failoverRun {
+	const period = 50 * time.Millisecond
+	exp, err := kollaps.Load(dissemScaleYAML(n))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: bad failover topology: %v", err))
+	}
+	err = exp.Deploy(n, kollaps.WithDissem(strategy,
+		kollaps.DissemEpsilon(dissemEpsilon),
+		kollaps.DissemSuspectAfter(failoverSuspectAfter)))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: failover deploy failed: %v", err))
+	}
+	pairs := dissemFlowsPerHost * n
+	received := make([]int64, pairs)
+	interval := time.Duration(float64(cbrPayload*8) / 8e6 * float64(time.Second))
+	for i := 0; i < pairs; i++ {
+		i := i
+		cli, err := exp.Container(fmt.Sprintf("c%d", i))
+		if err != nil {
+			panic(fmt.Sprintf("experiments: failover topology: %v", err))
+		}
+		srv, err := exp.Container(fmt.Sprintf("sv%d", i))
+		if err != nil {
+			panic(fmt.Sprintf("experiments: failover topology: %v", err))
+		}
+		srv.Stack.HandleUDP(9000, func(_ packet.IP, _ uint16, size int, _ any) {
+			received[i] += int64(size)
+		})
+		dst := srv.IP
+		exp.Eng.Every(interval, func() {
+			cli.Stack.SendUDP(dst, 9000, 9000, cbrPayload, nil)
+		})
+	}
+
+	const (
+		warmupPeriods = 20
+		steadyPeriods = 40
+	)
+	warmup := warmupPeriods * period
+	killAt := warmup + steadyPeriods*period
+	restartAt := killAt + time.Duration(deadPeriods)*period
+	maxAge := 3 * period
+
+	run := failoverRun{originPaths: originPaths}
+
+	// Steady-state control bytes/period over a window spanning resyncs.
+	var bytesAtWarmup, bytesAtKill, bytesAtRestart int64
+	exp.Eng.At(warmup, func() { bytesAtWarmup = exp.DissemSummary().BytesSent })
+	exp.Eng.At(killAt, func() {
+		bytesAtKill = exp.DissemSummary().BytesSent
+		if err := exp.KillManager(1); err != nil {
+			panic(fmt.Sprintf("experiments: failover kill: %v", err))
+		}
+	})
+
+	// Under Broadcast, the per-origin views attribute every path to its
+	// owner; harvest them once converged and share with later strategies.
+	if run.originPaths == nil {
+		run.originPaths = make(map[int]map[string]bool)
+		exp.Eng.At(killAt-period/2, func() {
+			for viewer := 0; viewer < 2; viewer++ {
+				node := exp.Runtime.Managers()[viewer].Node()
+				for _, rf := range node.RemoteFlows(exp.Eng.Now(), maxAge) {
+					o := int(rf.Origin)
+					if run.originPaths[o] == nil {
+						run.originPaths[o] = make(map[string]bool)
+					}
+					run.originPaths[o][pathID(rf.Links)] = true
+				}
+			}
+		})
+	}
+
+	// View completeness over the last 10 dead periods, sampled
+	// mid-period so every publish of the period has landed: the worst
+	// surviving manager's coverage of live flows, plus any dead-manager
+	// flows still visible.
+	completeness := 1.0
+	checkFrom := deadPeriods - 10
+	if checkFrom < failoverSuspectAfter+4 {
+		checkFrom = failoverSuspectAfter + 4
+	}
+	for k := checkFrom; k < deadPeriods; k++ {
+		exp.Eng.At(killAt+time.Duration(k)*period+period/2, func() {
+			for v := 0; v < n; v++ {
+				if v == 1 {
+					continue
+				}
+				visible := make(map[string]bool)
+				for _, rf := range exp.Runtime.Managers()[v].Node().RemoteFlows(exp.Eng.Now(), maxAge) {
+					visible[pathID(rf.Links)] = true
+				}
+				expect, got := 0, 0
+				for o, paths := range run.originPaths {
+					for p := range paths {
+						switch o {
+						case v:
+						case 1:
+							if visible[p] {
+								run.res.DeadPathsVisible++
+							}
+						default:
+							expect++
+							if visible[p] {
+								got++
+							}
+						}
+					}
+				}
+				if expect > 0 {
+					if c := float64(got) / float64(expect); c < completeness {
+						completeness = c
+					}
+				}
+			}
+		})
+	}
+
+	// Goodputs of surviving flows over the settled part of the dead
+	// phase (suspicion plus expiry excluded) — the share-deviation input.
+	// Both window edges are snapshotted: the counters keep accumulating
+	// through the recovery phase, which must not dilute the metric.
+	devFrom := killAt + time.Duration(failoverSuspectAfter+4)*period
+	atDevFrom := make([]int64, pairs)
+	atRestart := make([]int64, pairs)
+	exp.Eng.At(devFrom, func() { copy(atDevFrom, received) })
+
+	// Restart, then poll mid-period for full reconvergence.
+	recovery := -1
+	exp.Eng.At(restartAt, func() {
+		copy(atRestart, received)
+		bytesAtRestart = exp.DissemSummary().BytesSent
+		if err := exp.RestartManager(1); err != nil {
+			panic(fmt.Sprintf("experiments: failover restart: %v", err))
+		}
+	})
+	const maxRecoveryPeriods = 40
+	for k := 0; k < maxRecoveryPeriods; k++ {
+		k := k
+		exp.Eng.At(restartAt+time.Duration(k)*period+period/2, func() {
+			if recovery >= 0 {
+				return
+			}
+			for v := 0; v < n; v++ {
+				visible := make(map[string]bool)
+				for _, rf := range exp.Runtime.Managers()[v].Node().RemoteFlows(exp.Eng.Now(), maxAge) {
+					visible[pathID(rf.Links)] = true
+				}
+				for o, paths := range run.originPaths {
+					if o == v {
+						continue
+					}
+					for p := range paths {
+						if !visible[p] {
+							return
+						}
+					}
+				}
+			}
+			recovery = k
+		})
+	}
+
+	if err := exp.Run(restartAt + maxRecoveryPeriods*period); err != nil {
+		panic(fmt.Sprintf("experiments: failover run: %v", err))
+	}
+
+	run.res.Strategy = strategy
+	run.res.SteadyBytesPerPeriod = float64(bytesAtKill-bytesAtWarmup) / steadyPeriods
+	run.res.DeadBytesPerPeriod = float64(bytesAtRestart-bytesAtKill) / float64(deadPeriods)
+	if run.res.SteadyBytesPerPeriod > 0 {
+		run.res.ByteRatio = run.res.DeadBytesPerPeriod / run.res.SteadyBytesPerPeriod
+	}
+	run.res.ViewCompleteness = completeness
+	run.res.RecoveryPeriods = recovery
+	devWindow := (restartAt - devFrom).Seconds()
+	for i := 0; i < pairs; i++ {
+		if i%n == 1 {
+			continue // the dead manager's own flows are not compared
+		}
+		run.goodputs = append(run.goodputs, float64(atRestart[i]-atDevFrom[i])*8/devWindow)
+	}
+	return run
+}
+
+// RunFailover measures every strategy under one dead manager (host 1,
+// dead for deadPeriods periods, then restarted), writes the JSON report
+// to path (skipped when empty) and returns a printable table.
+func RunFailover(path string, n, deadPeriods int) (*Table, *FailoverReport, error) {
+	if n < 8 {
+		n = 8 // host 1 must be an interior Tree node with a subtree
+	}
+	if deadPeriods < failoverSuspectAfter+15 {
+		deadPeriods = failoverSuspectAfter + 15
+	}
+	report := &FailoverReport{
+		N:            n,
+		FlowsPerHost: dissemFlowsPerHost,
+		KilledHost:   1,
+		DeadPeriods:  deadPeriods,
+		SuspectAfter: failoverSuspectAfter,
+		PeriodMs:     50,
+	}
+	table := &Table{
+		Title: fmt.Sprintf("Manager failover: host 1 of N=%d dead for %d periods, then restarted", n, deadPeriods),
+		Columns: []string{
+			"steady B/p", "dead B/p", "ratio", "view compl", "dead paths",
+			"max Δshare", "mean Δshare", "recovery",
+		},
+	}
+	truth := runFailover("broadcast", n, deadPeriods, nil)
+	for _, strat := range DissemStrategies {
+		run := truth
+		if strat != "broadcast" {
+			run = runFailover(strat, n, deadPeriods, truth.originPaths)
+		}
+		maxDev, meanDev := relErrs(run.goodputs, truth.goodputs)
+		run.res.MaxShareDev = maxDev
+		run.res.MeanShareDev = meanDev
+		report.Strategies = append(report.Strategies, run.res)
+		rec := fmt.Sprintf("%dp", run.res.RecoveryPeriods)
+		if run.res.RecoveryPeriods < 0 {
+			rec = "never"
+		}
+		table.Rows = append(table.Rows, Row{
+			Label: strat,
+			Values: []string{
+				fmt.Sprintf("%.0f", run.res.SteadyBytesPerPeriod),
+				fmt.Sprintf("%.0f", run.res.DeadBytesPerPeriod),
+				fmt.Sprintf("%.2f", run.res.ByteRatio),
+				fmt.Sprintf("%.1f%%", run.res.ViewCompleteness*100),
+				fmt.Sprintf("%d", run.res.DeadPathsVisible),
+				fmt.Sprintf("%.1f%%", run.res.MaxShareDev*100),
+				fmt.Sprintf("%.1f%%", run.res.MeanShareDev*100),
+				rec,
+			},
+		})
+	}
+	if path != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return table, report, err
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			return table, report, err
+		}
+	}
+	return table, report, nil
+}

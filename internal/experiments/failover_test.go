@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestFailoverQuick runs the failover experiment at reduced scale and
+// asserts the acceptance properties the full N=32 benchmark measures:
+// Delta's control bytes stay within 2x steady state while a manager is
+// dead, no strategy blinds a surviving view or keeps dead flows around,
+// and every strategy reconverges within the suspicion threshold plus the
+// tree depth after the restart. The dissem package's failover tests pin
+// the same bounds protocol-by-protocol; this one proves them end to end
+// through the runtime, the fabric and the enforcement loop.
+func TestFailoverQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failover experiment is not short")
+	}
+	table, report, err := RunFailover("", 8, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table.Fprint(os.Stdout)
+	const bound = failoverSuspectAfter + 2 // + ceil(log_4 8)
+	for _, s := range report.Strategies {
+		if s.ByteRatio > 2 {
+			t.Errorf("%s: bytes/period during failure = %.2fx steady state, want <= 2x", s.Strategy, s.ByteRatio)
+		}
+		if s.ViewCompleteness < 1 {
+			t.Errorf("%s: surviving view completeness = %.2f, want 1 (blinded subtree)", s.Strategy, s.ViewCompleteness)
+		}
+		if s.DeadPathsVisible != 0 {
+			t.Errorf("%s: %d dead-manager flows still visible late in the failure", s.Strategy, s.DeadPathsVisible)
+		}
+		if s.RecoveryPeriods < 0 || s.RecoveryPeriods > bound {
+			t.Errorf("%s: recovery took %d periods, want <= %d", s.Strategy, s.RecoveryPeriods, bound)
+		}
+		if s.Strategy != "broadcast" && s.MaxShareDev > 0.05 {
+			t.Errorf("%s: max share deviation vs broadcast = %.1f%%, want <= 5%%", s.Strategy, s.MaxShareDev*100)
+		}
+	}
+}

@@ -123,19 +123,49 @@ func (e *Experiment) Join(name string) error {
 	return e.apply(NodeUp(name))
 }
 
-// ChurnOption tunes Experiment.Churn.
+// KillManager kills the Emulation Manager of a physical host: its
+// emulation loop stops, its metadata is muted and its control datagrams
+// are dropped both ways, while the host's containers keep running under
+// the last enforced allocations. Surviving managers detect the silence
+// (dissem.Config.SuspectAfter periods) and route around it.
+func (e *Experiment) KillManager(host int) error {
+	if e.Runtime == nil {
+		return fmt.Errorf("kollaps: KillManager before Deploy")
+	}
+	return e.Runtime.KillManager(host)
+}
+
+// RestartManager revives a killed Emulation Manager as a fresh process:
+// all of its control-plane state (peer views, ack baselines, overlay
+// suspicions) is rebuilt from scratch through the dissemination
+// strategy's re-admission path.
+func (e *Experiment) RestartManager(host int) error {
+	if e.Runtime == nil {
+		return fmt.Errorf("kollaps: RestartManager before Deploy")
+	}
+	return e.Runtime.RestartManager(host)
+}
+
+// ChurnOption tunes Experiment.Churn and Experiment.ManagerChurn.
 type ChurnOption func(*churnConfig)
 
 type churnConfig struct {
 	targets  []string
+	hosts    []int
 	downtime time.Duration
 	until    time.Duration
 }
 
-// ChurnTargets restricts churn to the named containers (default: every
-// deployed container).
+// ChurnTargets restricts node churn to the named containers (default:
+// every deployed container). It does not apply to ManagerChurn.
 func ChurnTargets(names ...string) ChurnOption {
 	return func(c *churnConfig) { c.targets = names }
+}
+
+// ChurnHosts restricts manager churn to the given physical host indices
+// (default: every host). It does not apply to node Churn.
+func ChurnHosts(hosts ...int) ChurnOption {
+	return func(c *churnConfig) { c.hosts = hosts }
 }
 
 // ChurnDowntime sets the mean downtime of a churned node (default 2s;
@@ -167,6 +197,9 @@ func (e *Experiment) Churn(rate float64, opts ...ChurnOption) (stop func(), err 
 	cfg := churnConfig{downtime: 2 * time.Second}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.hosts != nil {
+		return nil, fmt.Errorf("kollaps: ChurnHosts tunes ManagerChurn; use ChurnTargets for node churn")
 	}
 	if cfg.targets == nil {
 		for _, c := range e.Runtime.Containers() {
@@ -208,6 +241,84 @@ func (e *Experiment) Churn(rate float64, opts ...ChurnOption) (stop func(), err 
 				eng.After(gap, func() {
 					if e.Join(name) == nil {
 						delete(down, name)
+					}
+				})
+			}
+		}
+		arm()
+	}
+	arm()
+	return func() { stopped = true }, nil
+}
+
+// ManagerChurn drives seeded random *control-plane* churn, mirroring
+// Churn at the infrastructure layer: Emulation Manager kills arrive as a
+// Poisson process at rate events per virtual second, each taking one
+// random currently-live manager down for an exponentially distributed
+// downtime (ChurnDowntime, default 2s) and restarting it afterwards with
+// fresh control-plane state. The emulated topology never changes — the
+// containers keep their traffic — so what churns is the metadata layer
+// the dissemination strategies must survive. All randomness comes from
+// the deployment's seeded engine; the schedule is deterministic per
+// seed. The returned stop function halts further kills (managers already
+// down still restart).
+func (e *Experiment) ManagerChurn(rate float64, opts ...ChurnOption) (stop func(), err error) {
+	if e.Runtime == nil {
+		return nil, fmt.Errorf("kollaps: ManagerChurn before Deploy")
+	}
+	if rate <= 0 {
+		return nil, fmt.Errorf("kollaps: manager churn rate must be positive, got %g", rate)
+	}
+	cfg := churnConfig{downtime: 2 * time.Second}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.targets != nil {
+		return nil, fmt.Errorf("kollaps: ChurnTargets tunes node Churn; use ChurnHosts for manager churn")
+	}
+	nHosts := len(e.Runtime.Managers())
+	if cfg.hosts == nil {
+		for h := 0; h < nHosts; h++ {
+			cfg.hosts = append(cfg.hosts, h)
+		}
+	} else {
+		for _, h := range cfg.hosts {
+			if h < 0 || h >= nHosts {
+				return nil, fmt.Errorf("kollaps: manager churn host %d out of range [0,%d)", h, nHosts)
+			}
+		}
+	}
+
+	eng := e.Eng
+	stopped := false
+	meanGap := float64(time.Second) / rate
+	var tick func()
+	arm := func() {
+		eng.After(time.Duration(eng.Rand().ExpFloat64()*meanGap), tick)
+	}
+	tick = func() {
+		if stopped || (cfg.until > 0 && eng.Now() >= cfg.until) {
+			return
+		}
+		up := cfg.hosts[:0:0]
+		for _, h := range cfg.hosts {
+			if !e.Runtime.ManagerDown(h) {
+				up = append(up, h)
+			}
+		}
+		if len(up) > 0 {
+			host := up[eng.Rand().Intn(len(up))]
+			if e.KillManager(host) == nil {
+				gen := e.Runtime.ManagerKills(host)
+				gap := time.Duration(eng.Rand().ExpFloat64() * float64(cfg.downtime))
+				// The restart fires even after stop — churn must not leave
+				// a manager permanently dead — but only for its own kill:
+				// if another actor restarted and re-killed the host in the
+				// meantime, reviving it here would silently undo that
+				// deliberate kill.
+				eng.After(gap, func() {
+					if e.Runtime.ManagerKills(host) == gen {
+						_ = e.RestartManager(host)
 					}
 				})
 			}

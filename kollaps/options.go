@@ -30,10 +30,11 @@ type config struct {
 }
 
 type dissemConfig struct {
-	epsilon  float64
-	adaptive bool
-	resync   int
-	fanout   int
+	epsilon      float64
+	adaptive     bool
+	resync       int
+	fanout       int
+	suspectAfter int
 }
 
 func defaultConfig() config {
@@ -107,6 +108,15 @@ func DissemFanout(fanout int) DissemOption {
 	return func(c *dissemConfig) { c.fanout = fanout }
 }
 
+// DissemSuspectAfter sets the failure-detection threshold, in emulation
+// periods, after which a silent peer Emulation Manager is suspected dead
+// and routed around (default 3; see dissem.Config.SuspectAfter). Lower
+// values recover faster from manager kills; higher values tolerate
+// longer control-plane hiccups without re-forming.
+func DissemSuspectAfter(periods int) DissemOption {
+	return func(c *dissemConfig) { c.suspectAfter = periods }
+}
+
 // Options is the deprecated flat configuration struct. It satisfies
 // Option so existing exp.Deploy(hosts, Options{...}) call sites keep
 // working; new code should use the functional options (WithSeed,
@@ -172,10 +182,11 @@ func (o Options) apply(c *config) {
 // dissemFromConfig assembles the core-level dissemination config.
 func (c config) dissemConfig(kind dissem.Kind) dissem.Config {
 	return dissem.Config{
-		Kind:        kind,
-		Epsilon:     c.dissem.epsilon,
-		Adaptive:    c.dissem.adaptive,
-		ResyncEvery: c.dissem.resync,
-		Fanout:      c.dissem.fanout,
+		Kind:         kind,
+		Epsilon:      c.dissem.epsilon,
+		Adaptive:     c.dissem.adaptive,
+		ResyncEvery:  c.dissem.resync,
+		Fanout:       c.dissem.fanout,
+		SuspectAfter: c.dissem.suspectAfter,
 	}
 }
