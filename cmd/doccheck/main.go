@@ -1,0 +1,131 @@
+// Command doccheck enforces the documentation contract of the public
+// surface: every exported identifier in the given packages must carry a
+// doc comment. CI runs it over the kollaps API and internal/dissem (the
+// subsystem DESIGN.md teaches), so the godoc story cannot silently rot
+// as the packages grow.
+//
+// Usage:
+//
+//	doccheck ./kollaps ./internal/dissem
+//
+// Exits non-zero listing every undocumented exported identifier.
+// Test files are skipped; methods on unexported receivers are skipped
+// (they are not part of the godoc surface).
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <package dir> [...]")
+		os.Exit(2)
+	}
+	var bad []string
+	for _, dir := range os.Args[1:] {
+		missing, err := check(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		bad = append(bad, missing...)
+	}
+	if len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifiers lack doc comments:\n", len(bad))
+		for _, m := range bad {
+			fmt.Fprintln(os.Stderr, "  "+m)
+		}
+		os.Exit(1)
+	}
+}
+
+// check parses one package directory and returns its undocumented
+// exported identifiers as "file:line: name" strings.
+func check(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var bad []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		bad = append(bad, fmt.Sprintf("%s:%d: %s %s", filepath.ToSlash(p.Filename), p.Line, what, name))
+	}
+	for _, pkg := range pkgs {
+		// The package itself needs a doc comment on exactly one file.
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			bad = append(bad, fmt.Sprintf("%s: package %s", filepath.ToSlash(dir), pkg.Name))
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || d.Doc != nil {
+						continue
+					}
+					if d.Recv != nil && !exportedReceiver(d.Recv) {
+						continue
+					}
+					report(d.Pos(), "func", d.Name.Name)
+				case *ast.GenDecl:
+					// A doc comment on the grouped decl covers every spec
+					// (the idiomatic form for const/var blocks).
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+								report(s.Pos(), "type", s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							if d.Doc != nil || s.Doc != nil {
+								continue
+							}
+							for _, name := range s.Names {
+								if name.IsExported() {
+									report(name.Pos(), "value", name.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return bad, nil
+}
+
+// exportedReceiver reports whether a method's receiver type is exported.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr:
+			t = v.X
+		case *ast.Ident:
+			return v.IsExported()
+		default:
+			return false
+		}
+	}
+}

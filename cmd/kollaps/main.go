@@ -29,11 +29,12 @@ func main() {
 	hosts := fs.Int("hosts", 4, "physical hosts")
 	runFor := fs.Duration("for", 60*time.Second, "virtual duration for run")
 	seed := fs.Int64("seed", 42, "simulation seed (0 is a valid seed)")
-	dissemFlag := fs.String("dissem", "broadcast", "metadata dissemination strategy: broadcast, delta or tree")
+	dissemFlag := fs.String("dissem", "broadcast", "metadata dissemination strategy: broadcast, delta, tree or gossip")
 	epsilon := fs.Float64("epsilon", 0.05, "delta: relative usage change below which a flow is not re-sent (negative sends every change; 0 means default)")
 	adaptive := fs.Bool("adaptive-eps", false, "delta: scale the suppression threshold with each flow's traffic share")
 	resync := fs.Int("resync", 20, "delta: periods between full-state resyncs")
-	fanout := fs.Int("fanout", 4, "tree: aggregation overlay arity")
+	fanout := fs.Int("fanout", 4, "tree: aggregation overlay arity; gossip: pushes per period")
+	gossipRounds := fs.Int("gossip-rounds", 0, "gossip: infect-and-die hop budget (0 = log_fanout(hosts)+1)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -86,6 +87,7 @@ func main() {
 			kollaps.DissemEpsilon(*epsilon),
 			kollaps.DissemResync(*resync),
 			kollaps.DissemFanout(*fanout),
+			kollaps.DissemGossipRounds(*gossipRounds),
 		}
 		if *adaptive {
 			dissemOpts = append(dissemOpts, kollaps.DissemAdaptive())
@@ -111,7 +113,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: kollaps {validate|collapse|plan|run} [-hosts N] [-for D] [-seed S] [-dissem broadcast|delta|tree] [-epsilon E] [-adaptive-eps] [-resync N] [-fanout K] topology.{yaml,xml}")
+	fmt.Fprintln(os.Stderr, "usage: kollaps {validate|collapse|plan|run} [-hosts N] [-for D] [-seed S] [-dissem broadcast|delta|tree|gossip] [-epsilon E] [-adaptive-eps] [-resync N] [-fanout K] [-gossip-rounds R] topology.{yaml,xml}")
 	os.Exit(2)
 }
 

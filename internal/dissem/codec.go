@@ -1,0 +1,361 @@
+package dissem
+
+import (
+	"encoding/binary"
+	"sort"
+	"time"
+)
+
+// Versioned wire codec for Tree aggregate datagrams.
+//
+// Tree buys its ~N/log N datagram reduction by forwarding near-global
+// state on interior edges, which made its naive fixed-width encoding pay
+// roughly 2× Broadcast's bytes per period. Aggregate records are heavily
+// redundant — every record of one origin shares that origin id and
+// generation age, link ids are small integers, and path-sorted records
+// share path prefixes — so the v1 format removes the redundancy instead
+// of shipping it:
+//
+//	v0 (legacy):  [type][host:2][n:2] n×(origin:2, bps:4, count:2,
+//	              ageµs:4, nlinks:1, links: 1 or 2 bytes each)
+//	v1:           [type][0xC1][host:2][ngroups uvarint] groups, where
+//	  group  = origin+1 uvarint (0 ⇒ MergedOrigin)
+//	           age uvarint        (units of 1024 µs before the send time)
+//	           nrec<<1|hasCounts uvarint
+//	           nrec × record
+//	  record = bps uvarint
+//	           count uvarint      (only when hasCounts; all-ones groups omit it)
+//	           nshared<<4|nnew    (one byte; nshared = links shared with the
+//	                               previous record's path prefix, resets per
+//	                               group; 0xFF escapes to two uvarints when
+//	                               either exceeds 14)
+//	           nnew × link id uvarint
+//
+// Records are grouped by (origin, quantized age) — all flows of one
+// report share both — in (origin, age) order, path-sorted within the
+// group, so the encoding is canonical and deterministic. Link ids are
+// uvarints, which also makes v1 independent of the 1-vs-2-byte link-id
+// width negotiation (Config.Wide) that v0 inherits from the paper's
+// metadata format.
+//
+// Version negotiation: byte 1 of a v0 datagram is the high byte of the
+// sender's host id, which is < 0xC0 for any deployment under 49152
+// managers; a versioned datagram marks byte 1 with the 0xC0 mask plus
+// the version number. Decoders therefore accept old-format datagrams
+// from pre-v1 senders unchanged, and reject datagrams carrying a version
+// they do not know — counted in Stats.BadVersion, not silently dropped —
+// so a mixed-version deployment degrades observably instead of
+// corrupting views.
+
+// treeWireVersion is the tree codec version this package encodes.
+const treeWireVersion = 1
+
+// treeVerMask marks byte 1 of a tree datagram as a version byte rather
+// than the high byte of a v0 host id. Host ids below 0xC000 can never
+// collide with it; dissem.New rejects larger deployments outright.
+const treeVerMask byte = 0xC0
+
+// treeAgeUnit is the v1 age quantum. Ages only feed the staleness
+// histogram and the consumer's "older than 1.5 periods ⇒ greedy" cut,
+// which operate at tens-of-milliseconds scale; quantizing to ~8 ms keeps
+// the common ages (0, one period, two periods) one-byte uvarints *and*
+// collapses the few-ms spread that relay hops add into one group per
+// (origin, period) — per-group headers are the dominant overhead on fat
+// interior datagrams. Quantization floors, so a record can only look
+// marginally fresher — the conservative direction, same as network
+// delay — and the ~8 ms error is well inside the 25 ms gap between the
+// period-aligned age clusters and the 1.5-period greedy cut.
+const treeAgeUnit = 8192 * time.Microsecond
+
+// readUvarint decodes one uvarint at b[off:], rejecting truncation and
+// 64-bit overflow. Non-minimal encodings decode like the standard
+// library's (the encoder never emits them; decoders treat them as
+// equivalent, not as errors).
+func readUvarint(b []byte, off int) (uint64, int, bool) {
+	v, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return 0, 0, false
+	}
+	return v, off + n, true
+}
+
+// treeSender extracts the sender host id from either wire version.
+func treeSender(payload []byte) (int, bool) {
+	if len(payload) < 3 {
+		return 0, false
+	}
+	if payload[1]&treeVerMask == treeVerMask {
+		if len(payload) < 4 {
+			return 0, false
+		}
+		return int(binary.BigEndian.Uint16(payload[2:])), true
+	}
+	return int(binary.BigEndian.Uint16(payload[1:])), true
+}
+
+// treeGroupOrder is the canonical group sort key: MergedOrigin first
+// (encoded 0), then origins ascending.
+func treeOriginEnc(origin uint16) uint64 {
+	if origin == MergedOrigin {
+		return 0
+	}
+	return uint64(origin) + 1
+}
+
+// encodeTree serializes an up or down message in the v1 grouped format.
+// recs must be path-sorted (mergeRecs output). Aggregates larger than
+// the 16-bit record budget are clamped — the drop is deterministic
+// (path order) and counted in stats.
+func encodeTree(typ byte, host int, now time.Duration, recs []aggRec, stats *Stats) []byte {
+	if len(recs) > maxWireRecords {
+		stats.TruncatedRecords.Add(int64(len(recs) - maxWireRecords))
+		recs = recs[:maxWireRecords]
+	}
+
+	// Group record indices by (origin, quantized age), keeping the
+	// path-sorted input order within each group.
+	type group struct {
+		originEnc uint64
+		ageQ      uint64
+		idx       []int
+		counts    bool
+	}
+	groups := make([]*group, 0, 8)
+	byKey := make(map[[2]uint64]*group, 8)
+	for i := range recs {
+		r := &recs[i]
+		age := now - r.ts
+		if age < 0 {
+			age = 0
+		}
+		ageQ := uint64(age / treeAgeUnit)
+		if ageQ > uint64(^uint32(0)) {
+			ageQ = uint64(^uint32(0))
+		}
+		key := [2]uint64{treeOriginEnc(r.origin), ageQ}
+		g := byKey[key]
+		if g == nil {
+			g = &group{originEnc: key[0], ageQ: ageQ}
+			byKey[key] = g
+			groups = append(groups, g)
+		}
+		g.idx = append(g.idx, i)
+		if r.count != 1 {
+			g.counts = true
+		}
+	}
+	sort.Slice(groups, func(a, b int) bool {
+		if groups[a].originEnc != groups[b].originEnc {
+			return groups[a].originEnc < groups[b].originEnc
+		}
+		return groups[a].ageQ < groups[b].ageQ
+	})
+
+	buf := make([]byte, 0, 6+len(recs)*12)
+	buf = append(buf, typ, treeVerMask|treeWireVersion)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(host))
+	buf = binary.AppendUvarint(buf, uint64(len(groups)))
+	for _, g := range groups {
+		buf = binary.AppendUvarint(buf, g.originEnc)
+		buf = binary.AppendUvarint(buf, g.ageQ)
+		flag := uint64(len(g.idx)) << 1
+		if g.counts {
+			flag |= 1
+		}
+		buf = binary.AppendUvarint(buf, flag)
+		var prev []uint16
+		for _, i := range g.idx {
+			r := &recs[i]
+			buf = binary.AppendUvarint(buf, uint64(clampU32(r.bps)))
+			if g.counts {
+				buf = binary.AppendUvarint(buf, uint64(r.count))
+			}
+			shared := 0
+			for shared < len(prev) && shared < len(r.links) && prev[shared] == r.links[shared] {
+				shared++
+			}
+			nnew := len(r.links) - shared
+			if shared < 15 && nnew < 15 {
+				buf = append(buf, byte(shared<<4|nnew))
+			} else {
+				buf = append(buf, 0xFF)
+				buf = binary.AppendUvarint(buf, uint64(shared))
+				buf = binary.AppendUvarint(buf, uint64(nnew))
+			}
+			for _, l := range r.links[shared:] {
+				buf = binary.AppendUvarint(buf, uint64(l))
+			}
+			prev = r.links
+		}
+	}
+	return buf
+}
+
+// decodeTree parses a tree datagram of either wire version,
+// reconstructing record generation times from the encoded ages relative
+// to the arrival time (the in-sim clocks are synchronized; network delay
+// only ever makes records look marginally fresher than they are). A
+// datagram carrying an unknown future version is rejected and counted
+// in stats.BadVersion — a visible signal of a mixed-version deployment,
+// not a silent drop.
+func decodeTree(payload []byte, now time.Duration, wide bool, stats *Stats) ([]aggRec, bool) {
+	if len(payload) < 2 {
+		return nil, false
+	}
+	if payload[1]&treeVerMask == treeVerMask {
+		if ver := payload[1] &^ treeVerMask; ver != treeWireVersion {
+			if stats != nil {
+				stats.BadVersion.Inc()
+			}
+			return nil, false
+		}
+		return decodeTreeV1(payload, now)
+	}
+	return decodeTreeV0(payload, now, wide)
+}
+
+// decodeTreeV1 parses the grouped varint body.
+func decodeTreeV1(payload []byte, now time.Duration) ([]aggRec, bool) {
+	if len(payload) < 5 {
+		return nil, false
+	}
+	off := 4
+	ngroups, off, ok := readUvarint(payload, off)
+	if !ok || ngroups > uint64(maxWireRecords) {
+		return nil, false
+	}
+	var recs []aggRec
+	for g := uint64(0); g < ngroups; g++ {
+		var originEnc, ageQ, flag uint64
+		if originEnc, off, ok = readUvarint(payload, off); !ok || originEnc > 0x10000 {
+			return nil, false
+		}
+		origin := MergedOrigin
+		if originEnc != 0 {
+			origin = uint16(originEnc - 1)
+		}
+		if ageQ, off, ok = readUvarint(payload, off); !ok || ageQ > uint64(^uint32(0)) {
+			return nil, false
+		}
+		ts := now - time.Duration(ageQ)*treeAgeUnit
+		if flag, off, ok = readUvarint(payload, off); !ok {
+			return nil, false
+		}
+		counts := flag&1 != 0
+		nrec := flag >> 1
+		if nrec > uint64(maxWireRecords) || len(recs)+int(nrec) > maxWireRecords {
+			return nil, false
+		}
+		var prev []uint16
+		for i := uint64(0); i < nrec; i++ {
+			var bps, count, nshared, nnew uint64
+			if bps, off, ok = readUvarint(payload, off); !ok || bps > uint64(^uint32(0)) {
+				return nil, false
+			}
+			count = 1
+			if counts {
+				if count, off, ok = readUvarint(payload, off); !ok || count > uint64(^uint16(0)) {
+					return nil, false
+				}
+			}
+			if off >= len(payload) {
+				return nil, false
+			}
+			if nib := payload[off]; nib != 0xFF {
+				nshared, nnew = uint64(nib>>4), uint64(nib&0x0F)
+				off++
+			} else {
+				off++
+				if nshared, off, ok = readUvarint(payload, off); !ok {
+					return nil, false
+				}
+				if nnew, off, ok = readUvarint(payload, off); !ok {
+					return nil, false
+				}
+			}
+			if int(nshared) > len(prev) || nshared+nnew > 255 {
+				return nil, false
+			}
+			links := make([]uint16, nshared+nnew)
+			copy(links, prev[:nshared])
+			for j := uint64(0); j < nnew; j++ {
+				var l uint64
+				if l, off, ok = readUvarint(payload, off); !ok || l > uint64(^uint16(0)) {
+					return nil, false
+				}
+				links[nshared+j] = uint16(l)
+			}
+			prev = links
+			recs = append(recs, aggRec{
+				origin: origin,
+				bps:    bps,
+				count:  uint16(count),
+				ts:     ts,
+				links:  links,
+			})
+		}
+	}
+	if off != len(payload) {
+		return nil, false
+	}
+	return recs, true
+}
+
+// encodeTreeV0 is the legacy fixed-width encoder, retained as the
+// reference for the version-negotiation contract: nodes no longer send
+// this format, but decodeTree must keep accepting it so pre-v1 senders
+// interoperate (pinned by the codec tests).
+func encodeTreeV0(typ byte, host int, now time.Duration, recs []aggRec, wide bool, stats *Stats) []byte {
+	if len(recs) > maxWireRecords {
+		stats.TruncatedRecords.Add(int64(len(recs) - maxWireRecords))
+		recs = recs[:maxWireRecords]
+	}
+	buf := make([]byte, 0, 5+len(recs)*16)
+	buf = append(buf, typ)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(host))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(recs)))
+	for _, r := range recs {
+		age := (now - r.ts) / time.Microsecond
+		if age < 0 {
+			age = 0
+		}
+		buf = binary.BigEndian.AppendUint16(buf, r.origin)
+		buf = binary.BigEndian.AppendUint32(buf, clampU32(r.bps))
+		buf = binary.BigEndian.AppendUint16(buf, r.count)
+		buf = binary.BigEndian.AppendUint32(buf, clampU32(uint64(age)))
+		buf = appendLinks(buf, r.links, wide)
+	}
+	return buf
+}
+
+// decodeTreeV0 parses the legacy fixed-width body.
+func decodeTreeV0(payload []byte, now time.Duration, wide bool) ([]aggRec, bool) {
+	if len(payload) < 5 {
+		return nil, false
+	}
+	nrec := int(binary.BigEndian.Uint16(payload[3:]))
+	recs := make([]aggRec, 0, nrec)
+	off := 5
+	for i := 0; i < nrec; i++ {
+		if off+12 > len(payload) {
+			return nil, false
+		}
+		r := aggRec{
+			origin: binary.BigEndian.Uint16(payload[off:]),
+			bps:    uint64(binary.BigEndian.Uint32(payload[off+2:])),
+			count:  binary.BigEndian.Uint16(payload[off+6:]),
+			ts:     now - time.Duration(binary.BigEndian.Uint32(payload[off+8:]))*time.Microsecond,
+		}
+		links, next, err := readLinks(payload, off+12, wide)
+		if err != nil {
+			return nil, false
+		}
+		off = next
+		r.links = links
+		recs = append(recs, r)
+	}
+	if off != len(payload) {
+		return nil, false
+	}
+	return recs, true
+}

@@ -1,0 +1,290 @@
+package dissem
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/metadata"
+)
+
+// Tests for the versioned tree wire codec: round-trip fidelity, the
+// version-negotiation contract (legacy in, future out — counted), and
+// the compression target the codec exists for: Tree at N=32 must pay at
+// most 1.2× Broadcast's bytes per period, down from the legacy format's
+// ~2.2×.
+
+// codecRecs is a representative aggregate: several origins, one merged
+// record, shared path prefixes, counts above 1, mixed ages.
+func codecRecs(now time.Duration) []aggRec {
+	return mergeRecs([][]aggRec{{
+		{origin: 0, bps: 2_900_000, count: 1, ts: now, links: []uint16{1, 0, 2}},
+		{origin: 0, bps: 1_400_000, count: 1, ts: now, links: []uint16{3, 0, 4}},
+		{origin: 7, bps: 2_100_000, count: 3, ts: now - 50*time.Millisecond, links: []uint16{300, 0, 301}},
+		{origin: 7, bps: 900, count: 1, ts: now - 50*time.Millisecond, links: []uint16{300, 0, 302}},
+		{origin: 3, bps: 5, count: 2, ts: now - 100*time.Millisecond, links: []uint16{9}},
+		{origin: MergedOrigin, bps: 4_000_000_000, count: 40_000, ts: now - time.Millisecond, links: []uint16{65535, 0}},
+	}})
+}
+
+// sortRecs puts decoded records in a canonical order for comparison
+// (the wire's group order differs from mergeRecs' path order).
+func sortRecs(recs []aggRec) {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].origin != recs[j].origin {
+			return recs[i].origin < recs[j].origin
+		}
+		return pathKey(recs[i].links) < pathKey(recs[j].links)
+	})
+}
+
+func TestTreeCodecRoundTrip(t *testing.T) {
+	now := 3 * time.Second
+	in := codecRecs(now)
+	var stats Stats
+	raw := encodeTree(msgTreeUp, 5, now, in, &stats)
+	if raw[1] != treeVerMask|treeWireVersion {
+		t.Fatalf("encoded version byte = %#x, want %#x", raw[1], treeVerMask|treeWireVersion)
+	}
+	if from, ok := treeSender(raw); !ok || from != 5 {
+		t.Fatalf("treeSender = %d, %v; want 5", from, ok)
+	}
+	out, ok := decodeTree(raw, now, true, &stats)
+	if !ok {
+		t.Fatal("v1 datagram did not decode")
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d records, want %d", len(out), len(in))
+	}
+	sortRecs(in)
+	sortRecs(out)
+	for i := range in {
+		if out[i].origin != in[i].origin || out[i].bps != in[i].bps ||
+			out[i].count != in[i].count || !reflect.DeepEqual(out[i].links, in[i].links) {
+			t.Fatalf("record %d: got %+v, want %+v", i, out[i], in[i])
+		}
+		// Ages are quantized to the 1024 µs unit, flooring (records may
+		// only look fresher, never staler).
+		if d := out[i].ts - in[i].ts; d < 0 || d >= treeAgeUnit {
+			t.Fatalf("record %d: ts moved by %v, want [0, %v)", i, d, treeAgeUnit)
+		}
+	}
+	if stats.BadVersion.Value() != 0 || stats.TruncatedRecords.Value() != 0 {
+		t.Fatalf("counters moved on a clean round trip: %+v", stats)
+	}
+}
+
+// TestTreeCodecLegacyAccepted: datagrams in the pre-v1 fixed-width
+// format must still decode — both through decodeTree and end to end
+// through a live node's Receive — so pre-v1 senders interoperate.
+func TestTreeCodecLegacyAccepted(t *testing.T) {
+	now := 3 * time.Second
+	in := codecRecs(now)
+	var stats Stats
+	legacy := encodeTreeV0(msgTreeUp, 5, now, in, true, &stats)
+	out, ok := decodeTree(legacy, now, true, &stats)
+	if !ok {
+		t.Fatal("legacy v0 datagram rejected")
+	}
+	sortRecs(in)
+	sortRecs(out)
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("legacy decode differs:\n%+v\n%+v", out, in)
+	}
+	if stats.BadVersion.Value() != 0 {
+		t.Fatal("legacy datagram counted as a bad version")
+	}
+
+	// End to end: a v0 up from child 1 must land in the root's view.
+	node, err := New(Config{Kind: Tree, NumHosts: 4, Fanout: 4, Wide: true}, 0, discardTr{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := encodeTreeV0(msgTreeUp, 1, now, []aggRec{
+		{origin: 1, bps: 1000, count: 1, ts: now, links: []uint16{4, 5}},
+	}, true, &stats)
+	node.Receive(now, up)
+	v := node.RemoteFlows(now, time.Second)
+	if len(v) != 1 || v[0].BPS != 1000 || v[0].Origin != 1 {
+		t.Fatalf("view after legacy up = %+v", v)
+	}
+}
+
+// TestTreeCodecFutureVersionRejected: an unknown future version must be
+// rejected and *counted* — Stats.BadVersion is the observable footprint
+// of a mixed-version deployment, not a silent drop.
+func TestTreeCodecFutureVersionRejected(t *testing.T) {
+	now := 3 * time.Second
+	var stats Stats
+	raw := encodeTree(msgTreeUp, 1, now, codecRecs(now), &stats)
+	future := append([]byte(nil), raw...)
+	future[1] = treeVerMask | (treeWireVersion + 1)
+	if _, ok := decodeTree(future, now, true, &stats); ok {
+		t.Fatal("future-version datagram decoded")
+	}
+	if got := stats.BadVersion.Value(); got != 1 {
+		t.Fatalf("BadVersion = %d after one future-version datagram, want 1", got)
+	}
+
+	// Through a live node: view unchanged, counter on the node moves.
+	node, err := New(Config{Kind: Tree, NumHosts: 4, Fanout: 4, Wide: true}, 0, discardTr{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := encodeTree(msgTreeUp, 1, now, []aggRec{
+		{origin: 1, bps: 1000, count: 1, ts: now, links: []uint16{4, 5}},
+	}, &stats)
+	node.Receive(now, up)
+	before := node.RemoteFlows(now, time.Second)
+	futureUp := append([]byte(nil), up...)
+	futureUp[1] = treeVerMask | 0x3F
+	node.Receive(now, futureUp)
+	if got := node.Stats().BadVersion.Value(); got != 1 {
+		t.Fatalf("node BadVersion = %d, want 1", got)
+	}
+	after := node.RemoteFlows(now, time.Second)
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("future-version datagram changed the view:\n%+v\n%+v", before, after)
+	}
+}
+
+// TestTreeCodecTruncationStillCounted: the 16-bit record budget clamp
+// survives the codec change (regression guard for the PR 4 fix).
+func TestTreeCodecTruncationStillCounted(t *testing.T) {
+	now := time.Second
+	recs := make([]aggRec, maxWireRecords+7)
+	for i := range recs {
+		recs[i] = aggRec{origin: 1, bps: uint64(i), count: 1, ts: now, links: []uint16{uint16(i / 256), uint16(i % 256)}}
+	}
+	var stats Stats
+	raw := encodeTree(msgTreeUp, 1, now, recs, &stats)
+	if got := stats.TruncatedRecords.Value(); got != 7 {
+		t.Fatalf("TruncatedRecords = %d, want 7", got)
+	}
+	out, ok := decodeTree(raw, now, true, &stats)
+	if !ok || len(out) != maxWireRecords {
+		t.Fatalf("clamped datagram decoded %d records, ok=%v; want %d", len(out), ok, maxWireRecords)
+	}
+}
+
+// benchWorkload mirrors the failover benchmark's dumbbell at N managers:
+// 4 flows per host, every path [access, bottleneck, server-access] with
+// wide link ids, and usage jittering each round the way measured CBR
+// rates do (whole packets per period), so Delta-style staleness cannot
+// mask bytes.
+func benchWorkload(n, round int) []*metadata.Message {
+	msgs := make([]*metadata.Message, n)
+	pairs := 4 * n
+	for h := 0; h < n; h++ {
+		m := hostMsg(h)
+		for i := h; i < pairs; i += n {
+			bps := uint32(1_400_000 + (i%4)*500_000 + ((round+i)%3)*160)
+			m.Flows = append(m.Flows, metadata.FlowRecord{
+				BPS:   bps,
+				Links: []uint16{uint16(1 + 2*i), 0, uint16(2 + 2*i)},
+			})
+		}
+		msgs[h] = m
+	}
+	return msgs
+}
+
+// TestTreeCompressedBytesVsBroadcast is the acceptance bound: at N=32 on
+// the benchmark workload, compressed Tree must spend at most 1.2×
+// Broadcast's control bytes per period (the legacy format paid ~2.2×)
+// while keeping its ~N/log N datagram advantage.
+func TestTreeCompressedBytesVsBroadcast(t *testing.T) {
+	const n = 32
+	const rounds = 20
+	perPeriod := func(kind Kind) (bytes, dgrams int64) {
+		h := newHarness(t, Config{Kind: kind, Fanout: 4, Wide: true}, n)
+		for r := 0; r < 5; r++ {
+			h.round(foPeriod, benchWorkload(n, r))
+		}
+		h.sent = nil
+		for r := 0; r < rounds; r++ {
+			h.round(foPeriod, benchWorkload(n, 5+r))
+		}
+		for _, s := range h.sent {
+			bytes += int64(len(s.payload))
+		}
+		return bytes / rounds, int64(len(h.sent)) / rounds
+	}
+	bBytes, bDgrams := perPeriod(Broadcast)
+	tBytes, tDgrams := perPeriod(Tree)
+	ratio := float64(tBytes) / float64(bBytes)
+	t.Logf("per period: broadcast %d B / %d dgrams, tree %d B / %d dgrams (ratio %.3f×)", bBytes, bDgrams, tBytes, tDgrams, ratio)
+	if ratio > 1.2 {
+		t.Fatalf("compressed tree spends %.3f× broadcast's bytes per period (%d vs %d), want <= 1.2×", ratio, tBytes, bBytes)
+	}
+	if tDgrams*4 >= bDgrams {
+		t.Fatalf("tree datagram advantage lost: %d vs broadcast's %d per period", tDgrams, bDgrams)
+	}
+}
+
+// TestTreeCodecDeterministic: identical inputs must produce identical
+// bytes — group order, intra-group order and quantization are all
+// canonical.
+func TestTreeCodecDeterministic(t *testing.T) {
+	now := 2 * time.Second
+	var stats Stats
+	a := encodeTree(msgTreeDown, 3, now, codecRecs(now), &stats)
+	b := encodeTree(msgTreeDown, 3, now, codecRecs(now), &stats)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("encoder not deterministic:\n%x\n%x", a, b)
+	}
+}
+
+// TestTreeViewEquivalentUnderCodec: a full tree exchange must produce
+// the same fused views (modulo age quantization) whether aggregates
+// travel in v0 or v1 — the codec changes bytes, not semantics. The v0
+// side is simulated by re-encoding every datagram through the legacy
+// encoder before delivery.
+func TestTreeViewEquivalentUnderCodec(t *testing.T) {
+	const n = 7
+	run := func(reencodeV0 bool) [][]RemoteFlow {
+		h := newHarness(t, Config{Kind: Tree, Fanout: 2, Wide: true}, n)
+		if reencodeV0 {
+			h.drop = func(from, to int, payload []byte) bool {
+				recs, ok := decodeTree(payload, h.now, true, &Stats{})
+				if !ok {
+					return true
+				}
+				var stats Stats
+				h.nodes[to].Receive(h.now, encodeTreeV0(payload[0], from, h.now, recs, true, &stats))
+				return true // delivered via the legacy format instead
+			}
+		}
+		msgs := make([]*metadata.Message, n)
+		for i := range msgs {
+			msgs[i] = hostMsg(i, metadata.FlowRecord{BPS: uint32(1000 * (i + 1)), Links: []uint16{uint16(i), 500}})
+		}
+		var views [][]RemoteFlow
+		for r := 0; r < 5; r++ {
+			h.round(foPeriod, msgs)
+		}
+		for _, node := range h.nodes {
+			views = append(views, node.RemoteFlows(h.now, 20*foPeriod))
+		}
+		return views
+	}
+	v1, v0 := run(false), run(true)
+	for i := range v1 {
+		if len(v1[i]) != len(v0[i]) {
+			t.Fatalf("node %d: %d records under v1, %d under v0", i, len(v1[i]), len(v0[i]))
+		}
+		for j := range v1[i] {
+			a, b := v1[i][j], v0[i][j]
+			if a.Origin != b.Origin || a.BPS != b.BPS || a.Count != b.Count || !reflect.DeepEqual(a.Links, b.Links) {
+				t.Fatalf("node %d record %d differs across codecs:\n%+v\n%+v", i, j, a, b)
+			}
+			if d := a.Age - b.Age; d < -treeAgeUnit || d > treeAgeUnit {
+				t.Fatalf("node %d record %d: age differs by %v across codecs", i, j, d)
+			}
+		}
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt for debug spelunking in this file

@@ -186,8 +186,13 @@ func (n *deltaNode) Publish(now time.Duration, msg *metadata.Message) {
 }
 
 // minAcked returns the lowest sequence number acknowledged by every peer
-// not suspected dead (0 when some live peer has never acked). Excluding
-// suspects is what keeps one dead manager from freezing the baseline:
+// not suspected dead and not owed a re-admission full (0 when some live
+// peer has never acked). Excluding suspects is what keeps one dead
+// manager from freezing the baseline; excluding needFull peers keeps a
+// *re-admitted* one — whose ack state was garbage-collected at suspicion
+// — from dragging the baseline to zero on its first datagram, which
+// would turn the targeted re-admission full into a full resync broadcast
+// to every peer:
 // with it pinned, the baseline snapshot eventually falls out of
 // retention and every report degrades to a full resync — strictly worse
 // than Broadcast, forever. With *no* live peer at all (every other
@@ -199,7 +204,7 @@ func (n *deltaNode) minAcked() uint32 {
 	min := ^uint32(0)
 	found := false
 	for h := 0; h < n.cfg.NumHosts; h++ {
-		if h == n.host || n.live.suspected(h) {
+		if h == n.host || n.live.suspected(h) || n.needFull[h] {
 			continue
 		}
 		found = true

@@ -21,7 +21,16 @@
 //     paths, and each child receives back the aggregate of everything
 //     outside its own subtree — O(N) up + O(N) down = O(N·fanout)
 //     datagrams per period, at the price of O(log_k N) periods of extra
-//     staleness for distant managers.
+//     staleness for distant managers. Aggregates travel in the versioned
+//     compressed wire format of codec.go (varint link ids, shared-path
+//     prefixes, grouped origins).
+//   - Gossip drops all fixed structure: every period each manager pushes
+//     its hot records to Fanout sampled peers, receivers forward novelty
+//     for GossipRounds hops (infect-and-die), and per-peer version
+//     vectors carried on every datagram detect convergence and drive
+//     anti-entropy pulls for anything a node is missing. O(N·fanout)
+//     datagrams per period with no overlay to maintain, so manager churn
+//     degrades only latency, never completeness.
 //
 // Every node exposes control-plane counters (datagrams, bytes, staleness)
 // through internal/metrics so experiments can quantify the trade-off.
@@ -47,6 +56,9 @@ const (
 	Delta
 	// Tree is the fanout-k hierarchical aggregation overlay.
 	Tree
+	// Gossip is the epidemic exchange: seeded peer sampling,
+	// infect-and-die record propagation, version-vector anti-entropy.
+	Gossip
 )
 
 // String returns the CLI name of the strategy.
@@ -58,6 +70,8 @@ func (k Kind) String() string {
 		return "delta"
 	case Tree:
 		return "tree"
+	case Gossip:
+		return "gossip"
 	}
 	return fmt.Sprintf("dissem.Kind(%d)", int(k))
 }
@@ -71,8 +85,10 @@ func ParseKind(s string) (Kind, error) {
 		return Delta, nil
 	case "tree":
 		return Tree, nil
+	case "gossip":
+		return Gossip, nil
 	}
-	return 0, fmt.Errorf("dissem: unknown strategy %q (want broadcast, delta or tree)", s)
+	return 0, fmt.Errorf("dissem: unknown strategy %q (want broadcast, delta, tree or gossip)", s)
 }
 
 // Config tunes a strategy. The zero value selects Broadcast with the
@@ -103,8 +119,18 @@ type Config struct {
 	// 4). Larger values shrink ack traffic; the diff baseline lags
 	// accordingly, re-sending recent changes a few extra times.
 	AckEvery int
-	// Fanout is the arity of the Tree overlay (default 4, minimum 2).
+	// Fanout is the arity of the Tree overlay (default 4, minimum 2) and
+	// the number of peers a Gossip node pushes to per period.
 	Fanout int
+	// GossipRounds is the infect-and-die hop budget: how many hops a
+	// record adopted as new is forwarded before the rumor dies. The
+	// default, ⌈log_Fanout(NumHosts)⌉+1, covers the deployment with one
+	// spare hop; anti-entropy pulls repair whatever the push wave misses.
+	GossipRounds int
+	// Seed drives Gossip's deterministic peer sampling; the runtime fills
+	// it with the deployment seed so identical seeds replay identical
+	// control-plane traffic.
+	Seed int64
 	// SuspectAfter is the failure-detection threshold, in emulation
 	// periods: a peer this node expects traffic from (every peer for
 	// Delta, overlay neighbors for Tree) that stays silent for more than
@@ -146,11 +172,18 @@ func (c Config) withDefaults() Config {
 
 // Validate reports whether the configuration is usable.
 func (c Config) Validate() error {
-	if c.Kind != Broadcast && c.Kind != Delta && c.Kind != Tree {
+	switch c.Kind {
+	case Broadcast, Delta, Tree, Gossip:
+	default:
 		return fmt.Errorf("dissem: unknown strategy kind %d", int(c.Kind))
 	}
 	if c.Kind == Tree && c.Fanout == 1 {
 		return fmt.Errorf("dissem: tree fanout must be >= 2, got %d", c.Fanout)
+	}
+	if c.Kind == Tree && c.NumHosts >= int(treeVerMask)<<8 {
+		// Byte 1 of a legacy tree datagram is the host id's high byte; at
+		// 49152+ managers it would collide with the wire-version marker.
+		return fmt.Errorf("dissem: tree supports at most %d managers (wire-version byte space), got %d", int(treeVerMask)<<8-1, c.NumHosts)
 	}
 	return nil
 }
@@ -216,6 +249,11 @@ type Stats struct {
 	// encoders clamp instead of letting the count wrap, which used to
 	// make receivers reject the entire datagram as trailing garbage.
 	TruncatedRecords metrics.Counter
+	// BadVersion counts control datagrams rejected because they carried a
+	// wire version this node does not implement — the visible footprint
+	// of a mixed-version deployment (an old node never sees its newer
+	// peers' reports, which would otherwise read as a silent partition).
+	BadVersion metrics.Counter
 
 	staleStride int
 	staleSkip   int
@@ -321,6 +359,8 @@ func New(cfg Config, host int, tr Transport) (Node, error) {
 		return newBroadcastNode(cfg, host, tr), nil
 	case Delta:
 		return newDeltaNode(cfg, host, tr), nil
+	case Gossip:
+		return newGossipNode(cfg, host, tr), nil
 	default:
 		return newTreeNode(cfg, host, tr), nil
 	}
@@ -329,22 +369,28 @@ func New(cfg Config, host int, tr Transport) (Node, error) {
 // ---- shared wire helpers ----
 //
 // Broadcast reuses metadata.Encode verbatim (no extra framing — the bytes
-// on the wire are exactly the paper's format). Delta and Tree prepend a
-// one-byte message type followed by the 2-byte sender id:
+// on the wire are exactly the paper's format). The other strategies
+// prepend a one-byte message type followed by the sender id:
 //
 //	delta full:  [type][host:2][seq:4][ts:8][n:2] n×(bps:4, count:2, nlinks:1, links)
 //	delta diff:  same framing; count==0 is a tombstone (flow ended)
 //	delta ack:   [type][host:2][seq:4]
-//	tree up/down:[type][host:2][n:2] n×(origin:2, bps:4, count:2, ageµs:4, nlinks:1, links)
+//	tree up/down:versioned compressed aggregate format — see codec.go
+//	gossip push: [type][host:2][n:2] n×entry, then the version vector —
+//	             see gossip.go
+//	gossip pull: [type][host:2][n:2] n×(origin:2)
 //
-// Link ids are 1 byte, or 2 when Config.Wide (same rule as metadata).
+// Link ids are 1 byte, or 2 when Config.Wide (same rule as metadata);
+// the tree codec's varint link ids are width-agnostic.
 
 const (
-	msgDeltaFull byte = 1
-	msgDeltaDiff byte = 2
-	msgDeltaAck  byte = 3
-	msgTreeUp    byte = 4
-	msgTreeDown  byte = 5
+	msgDeltaFull  byte = 1
+	msgDeltaDiff  byte = 2
+	msgDeltaAck   byte = 3
+	msgTreeUp     byte = 4
+	msgTreeDown   byte = 5
+	msgGossip     byte = 6
+	msgGossipPull byte = 7
 )
 
 // pathKey packs a link list into a map key.

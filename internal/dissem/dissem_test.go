@@ -104,14 +104,14 @@ func viewTotals(view []RemoteFlow) map[string][2]uint64 {
 }
 
 func TestParseKind(t *testing.T) {
-	for s, want := range map[string]Kind{"broadcast": Broadcast, "": Broadcast, "delta": Delta, "tree": Tree} {
+	for s, want := range map[string]Kind{"broadcast": Broadcast, "": Broadcast, "delta": Delta, "tree": Tree, "gossip": Gossip} {
 		got, err := ParseKind(s)
 		if err != nil || got != want {
 			t.Errorf("ParseKind(%q) = %v, %v", s, got, err)
 		}
 	}
-	if _, err := ParseKind("gossip"); err == nil {
-		t.Error("ParseKind(gossip) should fail")
+	if _, err := ParseKind("epidemic"); err == nil {
+		t.Error("ParseKind(epidemic) should fail")
 	}
 	if _, err := New(Config{Kind: Kind(99), NumHosts: 2}, 0, nil); err == nil {
 		t.Error("New with bad kind should fail")
@@ -125,7 +125,7 @@ func TestParseKind(t *testing.T) {
 	// NumHosts left unset (0) used to accept any host index, and Tree
 	// then computed a bogus parent; it must be rejected for every host.
 	for _, host := range []int{0, 1, 7} {
-		for _, kind := range []Kind{Broadcast, Delta, Tree} {
+		for _, kind := range []Kind{Broadcast, Delta, Tree, Gossip} {
 			if _, err := New(Config{Kind: kind}, host, harnessTr{}); err == nil {
 				t.Errorf("New(%v) with NumHosts=0, host=%d should fail", kind, host)
 			}
@@ -560,7 +560,7 @@ func TestTreeMergesSharedPaths(t *testing.T) {
 
 func TestStatsCounters(t *testing.T) {
 	const period = 50 * time.Millisecond
-	for _, kind := range []Kind{Broadcast, Delta, Tree} {
+	for _, kind := range []Kind{Broadcast, Delta, Tree, Gossip} {
 		h := newHarness(t, Config{Kind: kind, Fanout: 2}, 4)
 		msgs := make([]*metadata.Message, 4)
 		for i := range msgs {
@@ -599,7 +599,7 @@ func TestStatsCounters(t *testing.T) {
 // the deterministic-seed guarantee of the whole emulator rests on.
 func TestDeterministicViews(t *testing.T) {
 	const period = 50 * time.Millisecond
-	for _, kind := range []Kind{Broadcast, Delta, Tree} {
+	for _, kind := range []Kind{Broadcast, Delta, Tree, Gossip} {
 		run := func() ([]sentRec, [][]RemoteFlow) {
 			h := newHarness(t, Config{Kind: kind, Fanout: 2}, 5)
 			var views [][]RemoteFlow
@@ -630,7 +630,7 @@ func TestDeterministicViews(t *testing.T) {
 
 func TestCorruptedDatagramsIgnored(t *testing.T) {
 	const period = 50 * time.Millisecond
-	for _, kind := range []Kind{Broadcast, Delta, Tree} {
+	for _, kind := range []Kind{Broadcast, Delta, Tree, Gossip} {
 		h := newHarness(t, Config{Kind: kind, Fanout: 2}, 3)
 		msgs := []*metadata.Message{
 			hostMsg(0, metadata.FlowRecord{BPS: 100, Links: []uint16{0}}),
@@ -639,7 +639,7 @@ func TestCorruptedDatagramsIgnored(t *testing.T) {
 		}
 		h.round(period, msgs)
 		before := h.nodes[2].RemoteFlows(h.now, 10*period)
-		for _, junk := range [][]byte{nil, {0xFF}, {msgDeltaDiff, 0, 0}, {msgTreeUp, 0, 1, 0, 9, 9}, bytes.Repeat([]byte{1}, 40)} {
+		for _, junk := range [][]byte{nil, {0xFF}, {msgDeltaDiff, 0, 0}, {msgTreeUp, 0, 1, 0, 9, 9}, {msgGossip, 0, 1, 0, 9, 9}, {msgGossipPull, 0, 1, 0, 4}, bytes.Repeat([]byte{1}, 40)} {
 			h.nodes[2].Receive(h.now, junk)
 		}
 		after := h.nodes[2].RemoteFlows(h.now, 10*period)
@@ -655,7 +655,7 @@ func TestCorruptedDatagramsIgnored(t *testing.T) {
 // peers in the view.
 func TestBogusSenderIDIgnored(t *testing.T) {
 	const period = 50 * time.Millisecond
-	for _, kind := range []Kind{Broadcast, Delta, Tree} {
+	for _, kind := range []Kind{Broadcast, Delta, Tree, Gossip} {
 		h := newHarness(t, Config{Kind: kind, Fanout: 2}, 3)
 		msgs := []*metadata.Message{
 			hostMsg(0, metadata.FlowRecord{BPS: 100, Links: []uint16{0}}),
@@ -672,7 +672,10 @@ func TestBogusSenderIDIgnored(t *testing.T) {
 		bogusBcast := metadata.Encode(&metadata.Message{Host: 0xFFFF}, false)
 		// Tree up claiming an out-of-range child.
 		bogusTree := []byte{msgTreeUp, 0xFF, 0xFF, 0, 0}
-		for _, b := range [][]byte{bogusDelta, bogusBcast, bogusTree} {
+		// Gossip pull claiming an out-of-range requester (replying would
+		// index the transport's peer table out of bounds).
+		bogusGossip := []byte{msgGossipPull, 0xFF, 0xFF, 0, 0}
+		for _, b := range [][]byte{bogusDelta, bogusBcast, bogusTree, bogusGossip} {
 			h.nodes[2].Receive(h.now, b)
 		}
 		if len(h.sent) != sent {
@@ -698,7 +701,7 @@ func TestPathKeyRoundTrip(t *testing.T) {
 }
 
 func TestKindString(t *testing.T) {
-	for _, k := range []Kind{Broadcast, Delta, Tree} {
+	for _, k := range []Kind{Broadcast, Delta, Tree, Gossip} {
 		parsed, err := ParseKind(k.String())
 		if err != nil || parsed != k {
 			t.Errorf("Kind round trip failed for %v", k)

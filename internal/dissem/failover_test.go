@@ -117,7 +117,7 @@ func TestFailoverOneDeadManager(t *testing.T) {
 		bound = suspectAfter + 3
 	)
 	msgs := foMsgs(n, 1)
-	for _, kind := range []Kind{Broadcast, Delta, Tree} {
+	for _, kind := range []Kind{Broadcast, Delta, Tree, Gossip} {
 		t.Run(kind.String(), func(t *testing.T) {
 			h := newHarness(t, Config{
 				Kind: kind, Fanout: fanout, ResyncEvery: resync,
@@ -239,6 +239,64 @@ func TestFailoverAllPeersDead(t *testing.T) {
 	}
 }
 
+// TestDeltaReadmissionFullIsTargeted: when a suspected peer re-admits
+// itself with its first datagram, the next report must be a full *to
+// that peer only* — its garbage-collected ack state must not drag the
+// shared baseline to zero and degrade everyone's report to a broadcast
+// full resync.
+func TestDeltaReadmissionFullIsTargeted(t *testing.T) {
+	const n = 4
+	msgs := foMsgs(n, 1)
+	h := newHarness(t, Config{Kind: Delta, ResyncEvery: 1000, SuspectAfter: 2}, n)
+	for r := 0; r < 6; r++ {
+		h.round(foPeriod, msgs)
+	}
+	h.kill(1)
+	for r := 0; r < 5; r++ { // well past suspicion
+		h.round(foPeriod, msgs)
+	}
+	h.restart(t, 1)
+	h.sent = h.sent[:0]
+	// Node 1's first datagrams re-admit it everywhere; peers publishing
+	// after it in the same round owe it the full immediately, peers
+	// before it (host 0) on their next publish — capture both rounds.
+	h.round(foPeriod, msgs)
+	h.round(foPeriod, msgs)
+	for from := 0; from < n; from++ {
+		if from == 1 {
+			continue
+		}
+		var fulls, fullsTo1, diffs int
+		for _, s := range h.sent {
+			if s.from != from {
+				continue
+			}
+			switch s.payload[0] {
+			case msgDeltaFull:
+				fulls++
+				if s.to == 1 {
+					fullsTo1++
+				}
+			case msgDeltaDiff:
+				diffs++
+			}
+		}
+		if fulls != 1 || fullsTo1 != 1 {
+			t.Fatalf("node %d sent %d fulls (%d to the re-admitted peer) after re-admission, want exactly 1 targeted full", from, fulls, fullsTo1)
+		}
+		if diffs != 2*(n-1)-1 {
+			t.Fatalf("node %d sent %d diffs alongside the targeted full, want %d", from, diffs, 2*(n-1)-1)
+		}
+	}
+	// And the views reconverge as before.
+	for r := 0; r < 4; r++ {
+		h.round(foPeriod, msgs)
+	}
+	if ok, why := viewsMatchOracle(h, msgs); !ok {
+		t.Fatalf("views not rebuilt after targeted re-admission: %s", why)
+	}
+}
+
 // TestFailoverRootDeath kills Tree's root: the lowest live host must take
 // over as overlay root and adopt the orphaned subtrees — previously the
 // overlay partitioned into fanout blind islands.
@@ -310,7 +368,7 @@ func TestFailoverChaos(t *testing.T) {
 		churnRounds = 40
 		quietRounds = 25 // > ResyncEvery + suspicion + tree depth
 	)
-	for _, kind := range []Kind{Broadcast, Delta, Tree} {
+	for _, kind := range []Kind{Broadcast, Delta, Tree, Gossip} {
 		t.Run(kind.String(), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(7))
 			h := newHarness(t, Config{

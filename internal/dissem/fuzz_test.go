@@ -47,8 +47,18 @@ func fuzzSeeds(t interface{ Helper() }) [][]byte {
 		th.nodes = append(th.nodes, node)
 	}
 	th.round(50*time.Millisecond, msgs)
+	gcfg := Config{Kind: Gossip, NumHosts: 4, Fanout: 2}
+	gh := &harness{cfg: gcfg, dead: map[int]bool{}}
+	for i := 0; i < 4; i++ {
+		node, err := New(gcfg, i, harnessTr{gh, i})
+		if err != nil {
+			panic(err)
+		}
+		gh.nodes = append(gh.nodes, node)
+	}
+	gh.round(50*time.Millisecond, msgs)
 	var seeds [][]byte
-	for _, s := range append(h.sent, th.sent...) {
+	for _, s := range append(append(h.sent, th.sent...), gh.sent...) {
 		seeds = append(seeds, s.payload)
 	}
 	return seeds
@@ -59,7 +69,7 @@ func FuzzDecodeTree(f *testing.F) {
 		f.Add(s, false, int64(50*time.Millisecond))
 	}
 	f.Fuzz(func(t *testing.T, data []byte, wide bool, now int64) {
-		recs, ok := decodeTree(data, time.Duration(now), wide)
+		recs, ok := decodeTree(data, time.Duration(now), wide, &Stats{})
 		if !ok && recs != nil {
 			t.Fatal("decodeTree returned records alongside failure")
 		}
@@ -77,6 +87,65 @@ func FuzzDeltaReceive(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, data []byte, wide bool) {
 		node, err := New(Config{Kind: Delta, NumHosts: 3, Wide: wide}, 0, discardTr{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		now := 50 * time.Millisecond
+		node.Receive(now, data)
+		node.Receive(now, data) // duplicates must be idempotent
+		v1 := node.RemoteFlows(now, time.Second)
+		v2 := node.RemoteFlows(now, time.Second)
+		if len(v1) != len(v2) {
+			t.Fatalf("view not deterministic: %d vs %d records", len(v1), len(v2))
+		}
+	})
+}
+
+// FuzzTreeCodecRoundTrip: whatever decodes must re-encode to a datagram
+// that decodes back to the same records — the codec's canonical form is
+// a fixed point, so corrupt-but-parseable input cannot smuggle state a
+// relay would serialize differently than it read.
+func FuzzTreeCodecRoundTrip(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s, true, int64(50*time.Millisecond))
+	}
+	f.Fuzz(func(t *testing.T, data []byte, wide bool, now int64) {
+		var stats Stats
+		recs, ok := decodeTree(data, time.Duration(now), wide, &stats)
+		if !ok {
+			return
+		}
+		raw := encodeTree(msgTreeUp, 1, time.Duration(now), recs, &stats)
+		again, ok := decodeTree(raw, time.Duration(now), wide, &stats)
+		if !ok {
+			t.Fatalf("re-encoded datagram did not decode (input %x)", data)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(recs), len(again))
+		}
+		sortRecs(recs)
+		sortRecs(again)
+		for i := range recs {
+			if again[i].origin != recs[i].origin || again[i].bps != clampU32U64(recs[i].bps) ||
+				again[i].count != recs[i].count || len(again[i].links) != len(recs[i].links) {
+				t.Fatalf("round trip changed record %d: %+v -> %+v", i, recs[i], again[i])
+			}
+			if d := again[i].ts - recs[i].ts; d < 0 || d >= treeAgeUnit {
+				t.Fatalf("round trip moved ts by %v", d)
+			}
+		}
+	})
+}
+
+// clampU32U64 mirrors the encoder's bps clamp for the round-trip oracle.
+func clampU32U64(v uint64) uint64 { return uint64(clampU32(v)) }
+
+func FuzzGossipReceive(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s, false)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, wide bool) {
+		node, err := New(Config{Kind: Gossip, NumHosts: 3, Fanout: 2, Wide: wide}, 0, discardTr{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,649 @@
+package dissem
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/metadata"
+)
+
+// gossipNode is the epidemic strategy: no mesh, no overlay, no structure
+// a dead manager can take down. Each period a node pushes its *hot*
+// records — entries whose content it recently learned — to Fanout peers
+// drawn by seeded sampling, receivers forward novelty immediately for
+// GossipRounds hops (infect-and-die: a rumor everyone already knows stops
+// being told), and every datagram carries the sender's version vector so
+// a node that missed a wave detects the gap and pulls exactly the origins
+// it lacks (anti-entropy). Cost is O(N·Fanout) datagrams per period plus
+// the novelty-driven forwards, against Broadcast's O(N²).
+//
+// State per origin o is one entry {cver, ts, flows}:
+//
+//   - cver is o's content version, a uint64. It starts at the origin's
+//     creation time in virtual microseconds and increments on every
+//     content change, which makes it monotonic *across restarts* — a
+//     restarted manager's first report carries a higher cver than
+//     anything its previous life published (the µs clock always outruns
+//     the change counter), so peers adopt it instead of mistaking it for
+//     a replay. Version vectors are therefore totally ordered per origin
+//     and "vv[o] > mine" always means "they have newer content".
+//   - ts is o's latest publish time — the liveness heartbeat. Content
+//     rides the wire only while hot; ts refreshes ride the version
+//     vector of every datagram (ages), so a stable deployment's steady
+//     state is vv-only traffic, like Delta's empty diffs but O(N·Fanout)
+//     instead of O(N²) datagrams.
+//
+// Peer sampling is deterministic given Config.Seed. The per-publish
+// targets are ring offsets derived from (Seed, tick) shared by every
+// node, so in steady state the N·Fanout pushes of a period tile the ring
+// and every manager hears from exactly Fanout peers — coverage is
+// guaranteed, not merely probable. Forward targets for novelty use the
+// node's own seeded stream, which keeps the epidemic's diversity.
+//
+// Failure model: the node watches every peer through the shared
+// suspicion detector, with the threshold scaled by ⌈(N−1)/Fanout⌉ —
+// under sampling a live peer legitimately stays silent for many periods,
+// so the Delta/Tree threshold would mis-fire constantly. Suspicion is
+// advisory here: suspects are skipped when sampling and probed with a
+// vv-only datagram every SuspectAfter periods (the heal path after false
+// suspicion), but view correctness never depends on it — a dead origin's
+// entry simply ages out of RemoteFlows, and a false suspect keeps
+// receiving nothing worse than fewer pushes. This is what makes churn
+// degrade latency instead of completeness: there is no baseline to pin
+// (Delta) and no subtree to blind (Tree). A restarted manager converges
+// through one received datagram: its vv shows it behind on every origin,
+// it pulls them all, and its own fresh entry out-versions its past life.
+type gossipNode struct {
+	cfg    Config
+	host   int
+	tr     Transport
+	stats  Stats
+	rounds int
+	rng    *rand.Rand
+
+	live *liveness
+
+	// entries is the node's world view, keyed by origin. Expired entries
+	// are kept (filtered at view time): dropping one would also drop its
+	// cver, and a stale peer's version vector could then resurrect a dead
+	// origin through a pull.
+	entries map[uint16]*gossipEntry
+	// peerVV holds, per overlay link (peer this node heard from), the
+	// peer's last version vector — cver per origin. Convergence detection:
+	// a hot entry is not pushed to a peer whose vv already covers it, so
+	// rumors die per-link exactly when the link has nothing to learn.
+	peerVV map[int][]uint64
+	// lastPull rate-limits anti-entropy: at most one pull per origin per
+	// period, so a slow origin cannot be pulled from every peer at once.
+	lastPull map[uint16]int
+
+	hostsBuf []int // view scratch (deterministic origin ordering)
+}
+
+// gossipEntry is one origin's report.
+type gossipEntry struct {
+	cver uint64
+	ts   time.Duration
+	ttl  int // remaining infect-and-die hops (0 = cold)
+	recs []gossipRec
+}
+
+// gossipRec is one path aggregate of a report.
+type gossipRec struct {
+	bps   uint32
+	count uint16
+	links []uint16
+}
+
+func newGossipNode(cfg Config, host int, tr Transport) *gossipNode {
+	rounds := cfg.GossipRounds
+	if rounds <= 0 {
+		// ⌈log_f(N)⌉ + 1: the push wave covers the deployment with one
+		// spare hop; pulls repair the tail.
+		rounds = 2
+		for covered := cfg.Fanout; covered < cfg.NumHosts && rounds < 255; covered *= cfg.Fanout {
+			rounds++
+		}
+	}
+	if rounds > 255 {
+		rounds = 255 // the wire carries ttl in one byte
+	}
+	n := &gossipNode{
+		cfg:      cfg,
+		host:     host,
+		tr:       tr,
+		rounds:   rounds,
+		rng:      rand.New(rand.NewSource(cfg.Seed ^ int64(host)*0x5E3779B97F4A7C15)),
+		live:     newLiveness(cfg.SuspectAfter * gossipCycle(cfg)),
+		entries:  make(map[uint16]*gossipEntry),
+		peerVV:   make(map[int][]uint64),
+		lastPull: make(map[uint16]int),
+	}
+	for h := 0; h < cfg.NumHosts; h++ {
+		if h != host {
+			n.live.watch(h)
+		}
+	}
+	return n
+}
+
+// gossipCycle is the sampling cycle length: a live peer addresses any
+// given node once per ⌈(N−1)/Fanout⌉ periods on average, so the
+// suspicion threshold is scaled by it. False suspicion is still possible
+// (sampling is probabilistic) and deliberately benign: it only trims the
+// sampling pool until the periodic probe heals it.
+func gossipCycle(cfg Config) int {
+	c := (cfg.NumHosts - 1 + cfg.Fanout - 1) / cfg.Fanout
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// gossipOffsets derives the period's shared ring offsets from
+// (seed, tick). Every node computes the same set, so node i pushing to
+// i+offset (mod N) tiles the ring: each node receives exactly Fanout
+// pushes per period while targets still vary pseudo-randomly over time.
+func gossipOffsets(seed int64, tick, numHosts, fanout int) []int {
+	rng := rand.New(rand.NewSource(seed ^ int64(tick)*0x6A09E667F3BCC909))
+	k := fanout
+	if k > numHosts-1 {
+		k = numHosts - 1
+	}
+	perm := rng.Perm(numHosts - 1)[:k]
+	for i := range perm {
+		perm[i]++ // offsets in [1, N-1]
+	}
+	return perm
+}
+
+func (n *gossipNode) Publish(now time.Duration, msg *metadata.Message) {
+	if msg == nil || n.cfg.NumHosts < 2 {
+		return
+	}
+	if newly := n.live.advance(); len(newly) > 0 {
+		n.stats.Suspicions.Add(int64(len(newly)))
+	}
+
+	// Fold the local report into the own entry: merge same-path flows
+	// (sum usage, keep the flow count), bump cver only when the content
+	// actually changed — ts alone is the heartbeat.
+	recs := gossipFold(msg)
+	self := n.entries[uint16(n.host)]
+	if self == nil {
+		self = &gossipEntry{
+			// Creation-time µs seed makes cver monotonic across restarts.
+			cver: uint64(now/time.Microsecond) + 1,
+			ttl:  n.rounds,
+		}
+		n.entries[uint16(n.host)] = self
+		self.recs = recs
+	} else if !gossipRecsEqual(self.recs, recs) {
+		self.cver++
+		self.ttl = n.rounds
+		self.recs = recs
+	}
+	self.ts = now
+
+	// Push hot entries to this period's ring targets, filtering per
+	// target by its last-heard version vector (no point re-telling a
+	// rumor the peer provably knows).
+	for _, off := range gossipOffsets(n.cfg.Seed, n.live.tick, n.cfg.NumHosts, n.cfg.Fanout) {
+		t := (n.host + off) % n.cfg.NumHosts
+		if t == n.host || n.live.suspected(t) {
+			continue
+		}
+		n.stats.send(n.tr, t, n.encodePush(now, t, nil))
+	}
+	// Decrement the hop budget once per period: a rumor is told for
+	// GossipRounds periods from each node that adopted it, then dies.
+	for _, e := range n.entries {
+		if e.ttl > 0 {
+			e.ttl--
+		}
+	}
+	// Probe suspects with a vv-only datagram every SuspectAfter periods.
+	// Suspicion is sticky-until-heard, so after a mutual false suspicion
+	// the probe is the only datagram that can heal either side; probes to
+	// genuinely dead hosts just drop.
+	if n.live.tick%n.cfg.SuspectAfter == 0 {
+		if suspects := n.live.suspectList(); len(suspects) > 0 {
+			probe := n.encodeVVOnly(now)
+			for _, h := range suspects {
+				n.stats.send(n.tr, h, probe)
+			}
+		}
+	}
+}
+
+// gossipFold merges a report's same-path flows into path-sorted records.
+func gossipFold(msg *metadata.Message) []gossipRec {
+	m := make(map[string]*gossipRec, len(msg.Flows))
+	keys := make([]string, 0, len(msg.Flows))
+	for _, f := range msg.Flows {
+		k := pathKey(f.Links)
+		r := m[k]
+		if r == nil {
+			links := make([]uint16, len(f.Links))
+			copy(links, f.Links)
+			m[k] = &gossipRec{bps: f.BPS, count: 1, links: links}
+			keys = append(keys, k)
+			continue
+		}
+		r.bps = clampU32(uint64(r.bps) + uint64(f.BPS))
+		if r.count < ^uint16(0) {
+			r.count++
+		}
+	}
+	sort.Strings(keys)
+	out := make([]gossipRec, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, *m[k])
+	}
+	return out
+}
+
+func gossipRecsEqual(a, b []gossipRec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].bps != b[i].bps || a[i].count != b[i].count || len(a[i].links) != len(b[i].links) {
+			return false
+		}
+		for j := range a[i].links {
+			if a[i].links[j] != b[i].links[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// hotOrigins returns the origins with a live hop budget, ascending.
+func (n *gossipNode) hotOrigins() []uint16 {
+	var hot []uint16
+	for o, e := range n.entries {
+		if e.ttl > 0 {
+			hot = append(hot, o)
+		}
+	}
+	sort.Slice(hot, func(i, j int) bool { return hot[i] < hot[j] })
+	return hot
+}
+
+// encodePush serializes a gossip push for one target: the hot entries
+// the target's last version vector does not already cover (all hot
+// entries when none was heard), or exactly `only` when non-nil (novelty
+// forwards and pull replies), followed by the full version vector:
+//
+//	[type][host:2][n:2] n×(origin:2, cver:8, ageµs:4, ttl:1, nrec:2,
+//	                       nrec×(bps:4, count:2, nlinks:1, links))
+//	[N:2] N×(cver:8, ageµs:4)      // index = origin host id; cver 0 = none
+//
+// Ages are relative to the send time (saturating µs), reconstructed at
+// arrival like the tree codec's.
+func (n *gossipNode) encodePush(now time.Duration, target int, only []uint16) []byte {
+	origins := only
+	if origins == nil {
+		vv := n.peerVV[target]
+		for _, o := range n.hotOrigins() {
+			if vv != nil && int(o) < len(vv) && vv[o] >= n.entries[o].cver {
+				continue // per-link convergence: the peer already has it
+			}
+			origins = append(origins, o)
+		}
+	}
+	buf := make([]byte, 0, 5+len(origins)*28+2+12*n.cfg.NumHosts)
+	buf = append(buf, msgGossip)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(n.host))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(origins)))
+	for _, o := range origins {
+		e := n.entries[o]
+		age := (now - e.ts) / time.Microsecond
+		if age < 0 {
+			age = 0
+		}
+		buf = binary.BigEndian.AppendUint16(buf, o)
+		buf = binary.BigEndian.AppendUint64(buf, e.cver)
+		buf = binary.BigEndian.AppendUint32(buf, clampU32(uint64(age)))
+		ttl := e.ttl
+		if ttl < 1 {
+			ttl = 1 // pull replies are point-to-point: deliver, don't re-spread
+		}
+		buf = append(buf, byte(ttl))
+		nrec := len(e.recs)
+		if nrec > maxWireRecords {
+			n.stats.TruncatedRecords.Add(int64(nrec - maxWireRecords))
+			nrec = maxWireRecords
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(nrec))
+		for _, r := range e.recs[:nrec] {
+			buf = binary.BigEndian.AppendUint32(buf, r.bps)
+			buf = binary.BigEndian.AppendUint16(buf, r.count)
+			buf = appendLinks(buf, r.links, n.cfg.Wide)
+		}
+	}
+	return n.appendVV(buf, now)
+}
+
+// encodeVVOnly is a push with no entries — the probe/heartbeat form.
+func (n *gossipNode) encodeVVOnly(now time.Duration) []byte {
+	buf := make([]byte, 0, 5+2+12*n.cfg.NumHosts)
+	buf = append(buf, msgGossip)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(n.host))
+	buf = binary.BigEndian.AppendUint16(buf, 0)
+	return n.appendVV(buf, now)
+}
+
+func (n *gossipNode) appendVV(buf []byte, now time.Duration) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(n.cfg.NumHosts))
+	for h := 0; h < n.cfg.NumHosts; h++ {
+		e := n.entries[uint16(h)]
+		if e == nil {
+			buf = binary.BigEndian.AppendUint64(buf, 0)
+			buf = binary.BigEndian.AppendUint32(buf, ^uint32(0))
+			continue
+		}
+		age := (now - e.ts) / time.Microsecond
+		if age < 0 {
+			age = 0
+		}
+		buf = binary.BigEndian.AppendUint64(buf, e.cver)
+		buf = binary.BigEndian.AppendUint32(buf, clampU32(uint64(age)))
+	}
+	return buf
+}
+
+// gossipWireEntry is one decoded push entry.
+type gossipWireEntry struct {
+	origin uint16
+	cver   uint64
+	ts     time.Duration
+	ttl    int
+	recs   []gossipRec
+}
+
+// decodeGossip parses a push: entries, then the version vector (cver and
+// reconstructed ts per origin; ok==false for unknown). Strict: trailing
+// bytes reject the datagram.
+func decodeGossip(payload []byte, now time.Duration, wide bool) (entries []gossipWireEntry, vvCver []uint64, vvTs []time.Duration, ok bool) {
+	if len(payload) < 5 {
+		return nil, nil, nil, false
+	}
+	nent := int(binary.BigEndian.Uint16(payload[3:]))
+	off := 5
+	for i := 0; i < nent; i++ {
+		if off+17 > len(payload) {
+			return nil, nil, nil, false
+		}
+		e := gossipWireEntry{
+			origin: binary.BigEndian.Uint16(payload[off:]),
+			cver:   binary.BigEndian.Uint64(payload[off+2:]),
+			ts:     now - time.Duration(binary.BigEndian.Uint32(payload[off+10:]))*time.Microsecond,
+			ttl:    int(payload[off+14]),
+		}
+		nrec := int(binary.BigEndian.Uint16(payload[off+15:]))
+		off += 17
+		// Preallocate only what the remaining payload could actually
+		// hold (a record is at least 7 bytes) — the claimed count is
+		// attacker-controlled and would otherwise buy a ~2 MB allocation
+		// with a 20-byte datagram.
+		capHint := nrec
+		if max := (len(payload) - off) / 7; capHint > max {
+			capHint = max
+		}
+		e.recs = make([]gossipRec, 0, capHint)
+		for j := 0; j < nrec; j++ {
+			if off+6 > len(payload) {
+				return nil, nil, nil, false
+			}
+			r := gossipRec{
+				bps:   binary.BigEndian.Uint32(payload[off:]),
+				count: binary.BigEndian.Uint16(payload[off+4:]),
+			}
+			links, next, err := readLinks(payload, off+6, wide)
+			if err != nil {
+				return nil, nil, nil, false
+			}
+			off = next
+			r.links = links
+			e.recs = append(e.recs, r)
+		}
+		entries = append(entries, e)
+	}
+	if off+2 > len(payload) {
+		return nil, nil, nil, false
+	}
+	nvv := int(binary.BigEndian.Uint16(payload[off:]))
+	off += 2
+	if off+12*nvv != len(payload) {
+		return nil, nil, nil, false
+	}
+	vvCver = make([]uint64, nvv)
+	vvTs = make([]time.Duration, nvv)
+	for h := 0; h < nvv; h++ {
+		vvCver[h] = binary.BigEndian.Uint64(payload[off:])
+		age := binary.BigEndian.Uint32(payload[off+8:])
+		if age == ^uint32(0) {
+			vvTs[h] = -1
+		} else {
+			vvTs[h] = now - time.Duration(age)*time.Microsecond
+		}
+		off += 12
+	}
+	return entries, vvCver, vvTs, true
+}
+
+func (n *gossipNode) Receive(now time.Duration, payload []byte) {
+	n.stats.DatagramsRecv.Inc()
+	n.stats.BytesRecv.Add(int64(len(payload)))
+	if len(payload) < 3 {
+		return
+	}
+	typ := payload[0]
+	from := int(binary.BigEndian.Uint16(payload[1:]))
+	if from >= n.cfg.NumHosts || from < 0 || from == n.host {
+		return // corrupted or spoofed sender id
+	}
+	switch typ {
+	case msgGossip:
+		n.receivePush(now, from, payload)
+	case msgGossipPull:
+		n.receivePull(now, from, payload)
+	}
+}
+
+func (n *gossipNode) receivePush(now time.Duration, from int, payload []byte) {
+	entries, vvCver, vvTs, ok := decodeGossip(payload, now, n.cfg.Wide)
+	if !ok || len(vvCver) != n.cfg.NumHosts {
+		return // corrupted: the epidemic repairs
+	}
+	if n.live.heard(from) {
+		n.stats.Recoveries.Inc()
+		n.live.watch(from)
+	}
+	// Remember the peer's version vector (the per-link state convergence
+	// detection and pull targeting run on).
+	vv := n.peerVV[from]
+	if vv == nil {
+		vv = make([]uint64, n.cfg.NumHosts)
+		n.peerVV[from] = vv
+	}
+	copy(vv, vvCver)
+
+	// Adopt novel content. cver is monotonic per origin across restarts,
+	// so "higher cver with a fresher heartbeat" is always the newer
+	// report; equal cver means identical content and at most refreshes ts.
+	var fresh []uint16
+	for i := range entries {
+		e := &entries[i]
+		if int(e.origin) >= n.cfg.NumHosts || int(e.origin) == n.host {
+			continue
+		}
+		local := n.entries[e.origin]
+		switch {
+		case local == nil:
+			ttl := e.ttl - 1
+			if ttl > n.rounds {
+				ttl = n.rounds
+			}
+			n.entries[e.origin] = &gossipEntry{cver: e.cver, ts: e.ts, ttl: ttl, recs: e.recs}
+			if ttl > 0 {
+				fresh = append(fresh, e.origin)
+			}
+		case e.cver > local.cver && e.ts > local.ts:
+			local.cver = e.cver
+			local.ts = e.ts
+			local.recs = e.recs
+			local.ttl = e.ttl - 1
+			if local.ttl > n.rounds {
+				local.ttl = n.rounds
+			}
+			if local.ttl > 0 {
+				fresh = append(fresh, e.origin)
+			}
+		case e.cver == local.cver && e.ts > local.ts:
+			local.ts = e.ts // heartbeat: same content, fresher liveness
+		}
+	}
+
+	// Version-vector bookkeeping: heartbeat refreshes for origins whose
+	// content we already hold, anti-entropy pulls for origins the sender
+	// provably out-knows us on.
+	var want []uint16
+	for h := 0; h < n.cfg.NumHosts; h++ {
+		if h == n.host || vvCver[h] == 0 {
+			continue
+		}
+		local := n.entries[uint16(h)]
+		if local != nil && vvCver[h] == local.cver {
+			if vvTs[h] > local.ts {
+				local.ts = vvTs[h]
+			}
+			continue
+		}
+		if local == nil || vvCver[h] > local.cver {
+			// At most one pull per origin per period (lastPull stores
+			// tick+1): every datagram of a wave carries the same vv, and
+			// pulling from each sender would multiply the repair traffic
+			// for nothing.
+			if n.lastPull[uint16(h)] <= n.live.tick {
+				n.lastPull[uint16(h)] = n.live.tick + 1
+				want = append(want, uint16(h))
+			}
+		}
+	}
+	if len(want) > 0 {
+		buf := make([]byte, 0, 5+2*len(want))
+		buf = append(buf, msgGossipPull)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(n.host))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(want)))
+		for _, o := range want {
+			buf = binary.BigEndian.AppendUint16(buf, o)
+		}
+		n.stats.send(n.tr, from, buf)
+	}
+
+	// Forward novelty immediately (the infect step): the rumor crosses
+	// the deployment within one period instead of one hop per period.
+	// Targets come from the node's own seeded stream — diversity is what
+	// makes the wave cover nodes the ring offsets miss this period.
+	if len(fresh) > 0 {
+		n.forward(now, from, fresh)
+	}
+}
+
+// forward pushes just-adopted entries to Fanout sampled peers.
+func (n *gossipNode) forward(now time.Duration, except int, origins []uint16) {
+	var pool []int
+	for h := 0; h < n.cfg.NumHosts; h++ {
+		if h == n.host || h == except || n.live.suspected(h) {
+			continue
+		}
+		pool = append(pool, h)
+	}
+	if len(pool) == 0 {
+		return
+	}
+	n.rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	k := n.cfg.Fanout
+	if k > len(pool) {
+		k = len(pool)
+	}
+	for _, t := range pool[:k] {
+		n.stats.send(n.tr, t, n.encodePush(now, t, origins))
+	}
+}
+
+func (n *gossipNode) receivePull(now time.Duration, from int, payload []byte) {
+	if len(payload) < 5 {
+		return
+	}
+	nreq := int(binary.BigEndian.Uint16(payload[3:]))
+	if 5+2*nreq != len(payload) {
+		return
+	}
+	if n.live.heard(from) {
+		n.stats.Recoveries.Inc()
+		n.live.watch(from)
+	}
+	var have []uint16
+	for i := 0; i < nreq; i++ {
+		o := binary.BigEndian.Uint16(payload[5+2*i:])
+		if int(o) >= n.cfg.NumHosts {
+			return // corrupted request
+		}
+		if n.entries[o] != nil {
+			have = append(have, o)
+		}
+	}
+	if len(have) > 0 {
+		n.stats.send(n.tr, from, n.encodePush(now, from, have))
+	}
+}
+
+func (n *gossipNode) RemoteFlows(now, maxAge time.Duration) []RemoteFlow {
+	return n.AppendRemoteFlows(now, maxAge, nil)
+}
+
+func (n *gossipNode) AppendRemoteFlows(now, maxAge time.Duration, out []RemoteFlow) []RemoteFlow {
+	n.hostsBuf = n.hostsBuf[:0]
+	for o := range n.entries {
+		if int(o) != n.host {
+			n.hostsBuf = append(n.hostsBuf, int(o))
+		}
+	}
+	sort.Ints(n.hostsBuf)
+	// Heartbeats diffuse epidemically, so a live origin's ts at a distant
+	// node legitimately lags a couple of periods behind the origin's own
+	// clock. Expiry therefore tolerates maxAge plus a 2/3 diffusion
+	// allowance — a dead origin still vanishes promptly (its ts freezes
+	// everywhere at once), while a live one cannot flicker out of the
+	// view just because this period's waves happened to route around the
+	// viewer. Reported Age stays the honest now−ts, so the consumer's
+	// staleness handling (old ⇒ greedy) is unaffected.
+	expire := maxAge + maxAge*2/3
+	for _, h := range n.hostsBuf {
+		e := n.entries[uint16(h)]
+		age := now - e.ts
+		if age > expire {
+			continue // origin dead or unreachable: expired, but kept (cver)
+		}
+		for i := range e.recs {
+			out = append(out, RemoteFlow{
+				Origin: uint16(h),
+				BPS:    e.recs[i].bps,
+				Count:  e.recs[i].count,
+				Links:  e.recs[i].links,
+				Age:    age,
+			})
+			n.stats.staleness(age)
+		}
+	}
+	return out
+}
+
+func (n *gossipNode) Stats() *Stats { return &n.stats }

@@ -1,7 +1,6 @@
 package dissem
 
 import (
-	"encoding/binary"
 	"sort"
 	"time"
 
@@ -223,7 +222,7 @@ func (n *treeNode) Publish(now time.Duration, msg *metadata.Message) {
 	// suspect per SuspectAfter periods.
 	if n.live.tick%n.cfg.SuspectAfter == 0 {
 		if suspects := n.live.suspectList(); len(suspects) > 0 {
-			probe := encodeTree(msgTreeUp, n.host, now, mergeRecs([][]aggRec{n.local}), n.cfg.Wide, &n.stats)
+			probe := encodeTree(msgTreeUp, n.host, now, mergeRecs([][]aggRec{n.local}), &n.stats)
 			for _, h := range suspects {
 				n.stats.send(n.tr, h, probe)
 			}
@@ -242,7 +241,7 @@ func (n *treeNode) sendUp(now time.Duration) {
 			parts = append(parts, r.recs)
 		}
 	}
-	n.stats.send(n.tr, n.parent, encodeTree(msgTreeUp, n.host, now, mergeRecs(parts), n.cfg.Wide, &n.stats))
+	n.stats.send(n.tr, n.parent, encodeTree(msgTreeUp, n.host, now, mergeRecs(parts), &n.stats))
 }
 
 // sendDowns pushes extern(c) to every child c.
@@ -260,7 +259,7 @@ func (n *treeNode) sendDowns(now time.Duration) {
 				parts = append(parts, r.recs)
 			}
 		}
-		n.stats.send(n.tr, c, encodeTree(msgTreeDown, n.host, now, mergeRecs(parts), n.cfg.Wide, &n.stats))
+		n.stats.send(n.tr, c, encodeTree(msgTreeDown, n.host, now, mergeRecs(parts), &n.stats))
 	}
 }
 
@@ -305,75 +304,6 @@ func mergeRecs(parts [][]aggRec) []aggRec {
 	return out
 }
 
-// encodeTree serializes an up or down message. Record ages are encoded
-// relative to the send time (microseconds, saturating) so the wire needs
-// 4 bytes instead of an absolute timestamp:
-//
-//	[type][host:2][n:2] n×(origin:2, bps:4, count:2, ageµs:4, nlinks:1, links)
-//
-// Aggregates larger than the 16-bit record count are clamped (the count
-// would otherwise wrap and the receiver's trailing-bytes check would
-// reject the entire datagram, silently blinding the subtree); recs is
-// path-sorted, so which records survive is deterministic, and the drop
-// is counted in stats.
-func encodeTree(typ byte, host int, now time.Duration, recs []aggRec, wide bool, stats *Stats) []byte {
-	if len(recs) > maxWireRecords {
-		stats.TruncatedRecords.Add(int64(len(recs) - maxWireRecords))
-		recs = recs[:maxWireRecords]
-	}
-	buf := make([]byte, 0, 5+len(recs)*16)
-	buf = append(buf, typ)
-	buf = binary.BigEndian.AppendUint16(buf, uint16(host))
-	buf = binary.BigEndian.AppendUint16(buf, uint16(len(recs)))
-	for _, r := range recs {
-		age := (now - r.ts) / time.Microsecond
-		if age < 0 {
-			age = 0
-		}
-		buf = binary.BigEndian.AppendUint16(buf, r.origin)
-		buf = binary.BigEndian.AppendUint32(buf, clampU32(r.bps))
-		buf = binary.BigEndian.AppendUint16(buf, r.count)
-		buf = binary.BigEndian.AppendUint32(buf, clampU32(uint64(age)))
-		buf = appendLinks(buf, r.links, wide)
-	}
-	return buf
-}
-
-// decodeTree parses a tree message, reconstructing record generation
-// times from the encoded ages relative to the arrival time (the in-sim
-// clocks are synchronized; network delay only ever makes records look
-// marginally fresher than they are).
-func decodeTree(payload []byte, now time.Duration, wide bool) ([]aggRec, bool) {
-	if len(payload) < 5 {
-		return nil, false
-	}
-	nrec := int(binary.BigEndian.Uint16(payload[3:]))
-	recs := make([]aggRec, 0, nrec)
-	off := 5
-	for i := 0; i < nrec; i++ {
-		if off+12 > len(payload) {
-			return nil, false
-		}
-		r := aggRec{
-			origin: binary.BigEndian.Uint16(payload[off:]),
-			bps:    uint64(binary.BigEndian.Uint32(payload[off+2:])),
-			count:  binary.BigEndian.Uint16(payload[off+6:]),
-			ts:     now - time.Duration(binary.BigEndian.Uint32(payload[off+8:]))*time.Microsecond,
-		}
-		links, next, err := readLinks(payload, off+12, wide)
-		if err != nil {
-			return nil, false
-		}
-		off = next
-		r.links = links
-		recs = append(recs, r)
-	}
-	if off != len(payload) {
-		return nil, false
-	}
-	return recs, true
-}
-
 func (n *treeNode) Receive(now time.Duration, payload []byte) {
 	n.stats.DatagramsRecv.Inc()
 	n.stats.BytesRecv.Add(int64(len(payload)))
@@ -381,13 +311,13 @@ func (n *treeNode) Receive(now time.Duration, payload []byte) {
 		return
 	}
 	typ := payload[0]
-	from := int(binary.BigEndian.Uint16(payload[1:]))
-	if from >= n.cfg.NumHosts || from < 0 || from == n.host {
-		return // corrupted or spoofed sender id
+	from, ok := treeSender(payload)
+	if !ok || from >= n.cfg.NumHosts || from < 0 || from == n.host {
+		return // truncated header, corrupted or spoofed sender id
 	}
-	recs, ok := decodeTree(payload, now, n.cfg.Wide)
+	recs, ok := decodeTree(payload, now, n.cfg.Wide, &n.stats)
 	if !ok {
-		return // corrupted: the next report repairs
+		return // corrupted or future-version: the next report repairs
 	}
 	// Traffic from a suspect clears the suspicion before the message is
 	// dispatched, so a restarted (or falsely suspected) neighbor's first

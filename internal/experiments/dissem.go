@@ -25,7 +25,7 @@ var DissemScaleNs = []int{4, 8, 16, 32, 64}
 
 // DissemStrategies lists the strategies the experiment compares, ground
 // truth first.
-var DissemStrategies = []string{"broadcast", "delta", "tree"}
+var DissemStrategies = []string{"broadcast", "delta", "tree", "gossip"}
 
 // dissemFlowsPerHost is the number of client containers (= active flows)
 // each Emulation Manager hosts.

@@ -165,7 +165,8 @@ dynamic:
 		return equivDrive(t, exp)
 	}
 
-	for _, strategy := range []string{"broadcast", "delta", "tree"} {
+	perStrategy := make(map[string][2]int64)
+	for _, strategy := range []string{"broadcast", "delta", "tree", "gossip"} {
 		t.Run(strategy, func(t *testing.T) {
 			fromYAML := yamlForm(t, strategy)
 			fromBuilder := builderForm(t, strategy)
@@ -181,8 +182,19 @@ dynamic:
 			if fromYAML[1] >= fromYAML[0] {
 				t.Errorf("c->d (%d B) should trail a->b (%d B) after its outage", fromYAML[1], fromYAML[0])
 			}
+			perStrategy[strategy] = fromYAML
 			t.Logf("%s: a->b %d B, c->d %d B (identical across all three forms)", strategy, fromYAML[0], fromYAML[1])
 		})
+	}
+	// The strategy choice must not distort the emulation either: in this
+	// scenario metadata converges within every strategy's staleness
+	// bound, so all four must drive bit-identical per-flow results. (The
+	// control-plane *traffic* still differs per strategy — see
+	// TestEquivalenceStrategiesExercised.)
+	for _, strategy := range []string{"delta", "tree", "gossip"} {
+		if got, want := perStrategy[strategy], perStrategy["broadcast"]; got != want {
+			t.Errorf("%s per-flow results %v differ from broadcast's %v", strategy, got, want)
+		}
 	}
 
 	// The same scenario under a different seed still agrees across forms
@@ -219,7 +231,7 @@ dynamic:
 // the strategy choice does not distort the emulation.)
 func TestEquivalenceStrategiesExercised(t *testing.T) {
 	bytesSent := make(map[string]int64)
-	for _, strategy := range []string{"broadcast", "delta", "tree"} {
+	for _, strategy := range []string{"broadcast", "delta", "tree", "gossip"} {
 		exp, err := Load(equivDynamicYAML)
 		if err != nil {
 			t.Fatal(err)
@@ -234,7 +246,7 @@ func TestEquivalenceStrategiesExercised(t *testing.T) {
 		}
 		bytesSent[strategy] = s.BytesSent
 	}
-	if bytesSent["broadcast"] == bytesSent["delta"] || bytesSent["broadcast"] == bytesSent["tree"] {
+	if bytesSent["broadcast"] == bytesSent["delta"] || bytesSent["broadcast"] == bytesSent["tree"] || bytesSent["broadcast"] == bytesSent["gossip"] {
 		t.Fatalf("control-plane traffic did not distinguish strategies: %v", bytesSent)
 	}
 	t.Logf("control-plane bytes: %v", bytesSent)

@@ -139,7 +139,7 @@ func TestKillManagerValidation(t *testing.T) {
 // its metadata and its enforcement loop, but its containers keep moving
 // packets; a restart resumes dissemination with fresh state.
 func TestKillManagerStopsControlPlaneNotTraffic(t *testing.T) {
-	for _, strategy := range []string{"broadcast", "delta", "tree"} {
+	for _, strategy := range []string{"broadcast", "delta", "tree", "gossip"} {
 		t.Run(strategy, func(t *testing.T) {
 			exp, received := deployFailover(t, 4, WithDissem(strategy, DissemFanout(2)))
 			if err := exp.Run(time.Second); err != nil {

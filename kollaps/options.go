@@ -34,6 +34,7 @@ type dissemConfig struct {
 	adaptive     bool
 	resync       int
 	fanout       int
+	gossipRounds int
 	suspectAfter int
 }
 
@@ -67,10 +68,13 @@ func WithInjectLoss() Option {
 
 // WithDissem selects how Emulation Managers exchange metadata:
 // "broadcast" (the paper's full mesh, default), "delta" (incremental
-// reports with epsilon gating and acked baselines), or "tree" (fanout-k
-// hierarchical aggregation), optionally tuned by DissemOptions:
+// reports with epsilon gating and acked baselines), "tree" (fanout-k
+// hierarchical aggregation over the compressed wire codec), or "gossip"
+// (epidemic push with version-vector anti-entropy — the churn-friendly
+// choice), optionally tuned by DissemOptions:
 //
 //	kollaps.WithDissem("delta", kollaps.DissemEpsilon(0.02), kollaps.DissemAdaptive())
+//	kollaps.WithDissem("gossip", kollaps.DissemFanout(3), kollaps.DissemGossipRounds(4))
 func WithDissem(strategy string, opts ...DissemOption) Option {
 	return optionFunc(func(c *config) {
 		c.strategy = strategy
@@ -103,9 +107,18 @@ func DissemResync(periods int) DissemOption {
 	return func(c *dissemConfig) { c.resync = periods }
 }
 
-// DissemFanout sets the tree strategy's arity (default 4).
+// DissemFanout sets the tree strategy's arity and the number of peers
+// the gossip strategy pushes to per period (default 4).
 func DissemFanout(fanout int) DissemOption {
 	return func(c *dissemConfig) { c.fanout = fanout }
+}
+
+// DissemGossipRounds sets the gossip strategy's infect-and-die hop
+// budget: how many hops a freshly learned record is forwarded before the
+// rumor dies (default ⌈log_fanout(hosts)⌉+1, which covers the deployment
+// with one spare hop; anti-entropy pulls repair the rest).
+func DissemGossipRounds(rounds int) DissemOption {
+	return func(c *dissemConfig) { c.gossipRounds = rounds }
 }
 
 // DissemSuspectAfter sets the failure-detection threshold, in emulation
@@ -179,7 +192,9 @@ func (o Options) apply(c *config) {
 	}
 }
 
-// dissemFromConfig assembles the core-level dissemination config.
+// dissemFromConfig assembles the core-level dissemination config. The
+// deployment seed rides along so gossip's peer sampling replays with the
+// experiment.
 func (c config) dissemConfig(kind dissem.Kind) dissem.Config {
 	return dissem.Config{
 		Kind:         kind,
@@ -187,6 +202,8 @@ func (c config) dissemConfig(kind dissem.Kind) dissem.Config {
 		Adaptive:     c.dissem.adaptive,
 		ResyncEvery:  c.dissem.resync,
 		Fanout:       c.dissem.fanout,
+		GossipRounds: c.dissem.gossipRounds,
 		SuspectAfter: c.dissem.suspectAfter,
+		Seed:         c.seed,
 	}
 }
