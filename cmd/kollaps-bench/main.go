@@ -8,6 +8,7 @@
 //	kollaps-bench -exp all             # everything (slow)
 //	kollaps-bench -exp fig8 -quick     # reduced durations
 //	kollaps-bench -exp alloc           # allocator microbench -> BENCH_allocator.json
+//	kollaps-bench -exp sweep           # period-vs-accuracy sweep -> BENCH_sweep.json
 package main
 
 import (
@@ -21,10 +22,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table2 table3 table4 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 dissem alloc failover or all")
+	exp := flag.String("exp", "all", "experiment id: table2 table3 table4 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 dissem alloc failover sweep or all")
 	quick := flag.Bool("quick", false, "reduced durations (coarser numbers, much faster)")
 	benchOut := flag.String("bench-out", "BENCH_allocator.json", "output path for the alloc experiment's JSON report (empty = don't write)")
 	failoverOut := flag.String("failover-out", "BENCH_failover.json", "output path for the failover experiment's JSON report (empty = don't write)")
+	sweepOut := flag.String("sweep-out", "BENCH_sweep.json", "output path for the sweep experiment's JSON report (empty = don't write)")
 	flag.Parse()
 	// `-exp all` must not silently rewrite the committed CI baselines on a
 	// developer box; each JSON is only written when its experiment (or an
@@ -36,6 +38,9 @@ func main() {
 	}
 	if *exp == "all" && !outSet["failover-out"] {
 		*failoverOut = ""
+	}
+	if *exp == "all" && !outSet["sweep-out"] {
+		*sweepOut = ""
 	}
 
 	d := func(full, fast time.Duration) time.Duration {
@@ -115,8 +120,25 @@ func main() {
 				fmt.Printf("\nwrote %s\n", *failoverOut)
 			}
 		},
+		"sweep": func() {
+			// Period × strategy: how much accuracy each emulation period
+			// buys, and what the control plane pays for it.
+			n, warmup, measure := 16, 40, 200
+			if *quick {
+				n, warmup, measure = 8, 15, 60
+			}
+			t, _, err := experiments.RunSweep(*sweepOut, n, nil, nil, warmup, measure)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			t.Fprint(os.Stdout)
+			if *sweepOut != "" {
+				fmt.Printf("\nwrote %s\n", *sweepOut)
+			}
+		},
 	}
-	order := []string{"table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table4", "fig9", "fig10", "fig11", "dissem", "alloc", "failover"}
+	order := []string{"table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table4", "fig9", "fig10", "fig11", "dissem", "alloc", "failover", "sweep"}
 
 	if *exp == "all" {
 		for _, id := range order {

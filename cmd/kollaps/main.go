@@ -7,6 +7,7 @@
 //	kollaps collapse topology.yaml        # print the collapsed mesh
 //	kollaps plan -hosts 4 topology.yaml   # placement + orchestrator artifacts
 //	kollaps run -hosts 4 -for 60s topology.yaml  # deploy and idle-run
+//	kollaps run -trace out.json topology.yaml    # + flight-recorder trace
 package main
 
 import (
@@ -35,6 +36,8 @@ func main() {
 	resync := fs.Int("resync", 20, "delta: periods between full-state resyncs")
 	fanout := fs.Int("fanout", 4, "tree: aggregation overlay arity; gossip: pushes per period")
 	gossipRounds := fs.Int("gossip-rounds", 0, "gossip: infect-and-die hop budget (0 = log_fanout(hosts)+1)")
+	traceOut := fs.String("trace", "", "run: write the flight recorder as Chrome trace_event JSON to this path (chrome://tracing / Perfetto)")
+	probeEvery := fs.Int("probe", 0, "run: sample the emulation-accuracy probe every N periods (0 = off)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -92,10 +95,17 @@ func main() {
 		if *adaptive {
 			dissemOpts = append(dissemOpts, kollaps.DissemAdaptive())
 		}
-		if err := exp.Deploy(*hosts,
+		deployOpts := []kollaps.Option{
 			kollaps.WithSeed(*seed),
 			kollaps.WithDissem(*dissemFlag, dissemOpts...),
-		); err != nil {
+		}
+		if *traceOut != "" {
+			deployOpts = append(deployOpts, kollaps.WithTrace(0))
+		}
+		if *probeEvery > 0 {
+			deployOpts = append(deployOpts, kollaps.WithAccuracyProbe(*probeEvery))
+		}
+		if err := exp.Deploy(*hosts, deployOpts...); err != nil {
 			fatal(err)
 		}
 		if err := exp.Run(*runFor); err != nil {
@@ -107,13 +117,24 @@ func main() {
 		s := exp.DissemSummary()
 		fmt.Printf("dissemination (%s): %d datagrams / %dB sent, staleness p50 %.1fms p99 %.1fms\n",
 			*dissemFlag, s.DatagramsSent, s.BytesSent, s.StalenessP50Ms, s.StalenessP99Ms)
+		if p := exp.AccuracyProbe(); p != nil {
+			fmt.Printf("accuracy probe: %d samples, mean share deviation %.2f%%, last %.2f%%\n",
+				p.Samples, p.Mean.Mean()*100, p.Mean.Last()*100)
+		}
+		if *traceOut != "" {
+			if err := exp.WriteTrace(*traceOut); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%d trace events, %d dropped)\n",
+				*traceOut, exp.Tracer().Len(), exp.Tracer().Dropped())
+		}
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: kollaps {validate|collapse|plan|run} [-hosts N] [-for D] [-seed S] [-dissem broadcast|delta|tree|gossip] [-epsilon E] [-adaptive-eps] [-resync N] [-fanout K] [-gossip-rounds R] topology.{yaml,xml}")
+	fmt.Fprintln(os.Stderr, "usage: kollaps {validate|collapse|plan|run} [-hosts N] [-for D] [-seed S] [-dissem broadcast|delta|tree|gossip] [-epsilon E] [-adaptive-eps] [-resync N] [-fanout K] [-gossip-rounds R] [-trace out.json] [-probe N] topology.{yaml,xml}")
 	os.Exit(2)
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/metadata"
+	"repro/internal/obs"
 )
 
 // Microbenchmarks of the §4.1 control-plane hot path. BenchmarkAllocate /
@@ -53,9 +54,19 @@ func BenchmarkAllocateReference(b *testing.B) {
 // of flows. Dissemination itself (pure transport) is excluded so the
 // engine's event queue stays empty across b.N. Steady state must not
 // allocate.
-func BenchmarkIterate(b *testing.B) {
+//
+// BenchmarkIterateTraced runs the identical pass with the observability
+// plane enabled (flight recorder + metrics registry): the CI bench job
+// gates BenchmarkIterate at 0 allocs/op and the traced variant at ≤10%
+// ns/op overhead (cmd/benchcheck -iterate).
+func BenchmarkIterate(b *testing.B) { benchIterate(b, Options{}) }
+func BenchmarkIterateTraced(b *testing.B) {
+	benchIterate(b, Options{Tracer: obs.NewTracer(1 << 13), Registry: obs.NewRegistry()})
+}
+
+func benchIterate(b *testing.B, opts Options) {
 	const remoteFlows = 256
-	rt := buildRuntime(b, fig8YAML, 2, Options{})
+	rt := buildRuntime(b, fig8YAML, 2, opts)
 	m := rt.managers[0]
 	// Install every local→peer path so the collect scan walks a realistic
 	// (idle) destination set.

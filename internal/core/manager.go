@@ -1,11 +1,14 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/dissem"
 	"repro/internal/metadata"
+	"repro/internal/metrics"
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/transport"
 	"repro/internal/units"
@@ -51,6 +54,16 @@ type Manager struct {
 
 	// Iterations counts completed emulation loops.
 	Iterations int64
+
+	// Hot-path observability counters, resolved once at construction:
+	// from the deployment's metrics registry when one is configured,
+	// else private. They are always non-nil, so the emulation loop
+	// increments unconditionally — a pointer increment, no branches, no
+	// allocation.
+	solveRuns  *metrics.Counter // completed solver invocations (2 passes each)
+	solveNs    *metrics.Counter // cumulative wall-clock ns inside the solver
+	solveFlows *metrics.Counter // flow entries fed to the solver
+	tcalSets   *metrics.Counter // enforced TCAL bandwidth changes
 
 	// ---- per-period scratch, reused across iterations ----
 
@@ -110,6 +123,18 @@ func newManager(rt *Runtime, host int, emIPs []packet.IP) (*Manager, error) {
 		emIPs: emIPs,
 		ring:  metadata.NewRing(64),
 	}
+	if reg := rt.opts.Registry; reg != nil {
+		label := fmt.Sprintf(`{host="%d"}`, host)
+		m.solveRuns = reg.Counter("kollaps_solver_runs_total" + label)
+		m.solveNs = reg.Counter("kollaps_solver_wall_ns_total" + label)
+		m.solveFlows = reg.Counter("kollaps_solver_flows_total" + label)
+		m.tcalSets = reg.Counter("kollaps_tcal_shaping_ops_total" + label)
+	} else {
+		m.solveRuns = &metrics.Counter{}
+		m.solveNs = &metrics.Counter{}
+		m.solveFlows = &metrics.Counter{}
+		m.tcalSets = &metrics.Counter{}
+	}
 	if err := m.newNode(); err != nil {
 		return nil, err
 	}
@@ -125,6 +150,7 @@ func (m *Manager) newNode() error {
 	cfg := m.rt.opts.Dissem
 	cfg.NumHosts = len(m.emIPs)
 	cfg.Wide = m.rt.wide
+	cfg.Tracer = m.rt.opts.Tracer
 	node, err := dissem.New(cfg, m.host, managerTransport{m})
 	if err != nil {
 		return err
@@ -157,7 +183,9 @@ func (m *Manager) onMetadata(src packet.IP, srcPort uint16, size int, payload an
 	if !ok || m.dead {
 		return // inbound datagrams to a killed manager are dropped
 	}
-	m.node.Receive(m.rt.Eng.Now(), raw)
+	now := m.rt.Eng.Now()
+	m.rt.opts.Tracer.Record(now, obs.KindReceive, int32(m.host), int64(len(raw)), 0)
+	m.node.Receive(now, raw)
 }
 
 // iterate is one emulation loop pass.
@@ -213,6 +241,9 @@ func (m *Manager) collectLocal(period time.Duration) []localFlow {
 					_ = c.tcal.SetBandwidth(dstIP, p.Bandwidth)
 					_ = c.tcal.InjectCongestionLoss(dstIP, 0)
 					c.lastAlloc[dstIP] = p.Bandwidth
+					m.tcalSets.Inc()
+					m.rt.opts.Tracer.Record(m.rt.Eng.Now(), obs.KindTCALApply,
+						int32(m.host), int64(p.Bandwidth), obs.PackIP([4]byte(dstIP)))
 				}
 				continue
 			}
@@ -255,7 +286,9 @@ func (m *Manager) disseminate() {
 	if msg == nil {
 		return
 	}
-	m.node.Publish(m.rt.Eng.Now(), msg)
+	now := m.rt.Eng.Now()
+	m.rt.opts.Tracer.Record(now, obs.KindPublish, int32(m.host), int64(len(msg.Flows)), 0)
+	m.node.Publish(now, msg)
 }
 
 // globalFlows merges local flows with the dissemination node's remote
@@ -379,6 +412,9 @@ func (m *Manager) enforce(local []localFlow, all []FlowDemand) {
 	if len(all) == 0 {
 		return
 	}
+	now := m.rt.Eng.Now()
+	m.rt.opts.Tracer.Record(now, obs.KindSolveStart, int32(m.host), int64(len(all)), 0)
+	wallStart := time.Now()
 	caps := m.linkCaps()
 	// Two passes of the sharing model. The demand-aware pass implements
 	// the §3 maximization step: application-limited flows release their
@@ -396,6 +432,11 @@ func (m *Manager) enforce(local []localFlow, all []FlowDemand) {
 	m.greedyBuf = greedy
 	entitled := m.alloc.Allocate(caps, greedy, m.entBuf)
 	m.entBuf = entitled
+	wall := time.Since(wallStart).Nanoseconds()
+	m.solveRuns.Inc()
+	m.solveNs.Add(wall)
+	m.solveFlows.Add(int64(len(all)))
+	m.rt.opts.Tracer.Record(now, obs.KindSolveEnd, int32(m.host), int64(len(all)), wall)
 	for i := range local {
 		f := &local[i]
 		// Local flows occupy the first len(local) slots.
@@ -409,6 +450,9 @@ func (m *Manager) enforce(local []localFlow, all []FlowDemand) {
 		if f.src.lastAlloc[f.dstIP] != rate {
 			_ = f.src.tcal.SetBandwidth(f.dstIP, rate)
 			f.src.lastAlloc[f.dstIP] = rate
+			m.tcalSets.Inc()
+			m.rt.opts.Tracer.Record(now, obs.KindTCALApply,
+				int32(m.host), int64(rate), obs.PackIP([4]byte(f.dstIP)))
 		}
 		// §3 "Congestion": expose oversubscription as packet loss so
 		// loss-based congestion control backs off. Off by default in

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// The probe compares enforced allocations against the perfect-information
+// oracle: on a converged single-bottleneck workload the two agree within
+// a few percent, and the probe's series fills at the configured cadence.
+func TestAccuracyProbe(t *testing.T) {
+	probe := obs.NewProbe(2)
+	rt := buildRuntime(t, fig8YAML, 2, Options{Probe: probe})
+	rt.Start()
+	c1, _ := rt.Container("c1")
+	s1, _ := rt.Container("s1")
+	c2, _ := rt.Container("c2")
+	s2, _ := rt.Container("s2")
+	startGreedy(rt.Eng, c1, s1, transport.Cubic)
+	startGreedy(rt.Eng, c2, s2, transport.Cubic)
+	rt.Eng.Run(10 * time.Second)
+
+	if probe.Samples == 0 {
+		t.Fatal("probe recorded no samples")
+	}
+	// Every 2 periods over 10s at 50ms/period ≈ 100 samples.
+	if probe.Samples < 50 {
+		t.Fatalf("probe samples = %d, want ≥ 50", probe.Samples)
+	}
+	// Converged steady state: enforced shares track the oracle closely.
+	tail := probe.MeanBetween(5*time.Second, 10*time.Second)
+	if tail > 0.10 {
+		t.Fatalf("steady-state mean share deviation = %.3f, want ≤ 0.10", tail)
+	}
+}
+
+// The flight recorder captures the full §4.1 loop: solver slices,
+// publish/receive, TCAL applies, and failure injection, and both export
+// formats stay valid.
+func TestRuntimeTracing(t *testing.T) {
+	tr := obs.NewTracer(1 << 14)
+	rt := buildRuntime(t, fig8YAML, 2, Options{Tracer: tr})
+	rt.Start()
+	c1, _ := rt.Container("c1")
+	s1, _ := rt.Container("s1")
+	c2, _ := rt.Container("c2")
+	s2, _ := rt.Container("s2")
+	// Two flows contending the shared b1->b2 bottleneck: enforcement has
+	// to move rates, which is what KindTCALApply records.
+	startGreedy(rt.Eng, c1, s1, transport.Cubic)
+	startGreedy(rt.Eng, c2, s2, transport.Cubic)
+	rt.Eng.Run(2 * time.Second)
+
+	if err := rt.KillManager(1); err != nil {
+		t.Fatal(err)
+	}
+	rt.Eng.Run(3 * time.Second)
+	if err := rt.RestartManager(1); err != nil {
+		t.Fatal(err)
+	}
+	rt.Eng.Run(4 * time.Second)
+
+	counts := map[obs.Kind]int{}
+	for _, e := range tr.Events(nil) {
+		counts[e.Kind]++
+	}
+	for _, k := range []obs.Kind{
+		obs.KindSolveStart, obs.KindSolveEnd, obs.KindPublish,
+		obs.KindReceive, obs.KindTCALApply,
+		obs.KindManagerKill, obs.KindManagerRestart,
+	} {
+		if counts[k] == 0 {
+			t.Fatalf("no %v events recorded; have %v", k, counts)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("chrome trace is not valid JSON")
+	}
+	if !strings.Contains(buf.String(), `"manager-kill"`) {
+		t.Fatalf("chrome trace missing manager-kill instant event")
+	}
+}
+
+// Solver counters land in the registry under per-host labels, and the
+// prometheus export carries them.
+func TestManagerSolverCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	rt := buildRuntime(t, fig8YAML, 2, Options{Registry: reg})
+	rt.Start()
+	c1, _ := rt.Container("c1")
+	s1, _ := rt.Container("s1")
+	c2, _ := rt.Container("c2")
+	s2, _ := rt.Container("s2")
+	startGreedy(rt.Eng, c1, s1, transport.Cubic)
+	startGreedy(rt.Eng, c2, s2, transport.Cubic)
+	rt.Eng.Run(2 * time.Second)
+
+	snap := reg.Snapshot()
+	if snap[`kollaps_solver_runs_total{host="0"}`] == 0 {
+		t.Fatalf("host 0 solver never ran: %v", snap)
+	}
+	if snap[`kollaps_tcal_shaping_ops_total{host="0"}`] == 0 {
+		t.Fatalf("host 0 enforced no shaping changes: %v", snap)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `kollaps_solver_runs_total{host="0"}`) {
+		t.Fatalf("prometheus export missing solver counters:\n%s", buf.String())
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/graph"
 	"repro/internal/metadata"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/tcal"
@@ -48,6 +49,24 @@ type Options struct {
 	// (default: the paper's full-mesh broadcast). NumHosts and Wide are
 	// filled in at deployment.
 	Dissem dissem.Config
+	// Tracer, when non-nil, records the deployment's flight-recorder
+	// events (solver passes, dissemination publish/receive, TCAL
+	// enforcement, topology mutations, manager kills, failure-detector
+	// transitions) keyed on virtual time. nil disables tracing; every
+	// hook is a nil-safe no-op, so the emulation loop pays one inlined
+	// nil check per hook and stays allocation-free either way.
+	Tracer *obs.Tracer
+	// Registry, when non-nil, receives the deployment's metrics: solver
+	// counters per Manager, per-strategy dissemination counters, manager
+	// liveness and topology-generation gauges. Hot-path counters are
+	// resolved to pointers at deployment, so the loop never touches the
+	// registry's maps.
+	Registry *obs.Registry
+	// Probe, when non-nil, samples emulation accuracy: every Probe.Every
+	// periods (offset to mid-period, after every Manager's loop has run)
+	// the runtime re-solves the global demand set with AllocateReference
+	// and records the enforced-vs-oracle share deviation.
+	Probe *obs.Probe
 }
 
 func (o *Options) defaults() {
@@ -237,6 +256,7 @@ func NewRuntime(eng *sim.Engine, g *graph.Graph, nHosts int, placement map[strin
 	for _, c := range rt.containers {
 		rt.managers[c.Host].locals = append(rt.managers[c.Host].locals, c)
 	}
+	rt.registerMetrics()
 	return rt, nil
 }
 
@@ -285,6 +305,7 @@ func (rt *Runtime) Start() {
 	for _, m := range rt.managers {
 		m.start()
 	}
+	rt.startProbe()
 	pending := rt.pending
 	rt.pending = nil
 	rt.schedule(pending)
@@ -373,6 +394,29 @@ func (rt *Runtime) applyGroup(evs []topology.Event) error {
 	if err != nil {
 		return err
 	}
+	if tr := rt.opts.Tracer; tr != nil {
+		now := rt.Eng.Now()
+		for _, e := range evs {
+			var kind obs.Kind
+			switch e.Kind {
+			case topology.EvSetLink:
+				kind = obs.KindLinkSet
+			case topology.EvLinkLeave:
+				kind = obs.KindLinkFail
+			case topology.EvLinkJoin:
+				kind = obs.KindLinkHeal
+			case topology.EvNodeLeave:
+				kind = obs.KindNodeLeave
+			default:
+				kind = obs.KindNodeJoin
+			}
+			if kind == obs.KindNodeLeave || kind == obs.KindNodeJoin {
+				tr.Record(now, kind, -1, obs.PackName(e.Name), 0)
+			} else {
+				tr.Record(now, kind, -1, obs.PackName(e.Orig), obs.PackName(e.Dest))
+			}
+		}
+	}
 	st := rt.live.State()
 	for _, c := range rt.containers {
 		for _, dstIP := range c.tcal.Destinations() {
@@ -448,6 +492,7 @@ func (rt *Runtime) KillManager(host int) error {
 	}
 	m.dead = true
 	m.kills++
+	rt.opts.Tracer.Record(rt.Eng.Now(), obs.KindManagerKill, int32(host), 0, 0)
 	return nil
 }
 
@@ -483,6 +528,7 @@ func (rt *Runtime) RestartManager(host int) error {
 		}
 	}
 	m.dead = false
+	rt.opts.Tracer.Record(rt.Eng.Now(), obs.KindManagerRestart, int32(host), 0, 0)
 	return nil
 }
 
@@ -522,4 +568,72 @@ func (rt *Runtime) DissemStats() []*dissem.Stats {
 		out[i] = m.node.Stats()
 	}
 	return out
+}
+
+// TopologyGen returns the live topology's generation counter: 1 at
+// deploy, +1 per applied event group. The number of topology changes
+// applied so far is therefore TopologyGen()-1.
+func (rt *Runtime) TopologyGen() uint64 { return rt.live.Gen() }
+
+// DissemKind returns the deployed metadata-dissemination strategy.
+func (rt *Runtime) DissemKind() dissem.Kind { return rt.opts.Dissem.Kind }
+
+// Tracer returns the deployment's flight recorder (nil when tracing is
+// disabled).
+func (rt *Runtime) Tracer() *obs.Tracer { return rt.opts.Tracer }
+
+// Metrics returns the deployment's metrics registry (nil when none was
+// configured).
+func (rt *Runtime) Metrics() *obs.Registry { return rt.opts.Registry }
+
+// AccuracyProbe returns the deployment's accuracy probe (nil when none
+// was configured).
+func (rt *Runtime) AccuracyProbe() *obs.Probe { return rt.opts.Probe }
+
+// registerMetrics publishes the deployment's observable state in the
+// metrics registry: per-manager dissemination and liveness gauges (the
+// gauge closures read through the Manager, so a restart's fresh node is
+// picked up automatically) and deployment-level topology/time gauges.
+// Solver counters are registered by each Manager itself, which keeps the
+// returned pointers on its hot path.
+func (rt *Runtime) registerMetrics() {
+	reg := rt.opts.Registry
+	if reg == nil {
+		return
+	}
+	reg.Gauge("kollaps_topology_generation", func() float64 { return float64(rt.live.Gen()) })
+	reg.Gauge("kollaps_virtual_time_seconds", func() float64 { return rt.Eng.Now().Seconds() })
+	reg.Gauge("kollaps_hosts", func() float64 { return float64(len(rt.managers)) })
+	reg.Gauge("kollaps_containers", func() float64 { return float64(len(rt.containers)) })
+	strategy := rt.opts.Dissem.Kind.String()
+	for _, m := range rt.managers {
+		m := m
+		labels := fmt.Sprintf(`host="%d",strategy="%s"`, m.host, strategy)
+		gauge := func(name, extra string, read func(*dissem.Stats) float64) {
+			full := "kollaps_dissem_" + name + "{" + labels + extra + "}"
+			reg.Gauge(full, func() float64 { return read(m.node.Stats()) })
+		}
+		gauge("datagrams_sent", "", func(s *dissem.Stats) float64 { return float64(s.DatagramsSent.Value()) })
+		gauge("bytes_sent", "", func(s *dissem.Stats) float64 { return float64(s.BytesSent.Value()) })
+		gauge("datagrams_received", "", func(s *dissem.Stats) float64 { return float64(s.DatagramsRecv.Value()) })
+		gauge("bytes_received", "", func(s *dissem.Stats) float64 { return float64(s.BytesRecv.Value()) })
+		gauge("suspicions", "", func(s *dissem.Stats) float64 { return float64(s.Suspicions.Value()) })
+		gauge("recoveries", "", func(s *dissem.Stats) float64 { return float64(s.Recoveries.Value()) })
+		gauge("stale_links", "", func(s *dissem.Stats) float64 { return float64(s.StaleLinks.Value()) })
+		gauge("staleness_ms", `,quantile="0.5"`, func(s *dissem.Stats) float64 { return s.Staleness.Percentile(50) })
+		gauge("staleness_ms", `,quantile="0.99"`, func(s *dissem.Stats) float64 { return s.Staleness.Percentile(99) })
+		hostLabel := fmt.Sprintf(`{host="%d"}`, m.host)
+		reg.Gauge("kollaps_manager_down"+hostLabel, func() float64 {
+			if m.dead {
+				return 1
+			}
+			return 0
+		})
+		reg.Gauge("kollaps_manager_iterations"+hostLabel, func() float64 { return float64(m.Iterations) })
+	}
+	if p := rt.opts.Probe; p != nil {
+		reg.Gauge("kollaps_accuracy_mean_share_deviation", func() float64 { return p.Mean.Last() })
+		reg.Gauge("kollaps_accuracy_max_share_deviation", func() float64 { return p.Max.Last() })
+		reg.Gauge("kollaps_accuracy_samples", func() float64 { return float64(p.Samples) })
+	}
 }

@@ -1,7 +1,10 @@
 // Package dashboard exposes a running experiment's state over HTTP — the
 // paper's web dashboard (§3), headless: a JSON snapshot of the topology
 // state, containers, per-destination shaping and metadata traffic, plus a
-// minimal text index.
+// minimal text index. Deployments wired with the observability plane
+// additionally serve /metrics (Prometheus text format), /dissem
+// (per-manager control-plane counters) and /trace (the flight recorder as
+// a Chrome-loadable trace).
 package dashboard
 
 import (
@@ -15,7 +18,10 @@ import (
 
 // Snapshot is the dashboard's JSON document.
 type Snapshot struct {
-	VirtualTime   string          `json:"virtual_time"`
+	VirtualTime string `json:"virtual_time"`
+	// StateIndex counts the topology changes applied so far: 0 at
+	// deploy, +1 per applied event group (the live topology's
+	// generation minus the initial one).
 	StateIndex    int             `json:"topology_state"`
 	Containers    []ContainerInfo `json:"containers"`
 	MetadataSent  int64           `json:"metadata_sent_bytes"`
@@ -39,7 +45,27 @@ type PathInfo struct {
 	SentBytes int64   `json:"sent_bytes"`
 }
 
-// Server serves the dashboard for one runtime.
+// DissemInfo is one Emulation Manager's control-plane state as served by
+// /dissem.
+type DissemInfo struct {
+	Host           int     `json:"host"`
+	Strategy       string  `json:"strategy"`
+	Down           bool    `json:"down"`
+	DatagramsSent  int64   `json:"datagrams_sent"`
+	BytesSent      int64   `json:"bytes_sent"`
+	DatagramsRecv  int64   `json:"datagrams_received"`
+	BytesRecv      int64   `json:"bytes_received"`
+	Suspicions     int64   `json:"suspicions"`
+	Recoveries     int64   `json:"recoveries"`
+	StaleLinks     int64   `json:"stale_links"`
+	StalenessP50Ms float64 `json:"staleness_p50_ms"`
+	StalenessP99Ms float64 `json:"staleness_p99_ms"`
+}
+
+// Server serves the dashboard for one runtime. The observability
+// endpoints (/metrics, /trace) serve the runtime's registry and tracer
+// when the deployment configured them (core.Options.Registry / .Tracer)
+// and report 404 otherwise.
 type Server struct {
 	rt *core.Runtime
 }
@@ -51,6 +77,9 @@ func New(rt *core.Runtime) *Server { return &Server{rt: rt} }
 func (s *Server) Snapshot() Snapshot {
 	snap := Snapshot{
 		VirtualTime: s.rt.Eng.Now().String(),
+		// The live topology's generation starts at 1 and moves once per
+		// applied event group.
+		StateIndex: int(s.rt.TopologyGen() - 1),
 	}
 	snap.MetadataSent, snap.MetadataRecvd = s.rt.MetadataTraffic()
 	for _, c := range s.rt.Containers() {
@@ -70,16 +99,64 @@ func (s *Server) Snapshot() Snapshot {
 	return snap
 }
 
-// Handler returns the HTTP mux: /state (JSON) and / (text summary).
+// Dissem captures every Emulation Manager's control-plane counters.
+func (s *Server) Dissem() []DissemInfo {
+	strategy := s.rt.DissemKind().String()
+	var out []DissemInfo
+	for _, m := range s.rt.Managers() {
+		st := m.DissemStats()
+		out = append(out, DissemInfo{
+			Host:           m.Host(),
+			Strategy:       strategy,
+			Down:           m.Down(),
+			DatagramsSent:  st.DatagramsSent.Value(),
+			BytesSent:      st.BytesSent.Value(),
+			DatagramsRecv:  st.DatagramsRecv.Value(),
+			BytesRecv:      st.BytesRecv.Value(),
+			Suspicions:     st.Suspicions.Value(),
+			Recoveries:     st.Recoveries.Value(),
+			StaleLinks:     st.StaleLinks.Value(),
+			StalenessP50Ms: st.Staleness.Percentile(50),
+			StalenessP99Ms: st.Staleness.Percentile(99),
+		})
+	}
+	return out
+}
+
+// Handler returns the HTTP mux: /state (JSON snapshot), /dissem (JSON
+// per-manager control-plane counters), /metrics (Prometheus text),
+// /trace (Chrome trace_event JSON) and / (text summary).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/state", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(s.Snapshot())
 	})
+	mux.HandleFunc("/dissem", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(s.Dissem())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		reg := s.rt.Metrics()
+		if reg == nil {
+			http.Error(w, "no metrics registry configured (core.Options.Registry)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		tr := s.rt.Tracer()
+		if tr == nil {
+			http.Error(w, "no flight recorder configured (core.Options.Tracer)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = tr.WriteChrome(w)
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		snap := s.Snapshot()
-		fmt.Fprintf(w, "Kollaps experiment @ %s\n", snap.VirtualTime)
+		fmt.Fprintf(w, "Kollaps experiment @ %s (topology state %d)\n", snap.VirtualTime, snap.StateIndex)
 		fmt.Fprintf(w, "metadata: %dB sent / %dB received\n\n", snap.MetadataSent, snap.MetadataRecvd)
 		for _, c := range snap.Containers {
 			fmt.Fprintf(w, "%-12s %-14s host%d, %d paths\n", c.Name, c.IP, c.Host, len(c.Paths))

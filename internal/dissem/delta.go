@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/metadata"
+	"repro/internal/obs"
 )
 
 // deltaNode keeps the full mesh but sends incremental reports: only flows
@@ -108,6 +109,7 @@ func (n *deltaNode) Publish(now time.Duration, msg *metadata.Message) {
 	// nor, if stale, be trusted after the peer restarts with empty state.
 	for _, h := range n.live.advance() {
 		n.stats.Suspicions.Inc()
+		n.cfg.Tracer.Record(now, obs.KindSuspect, int32(n.host), int64(h), 0)
 		delete(n.acked, h)
 		delete(n.needFull, h)
 	}
@@ -377,6 +379,7 @@ func (n *deltaNode) Receive(now time.Duration, payload []byte) {
 	// mistaken for duplicates of the pre-failure stream.
 	if n.live.heard(int(from)) {
 		n.stats.Recoveries.Inc()
+		n.cfg.Tracer.Record(now, obs.KindRecover, int32(n.host), int64(from), 0)
 		n.live.watch(int(from))
 		n.needFull[int(from)] = true
 		delete(n.peers, from)

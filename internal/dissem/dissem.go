@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/metadata"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Kind selects a dissemination strategy.
@@ -146,6 +147,11 @@ type Config struct {
 	// Wide selects 2-byte link identifiers on the wire (topologies with
 	// more than 256 links); filled in by the runtime.
 	Wide bool
+	// Tracer, when non-nil, records failure-detector transitions
+	// (suspect/recover) in the deployment's flight recorder; filled in
+	// by the runtime. Every hook is nil-safe, so strategies record
+	// unconditionally.
+	Tracer *obs.Tracer
 }
 
 // withDefaults returns a normalized copy.

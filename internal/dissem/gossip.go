@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/metadata"
+	"repro/internal/obs"
 )
 
 // gossipNode is the epidemic strategy: no mesh, no overlay, no structure
@@ -165,6 +166,9 @@ func (n *gossipNode) Publish(now time.Duration, msg *metadata.Message) {
 	}
 	if newly := n.live.advance(); len(newly) > 0 {
 		n.stats.Suspicions.Add(int64(len(newly)))
+		for _, h := range newly {
+			n.cfg.Tracer.Record(now, obs.KindSuspect, int32(n.host), int64(h), 0)
+		}
 	}
 
 	// Fold the local report into the own entry: merge same-path flows
@@ -463,6 +467,7 @@ func (n *gossipNode) receivePush(now time.Duration, from int, payload []byte) {
 	}
 	if n.live.heard(from) {
 		n.stats.Recoveries.Inc()
+		n.cfg.Tracer.Record(now, obs.KindRecover, int32(n.host), int64(from), 0)
 		n.live.watch(from)
 	}
 	// Remember the peer's version vector (the per-link state convergence
@@ -588,6 +593,7 @@ func (n *gossipNode) receivePull(now time.Duration, from int, payload []byte) {
 	}
 	if n.live.heard(from) {
 		n.stats.Recoveries.Inc()
+		n.cfg.Tracer.Record(now, obs.KindRecover, int32(n.host), int64(from), 0)
 		n.live.watch(from)
 	}
 	var have []uint16

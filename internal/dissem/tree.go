@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/metadata"
+	"repro/internal/obs"
 )
 
 // treeNode arranges the N managers in a complete fanout-k tree by host
@@ -185,6 +186,9 @@ func (n *treeNode) Publish(now time.Duration, msg *metadata.Message) {
 	// around any neighbor that went silent.
 	if newly := n.live.advance(); len(newly) > 0 {
 		n.stats.Suspicions.Add(int64(len(newly)))
+		for _, h := range newly {
+			n.cfg.Tracer.Record(now, obs.KindSuspect, int32(n.host), int64(h), 0)
+		}
 		n.reform()
 	}
 	// n.local outlives this call (ups are re-sent when a child's report
@@ -324,6 +328,7 @@ func (n *treeNode) Receive(now time.Duration, payload []byte) {
 	// datagram already reaches it through the re-formed overlay.
 	if n.live.heard(from) {
 		n.stats.Recoveries.Inc()
+		n.cfg.Tracer.Record(now, obs.KindRecover, int32(n.host), int64(from), 0)
 		n.reform()
 	}
 	switch typ {

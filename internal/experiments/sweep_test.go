@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// A tiny sweep end to end: every cell carries probe samples, bounded
+// steady-state deviation, and nonzero control-plane spend, and the JSON
+// report round-trips.
+func TestSweepQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are not short")
+	}
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	table, report, err := RunSweep(path, 4,
+		[]time.Duration{25 * time.Millisecond, 100 * time.Millisecond},
+		[]string{"broadcast", "gossip"}, 10, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table.Fprint(os.Stdout)
+	if len(report.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(report.Cells))
+	}
+	for _, c := range report.Cells {
+		if c.ProbeSamples == 0 {
+			t.Fatalf("cell %s/T=%v recorded no probe samples", c.Strategy, c.PeriodMs)
+		}
+		if c.MeanShareDev < 0 || c.MeanShareDev > 0.5 {
+			t.Fatalf("cell %s/T=%v mean share deviation = %v, want sane [0, 0.5]",
+				c.Strategy, c.PeriodMs, c.MeanShareDev)
+		}
+		if c.CtrlBytesPerPeriod <= 0 {
+			t.Fatalf("cell %s/T=%v spent no control-plane bytes", c.Strategy, c.PeriodMs)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded SweepReport
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("bad sweep JSON: %v", err)
+	}
+	if len(decoded.Cells) != len(report.Cells) {
+		t.Fatalf("round-trip lost cells: %d vs %d", len(decoded.Cells), len(report.Cells))
+	}
+}

@@ -175,8 +175,20 @@ func RelativeError(observed, expected float64) float64 {
 	return math.Abs(observed-expected) / math.Abs(expected)
 }
 
-// RateMeter accumulates byte (or event) counts and converts them to a rate
-// over the observation window.
+// RateMeter accumulates byte (or event) counts at virtual-time instants
+// and converts them to a rate.
+//
+// The window contract: Rate's window parameter is the measurement window
+// the caller observed over — typically the experiment's elapsed virtual
+// time. The effective denominator is max(window, observed span), where
+// the observed span runs from the earliest to the latest Observe instant
+// (out-of-order observations extend it backwards). The span alone is the
+// wrong denominator for bursty traffic — a single burst has span ~0 and
+// would report an absurd rate — which is why the caller's window floors
+// it. The degenerate case follows from the same rule: when every
+// observation lands at a single instant and no positive window is given
+// there is no denominator, so Rate returns 0; pass the window to get
+// total-over-window consistently.
 type RateMeter struct {
 	total int64
 	start time.Duration
@@ -184,11 +196,17 @@ type RateMeter struct {
 	began bool
 }
 
-// Observe adds n units at virtual time now.
+// Observe adds n units at virtual time now. Observations may arrive out
+// of chronological order; the meter tracks the earliest and latest
+// instants seen.
 func (r *RateMeter) Observe(now time.Duration, n int64) {
 	if !r.began {
 		r.start = now
+		r.end = now
 		r.began = true
+	}
+	if now < r.start {
+		r.start = now
 	}
 	if now > r.end {
 		r.end = now
@@ -199,10 +217,16 @@ func (r *RateMeter) Observe(now time.Duration, n int64) {
 // Total returns the accumulated count.
 func (r *RateMeter) Total() int64 { return r.total }
 
-// Rate returns units per second over [start,end], or over the provided
-// window if it is longer (avoids division by ~0 for bursts).
+// Span returns the observed span between the earliest and latest
+// observation instants (0 before any observation, and for a single
+// instant).
+func (r *RateMeter) Span() time.Duration { return r.end - r.start }
+
+// Rate returns units per second over max(window, Span) — see the type
+// comment for the window contract. It returns 0 only when both the
+// window and the observed span are non-positive.
 func (r *RateMeter) Rate(window time.Duration) float64 {
-	span := r.end - r.start
+	span := r.Span()
 	if window > span {
 		span = window
 	}

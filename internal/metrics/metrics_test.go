@@ -142,6 +142,42 @@ func TestRateMeterEmpty(t *testing.T) {
 	}
 }
 
+// The documented degenerate case: everything observed at one instant has
+// no span, so the rate is 0 without a window and total/window with one.
+func TestRateMeterSingleInstant(t *testing.T) {
+	var r RateMeter
+	r.Observe(5*time.Second, 4000)
+	if got := r.Span(); got != 0 {
+		t.Fatalf("single-instant Span = %v, want 0", got)
+	}
+	if got := r.Rate(0); got != 0 {
+		t.Fatalf("single-instant Rate(0) = %v, want 0", got)
+	}
+	if got := r.Rate(2 * time.Second); math.Abs(got-2000) > 1e-9 {
+		t.Fatalf("single-instant Rate(2s) = %v, want 2000 (total/window)", got)
+	}
+	// A burst at the same instant stays windowed.
+	r.Observe(5*time.Second, 4000)
+	if got := r.Rate(4 * time.Second); math.Abs(got-2000) > 1e-9 {
+		t.Fatalf("burst Rate(4s) = %v, want 2000", got)
+	}
+}
+
+// Out-of-order observations extend the span backwards; the earliest and
+// latest instants bound it regardless of arrival order.
+func TestRateMeterOutOfOrder(t *testing.T) {
+	var r RateMeter
+	r.Observe(3*time.Second, 1000)
+	r.Observe(1*time.Second, 1000)
+	r.Observe(2*time.Second, 1000)
+	if got := r.Span(); got != 2*time.Second {
+		t.Fatalf("Span = %v, want 2s", got)
+	}
+	if got := r.Rate(0); math.Abs(got-1500) > 1e-9 {
+		t.Fatalf("Rate = %v, want 1500", got)
+	}
+}
+
 func TestTimeSeries(t *testing.T) {
 	ts := TimeSeries{Name: "tp"}
 	ts.Add(time.Second, 10)
@@ -205,4 +241,50 @@ func TestHistogramDecimateAndMerge(t *testing.T) {
 	if tiny.Count() != 1 {
 		t.Fatal("Decimate of single sample should keep it")
 	}
+}
+
+// Decimate and Merge maintain the cached sum incrementally; Mean (which
+// divides it by Count) must stay consistent with the surviving samples
+// through any interleaving of the two.
+func TestHistogramSumConsistency(t *testing.T) {
+	recompute := func(h *Histogram) float64 {
+		var s float64
+		for _, v := range h.samples {
+			s += v
+		}
+		return s
+	}
+	check := func(h *Histogram, when string) {
+		t.Helper()
+		if want := recompute(h); math.Abs(h.sum-want) > 1e-9 {
+			t.Fatalf("%s: cached sum = %v, samples sum to %v", when, h.sum, want)
+		}
+		if c := h.Count(); c > 0 {
+			if want := recompute(h) / float64(c); math.Abs(h.Mean()-want) > 1e-9 {
+				t.Fatalf("%s: Mean = %v, want %v", when, h.Mean(), want)
+			}
+		}
+	}
+
+	var h Histogram
+	for i := 0; i < 101; i++ {
+		h.Add(float64(i) * 1.5)
+	}
+	check(&h, "after Add")
+	h.Decimate() // odd count exercises the keep-the-max anchoring
+	check(&h, "after Decimate(odd)")
+
+	var other Histogram
+	for i := 0; i < 32; i++ {
+		other.Add(float64(1000 + i))
+	}
+	other.Decimate()
+	h.Merge(&other)
+	check(&h, "after Merge of decimated")
+	h.Decimate()
+	check(&h, "after Decimate of merged")
+	// Merging an empty histogram changes nothing.
+	h.Merge(&Histogram{})
+	h.Merge(nil)
+	check(&h, "after empty Merge")
 }

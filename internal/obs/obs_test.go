@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(3) // rounds up to 4
+	if tr.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", tr.Cap())
+	}
+	for i := 0; i < 10; i++ {
+		tr.Record(time.Duration(i)*time.Millisecond, KindPublish, 0, int64(i), 0)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	evs := tr.Events(nil)
+	for i, e := range evs {
+		if want := int64(6 + i); e.A != want {
+			t.Fatalf("event %d: A = %d, want %d (oldest-first order)", i, e.A, want)
+		}
+	}
+}
+
+func TestTracerNilNoop(t *testing.T) {
+	var tr *Tracer
+	tr.Record(0, KindSolveEnd, 0, 1, 2) // must not panic
+	if tr.Enabled() || tr.Len() != 0 || tr.Cap() != 0 || tr.Dropped() != 0 {
+		t.Fatalf("nil tracer should read as empty and disabled")
+	}
+	if evs := tr.Events(nil); len(evs) != 0 {
+		t.Fatalf("nil tracer Events = %v, want empty", evs)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatalf("nil WriteJSONL: %v", err)
+	}
+}
+
+func TestPackName(t *testing.T) {
+	for _, name := range []string{"", "a", "s1", "client-7", "12345678"} {
+		if got := UnpackName(PackName(name)); got != name {
+			t.Fatalf("UnpackName(PackName(%q)) = %q", name, got)
+		}
+	}
+	// Names beyond 8 bytes truncate deterministically.
+	if got := UnpackName(PackName("verylongname")); got != "verylong" {
+		t.Fatalf("long name packed to %q, want %q", got, "verylong")
+	}
+	ip := [4]byte{10, 1, 0, 7}
+	if got := UnpackIP(PackIP(ip)); got != ip {
+		t.Fatalf("UnpackIP(PackIP(%v)) = %v", ip, got)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Record(time.Millisecond, KindLinkFail, -1, PackName("s1"), PackName("s2"))
+	tr.Record(2*time.Millisecond, KindTCALApply, 3, 1_000_000, PackIP([4]byte{10, 3, 0, 1}))
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 is not JSON: %v\n%s", err, lines[0])
+	}
+	if first["kind"] != "link_fail" || first["orig"] != "s1" || first["dest"] != "s2" {
+		t.Fatalf("line 0 = %v", first)
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatalf("line 1 is not JSON: %v\n%s", err, lines[1])
+	}
+	if second["dst"] != "10.3.0.1" || second["bps"] != float64(1_000_000) {
+		t.Fatalf("line 1 = %v", second)
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	tr := NewTracer(64)
+	tr.Record(50*time.Millisecond, KindSolveStart, 0, 12, 0)
+	tr.Record(50*time.Millisecond, KindSolveEnd, 0, 12, 42_000)
+	tr.Record(50*time.Millisecond, KindPublish, 0, 12, 0)
+	tr.Record(51*time.Millisecond, KindReceive, 1, 512, 0)
+	tr.Record(60*time.Millisecond, KindManagerKill, 1, 0, 0)
+	tr.Record(80*time.Millisecond, KindManagerRestart, 1, 0, 0)
+	tr.Record(90*time.Millisecond, KindSuspect, 0, 1, 0)
+	tr.Record(100*time.Millisecond, KindProbe, -1, 1234, 9999)
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not JSON: %v\n%s", err, buf.String())
+	}
+	byName := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		byName[e["name"].(string)]++
+	}
+	for _, want := range []string{"solve", "publish", "receive", "manager-kill", "manager-restart", "suspect", "share-deviation"} {
+		if byName[want] == 0 {
+			t.Fatalf("chrome export missing %q events; have %v", want, byName)
+		}
+	}
+	// Both managers and the runtime row must be named.
+	if byName["process_name"] != 3 {
+		t.Fatalf("process_name metadata = %d, want 3 (manager-0, manager-1, runtime)", byName["process_name"])
+	}
+}
+
+func TestRegistryCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("kollaps_test_total")
+	c.Add(5)
+	if r.Counter("kollaps_test_total") != c {
+		t.Fatalf("Counter must return a stable pointer per name")
+	}
+	v := 3.5
+	r.Gauge("kollaps_test_gauge", func() float64 { return v })
+	h := r.Histogram(`kollaps_test_ms{host="0"}`)
+	h.Add(1)
+	h.Add(3)
+
+	snap := r.Snapshot()
+	if snap["kollaps_test_total"] != 5 || snap["kollaps_test_gauge"] != 3.5 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if snap[`kollaps_test_ms{host="0"}_count`] != 2 || snap[`kollaps_test_ms{host="0"}_sum`] != 4 {
+		t.Fatalf("histogram snapshot = %v", snap)
+	}
+
+	c.Add(2)
+	v = 4
+	d := Delta(r.Snapshot(), snap)
+	if d["kollaps_test_total"] != 2 || d["kollaps_test_gauge"] != 0.5 {
+		t.Fatalf("delta = %v", d)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`kollaps_dissem_bytes_sent_total{host="0",strategy="tree"}`).Add(100)
+	r.Counter(`kollaps_dissem_bytes_sent_total{host="1",strategy="tree"}`).Add(50)
+	r.Gauge("kollaps_virtual_time_seconds", func() float64 { return 1.5 })
+	h := r.Histogram("kollaps_staleness_ms")
+	h.Add(2)
+	h.Add(4)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE kollaps_dissem_bytes_sent_total counter",
+		`kollaps_dissem_bytes_sent_total{host="0",strategy="tree"} 100`,
+		`kollaps_dissem_bytes_sent_total{host="1",strategy="tree"} 50`,
+		"# TYPE kollaps_virtual_time_seconds gauge",
+		"kollaps_virtual_time_seconds 1.5",
+		"# TYPE kollaps_staleness_ms summary",
+		`kollaps_staleness_ms{quantile="0.5"} 2`,
+		"kollaps_staleness_ms_sum 6",
+		"kollaps_staleness_ms_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family, not per labeled series.
+	if strings.Count(out, "# TYPE kollaps_dissem_bytes_sent_total") != 1 {
+		t.Fatalf("duplicate TYPE lines:\n%s", out)
+	}
+}
+
+func TestProbeWindows(t *testing.T) {
+	p := NewProbe(0)
+	if p.Every != 1 {
+		t.Fatalf("Every = %d, want clamp to 1", p.Every)
+	}
+	p.Record(10*time.Millisecond, 0.10, 0.20)
+	p.Record(20*time.Millisecond, 0.20, 0.90)
+	p.Record(30*time.Millisecond, 0.30, 0.40)
+	if p.Samples != 3 {
+		t.Fatalf("Samples = %d", p.Samples)
+	}
+	if got := p.MeanBetween(15*time.Millisecond, 35*time.Millisecond); got != 0.25 {
+		t.Fatalf("MeanBetween = %g, want 0.25", got)
+	}
+	if got := p.MaxBetween(0, 25*time.Millisecond); got != 0.90 {
+		t.Fatalf("MaxBetween = %g, want 0.90", got)
+	}
+	if got := p.MaxBetween(31*time.Millisecond, 40*time.Millisecond); got != 0 {
+		t.Fatalf("MaxBetween outside window = %g, want 0", got)
+	}
+}

@@ -36,6 +36,7 @@ package kollaps
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
@@ -43,6 +44,7 @@ import (
 	"repro/internal/dissem"
 	"repro/internal/fabric"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -101,10 +103,27 @@ func (e *Experiment) Deploy(hosts int, opts ...Option) error {
 	}
 	e.seed = cfg.seed
 	e.Eng = sim.NewEngine(cfg.seed)
+	// The metrics registry is always on — gauges read live state lazily,
+	// so an unqueried registry costs nothing. Tracer and probe are opt-in.
+	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	switch {
+	case cfg.traceEvents < 0:
+		tracer = obs.NewTracer(obs.DefaultTraceEvents)
+	case cfg.traceEvents > 0:
+		tracer = obs.NewTracer(cfg.traceEvents)
+	}
+	var probe *obs.Probe
+	if cfg.probeEvery > 0 {
+		probe = obs.NewProbe(cfg.probeEvery)
+	}
 	rt, err := core.NewRuntimeFromTopology(e.Eng, e.Topology, hosts, cfg.placement, core.Options{
 		Period:     cfg.period,
 		InjectLoss: cfg.injectLoss,
 		Dissem:     cfg.dissemConfig(kind),
+		Tracer:     tracer,
+		Registry:   reg,
+		Probe:      probe,
 	})
 	if err != nil {
 		e.Eng = nil
@@ -168,6 +187,53 @@ func (e *Experiment) DissemSummary() dissem.Summary {
 		return dissem.Summary{}
 	}
 	return dissem.Summarize(e.Runtime.DissemStats())
+}
+
+// Metrics returns the deployment's metrics registry (valid after Deploy;
+// every deployment has one). Snapshot it for programmatic reads or serve
+// it as Prometheus text via the dashboard's /metrics endpoint.
+func (e *Experiment) Metrics() *obs.Registry {
+	if e.Runtime == nil {
+		return nil
+	}
+	return e.Runtime.Metrics()
+}
+
+// Tracer returns the deployment's flight recorder, or nil unless the
+// experiment deployed with WithTrace.
+func (e *Experiment) Tracer() *obs.Tracer {
+	if e.Runtime == nil {
+		return nil
+	}
+	return e.Runtime.Tracer()
+}
+
+// AccuracyProbe returns the emulation-accuracy probe, or nil unless the
+// experiment deployed with WithAccuracyProbe.
+func (e *Experiment) AccuracyProbe() *obs.Probe {
+	if e.Runtime == nil {
+		return nil
+	}
+	return e.Runtime.AccuracyProbe()
+}
+
+// WriteTrace exports the flight recorder as a Chrome trace_event JSON
+// file, loadable in chrome://tracing or Perfetto. It errors when the
+// experiment was deployed without WithTrace.
+func (e *Experiment) WriteTrace(path string) error {
+	tr := e.Tracer()
+	if tr == nil {
+		return fmt.Errorf("kollaps: no flight recorder; deploy with kollaps.WithTrace")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // Baremetal deploys the *target* topology as a physical network (full

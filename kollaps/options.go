@@ -21,12 +21,14 @@ func (f optionFunc) apply(c *config) { f(c) }
 
 // config is the resolved deployment configuration.
 type config struct {
-	seed       int64
-	period     time.Duration
-	placement  map[string]int
-	injectLoss bool
-	strategy   string
-	dissem     dissemConfig
+	seed        int64
+	period      time.Duration
+	placement   map[string]int
+	injectLoss  bool
+	strategy    string
+	dissem      dissemConfig
+	traceEvents int // 0 = tracing disabled, <0 = default capacity
+	probeEvery  int // 0 = probe disabled
 }
 
 type dissemConfig struct {
@@ -119,6 +121,35 @@ func DissemFanout(fanout int) DissemOption {
 // with one spare hop; anti-entropy pulls repair the rest).
 func DissemGossipRounds(rounds int) DissemOption {
 	return func(c *dissemConfig) { c.gossipRounds = rounds }
+}
+
+// WithTrace enables the deployment's flight recorder: a ring buffer
+// holding the most recent events virtual-time trace events (solver
+// passes, dissemination publish/receive, TCAL enforcement, topology
+// mutations, manager kills, failure-detector transitions). events <= 0
+// selects the default capacity (obs.DefaultTraceEvents). Read it back
+// with Experiment.Tracer or export with Experiment.WriteTrace.
+func WithTrace(events int) Option {
+	return optionFunc(func(c *config) {
+		if events <= 0 {
+			events = -1
+		}
+		c.traceEvents = events
+	})
+}
+
+// WithAccuracyProbe enables the emulation-accuracy probe: every
+// everyPeriods emulation periods the runtime re-solves the live demand
+// set with the reference allocator and records the enforced-vs-oracle
+// share deviation as a virtual-time series (Experiment.AccuracyProbe).
+// Values below 1 sample every period.
+func WithAccuracyProbe(everyPeriods int) Option {
+	return optionFunc(func(c *config) {
+		if everyPeriods < 1 {
+			everyPeriods = 1
+		}
+		c.probeEvery = everyPeriods
+	})
 }
 
 // DissemSuspectAfter sets the failure-detection threshold, in emulation
