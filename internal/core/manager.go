@@ -12,6 +12,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/transport"
 	"repro/internal/units"
+	"repro/internal/wire"
 )
 
 // Manager is one host's Emulation Manager. It aggregates the local
@@ -188,7 +189,14 @@ func (m *Manager) onMetadata(src packet.IP, srcPort uint16, size int, payload an
 	m.node.Receive(now, raw)
 }
 
-// iterate is one emulation loop pass.
+// iterate is one emulation loop pass. It is the root of the 0 allocs/op
+// contract (BenchmarkIterate + cmd/benchcheck dynamically, kollapslint
+// hotpath statically): everything it reaches through static calls must
+// stay allocation-free, with slow paths marked //kollaps:coldpath.
+// Dissemination is behind the Node interface and excluded, matching the
+// benchmark's boundary.
+//
+//kollaps:hotpath
 func (m *Manager) iterate() {
 	if m.dead {
 		return // killed: no polling, no dissemination, no enforcement
@@ -414,7 +422,10 @@ func (m *Manager) enforce(local []localFlow, all []FlowDemand) {
 	}
 	now := m.rt.Eng.Now()
 	m.rt.opts.Tracer.Record(now, obs.KindSolveStart, int32(m.host), int64(len(all)), 0)
-	wallStart := time.Now()
+	// The solve-duration metric is real elapsed time by design: it
+	// measures this host's solver, not the simulation. The sanctioned
+	// exception to the no-wall-clock rule.
+	wallStart := time.Now() //kollaps:wallclock
 	caps := m.linkCaps()
 	// Two passes of the sharing model. The demand-aware pass implements
 	// the §3 maximization step: application-limited flows release their
@@ -432,7 +443,7 @@ func (m *Manager) enforce(local []localFlow, all []FlowDemand) {
 	m.greedyBuf = greedy
 	entitled := m.alloc.Allocate(caps, greedy, m.entBuf)
 	m.entBuf = entitled
-	wall := time.Since(wallStart).Nanoseconds()
+	wall := time.Since(wallStart).Nanoseconds() //kollaps:wallclock
 	m.solveRuns.Inc()
 	m.solveNs.Add(wall)
 	m.solveFlows.Add(int64(len(all)))
@@ -478,12 +489,8 @@ func (m *Manager) enforce(local []localFlow, all []FlowDemand) {
 	}
 }
 
-func clampU32(v int64) uint32 {
-	if v < 0 {
-		return 0
-	}
-	if v > int64(^uint32(0)) {
-		return ^uint32(0)
-	}
-	return uint32(v)
-}
+// clampU32 saturates a signed rate into the 32-bit BPS wire field via
+// the shared helper, so clamps surface in wire.Saturations.
+//
+//kollaps:saturates
+func clampU32(v int64) uint32 { return wire.U32FromInt64(v, nil) }

@@ -23,6 +23,12 @@
 // map-based progressive filling is retained verbatim in share_reference.go
 // as AllocateReference — the differential-testing oracle and the benchmark
 // baseline.
+//
+// The package is deterministic: no wall-clock reads and no global
+// math/rand outside //kollaps:wallclock sites (kollapslint walltime),
+// and no map-iteration order reaching an encoder (maporder).
+//
+//kollaps:deterministic
 package core
 
 import (
@@ -142,8 +148,12 @@ type AllocState struct {
 
 // grow returns s resized to n elements, reusing capacity when possible.
 // Contents are unspecified; callers overwrite every element they read.
+// The growth branch runs only until the arena reaches the deployment's
+// working-set size, then never again — the steady state the 0-alloc
+// gate measures.
 func grow[T any](s []T, n int) []T {
 	if cap(s) < n {
+		//kollaps:coldpath
 		return make([]T, n)
 	}
 	return s[:n]
@@ -186,6 +196,11 @@ func (s *AllocState) nextStamp() uint32 {
 // bucket in the same (flow index) order the reference sums its per-link
 // sets in, so every theta, every tie-break and every rounded rate is
 // reproduced bit for bit — the differential tests hold to exact equality.
+//
+// Allocate is on the 0 allocs/op hot path (//kollaps:hotpath): arenas
+// grow to the working set once and are reused every period thereafter.
+//
+//kollaps:hotpath
 func (s *AllocState) Allocate(caps []float64, flows []FlowDemand, out []Allocation) []Allocation {
 	n := len(flows)
 	out = grow(out, n)
@@ -420,6 +435,7 @@ func (s *AllocState) freeze(caps []float64, flows []FlowDemand, out []Allocation
 // zero-filling fresh elements (zero never equals a live generation).
 func growStamps(s []uint32, n int) []uint32 {
 	if cap(s) < n {
+		//kollaps:coldpath
 		ns := make([]uint32, n)
 		copy(ns, s)
 		return ns

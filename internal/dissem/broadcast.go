@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/metadata"
+	"repro/internal/wire"
 )
 
 // broadcastNode is the paper's §4.2 exchange, extracted unchanged from the
@@ -69,6 +70,11 @@ func (n *broadcastNode) RemoteFlows(now, maxAge time.Duration) []RemoteFlow {
 	return n.AppendRemoteFlows(now, maxAge, nil)
 }
 
+// AppendRemoteFlows is on the emulation loop's 0-alloc hot path
+// (BenchmarkIterate runs the Broadcast node): entries append into the
+// caller's buffer and the host scratch list is reused per call.
+//
+//kollaps:hotpath
 func (n *broadcastNode) AppendRemoteFlows(now, maxAge time.Duration, out []RemoteFlow) []RemoteFlow {
 	n.hosts = n.hosts[:0]
 	for h := range n.remote {
@@ -84,7 +90,7 @@ func (n *broadcastNode) AppendRemoteFlows(now, maxAge time.Duration, out []Remot
 		}
 		for _, f := range e.msg.Flows {
 			out = append(out, RemoteFlow{
-				Origin: uint16(h),
+				Origin: wire.U16(h, nil),
 				BPS:    f.BPS,
 				Count:  1,
 				Links:  f.Links,

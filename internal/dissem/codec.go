@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"sort"
 	"time"
+
+	"repro/internal/wire"
 )
 
 // Versioned wire codec for Tree aggregate datagrams.
@@ -153,7 +155,7 @@ func encodeTree(typ byte, host int, now time.Duration, recs []aggRec, stats *Sta
 
 	buf := make([]byte, 0, 6+len(recs)*12)
 	buf = append(buf, typ, treeVerMask|treeWireVersion)
-	buf = binary.BigEndian.AppendUint16(buf, uint16(host))
+	buf = binary.BigEndian.AppendUint16(buf, wire.U16(host, &stats.Saturated))
 	buf = binary.AppendUvarint(buf, uint64(len(groups)))
 	for _, g := range groups {
 		buf = binary.AppendUvarint(buf, g.originEnc)
@@ -176,7 +178,7 @@ func encodeTree(typ byte, host int, now time.Duration, recs []aggRec, stats *Sta
 			}
 			nnew := len(r.links) - shared
 			if shared < 15 && nnew < 15 {
-				buf = append(buf, byte(shared<<4|nnew))
+				buf = append(buf, wire.U8(shared<<4|nnew, nil))
 			} else {
 				buf = append(buf, 0xFF)
 				buf = binary.AppendUvarint(buf, uint64(shared))
@@ -289,7 +291,7 @@ func decodeTreeV1(payload []byte, now time.Duration) ([]aggRec, bool) {
 			recs = append(recs, aggRec{
 				origin: origin,
 				bps:    bps,
-				count:  uint16(count),
+				count:  wire.U16(int(count), nil),
 				ts:     ts,
 				links:  links,
 			})
@@ -312,8 +314,8 @@ func encodeTreeV0(typ byte, host int, now time.Duration, recs []aggRec, wide boo
 	}
 	buf := make([]byte, 0, 5+len(recs)*16)
 	buf = append(buf, typ)
-	buf = binary.BigEndian.AppendUint16(buf, uint16(host))
-	buf = binary.BigEndian.AppendUint16(buf, uint16(len(recs)))
+	buf = binary.BigEndian.AppendUint16(buf, wire.U16(host, &stats.Saturated))
+	buf = binary.BigEndian.AppendUint16(buf, wire.U16(len(recs), &stats.Saturated))
 	for _, r := range recs {
 		age := (now - r.ts) / time.Microsecond
 		if age < 0 {
@@ -323,7 +325,7 @@ func encodeTreeV0(typ byte, host int, now time.Duration, recs []aggRec, wide boo
 		buf = binary.BigEndian.AppendUint32(buf, clampU32(r.bps))
 		buf = binary.BigEndian.AppendUint16(buf, r.count)
 		buf = binary.BigEndian.AppendUint32(buf, clampU32(uint64(age)))
-		buf = appendLinks(buf, r.links, wide)
+		buf = appendLinks(buf, r.links, wide, &stats.Saturated)
 	}
 	return buf
 }

@@ -1,0 +1,92 @@
+package dissem
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestWriteFuzzCorpus regenerates the committed seed corpora under
+// testdata/fuzz/<FuzzTarget>/ from fuzzSeeds. The committed files let
+// `go test` (and CI's short -fuzztime smoke runs) start every fuzz
+// target from well-formed frames of each message type without first
+// simulating a deployment. Gated so a normal test run only *verifies*
+// the corpus is present and well-formed; set WRITE_FUZZ_CORPUS=1 to
+// rewrite after a wire-format change.
+func TestWriteFuzzCorpus(t *testing.T) {
+	all := fuzzSeeds(t)
+	if len(all) == 0 {
+		t.Fatal("fuzzSeeds produced no frames")
+	}
+	// Keep the committed corpus small and diverse: dedupe identical
+	// frames (broadcast rounds repeat payloads) and cap the set — a few
+	// distinct frames per message type is enough structure for the
+	// mutator to start from.
+	var seeds [][]byte
+	unique := map[string]bool{}
+	for _, s := range all {
+		if unique[string(s)] {
+			continue
+		}
+		unique[string(s)] = true
+		seeds = append(seeds, s)
+		if len(seeds) == 24 {
+			break
+		}
+	}
+	type target struct {
+		name string
+		args func(data []byte) []string
+	}
+	quote := func(b []byte) string {
+		return "[]byte(" + strconv.Quote(string(b)) + ")"
+	}
+	now := int64(50 * time.Millisecond)
+	targets := []target{
+		{"FuzzDecodeTree", func(d []byte) []string {
+			return []string{quote(d), "bool(false)", "int64(" + strconv.FormatInt(now, 10) + ")"}
+		}},
+		{"FuzzDeltaReceive", func(d []byte) []string {
+			return []string{quote(d), "bool(false)"}
+		}},
+		{"FuzzTreeCodecRoundTrip", func(d []byte) []string {
+			return []string{quote(d), "bool(true)", "int64(" + strconv.FormatInt(now, 10) + ")"}
+		}},
+		{"FuzzGossipReceive", func(d []byte) []string {
+			return []string{quote(d), "bool(false)"}
+		}},
+		{"FuzzTreeReceive", func(d []byte) []string {
+			return []string{quote(d), "bool(false)"}
+		}},
+	}
+	write := os.Getenv("WRITE_FUZZ_CORPUS") != ""
+	for _, tgt := range targets {
+		dir := filepath.Join("testdata", "fuzz", tgt.name)
+		for i, seed := range seeds {
+			name := filepath.Join(dir, fmt.Sprintf("seed-%03d", i))
+			content := "go test fuzz v1\n"
+			for _, a := range tgt.args(seed) {
+				content += a + "\n"
+			}
+			if write {
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			got, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatalf("missing committed corpus file %s (regenerate with WRITE_FUZZ_CORPUS=1): %v", name, err)
+			}
+			if string(got) != content {
+				t.Errorf("%s is stale vs fuzzSeeds (regenerate with WRITE_FUZZ_CORPUS=1)", name)
+			}
+		}
+	}
+}

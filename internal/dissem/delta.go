@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/metadata"
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
 // deltaNode keeps the full mesh but sends incremental reports: only flows
@@ -65,6 +66,8 @@ type deltaNode struct {
 
 // deltaVal is one flow-path aggregate: summed usage and the number of
 // underlying flows.
+//
+//kollaps:wire
 type deltaVal struct {
 	bps   uint32
 	count uint16
@@ -340,20 +343,20 @@ func (n *deltaNode) encodeReport(typ byte, now time.Duration, flows deltaSnapsho
 
 	buf := make([]byte, 0, 17+(sentFlows+sentRemoved)*10)
 	buf = append(buf, typ)
-	buf = binary.BigEndian.AppendUint16(buf, uint16(n.host))
+	buf = binary.BigEndian.AppendUint16(buf, wire.U16(n.host, &n.stats.Saturated))
 	buf = binary.BigEndian.AppendUint32(buf, n.seq)
 	buf = binary.BigEndian.AppendUint64(buf, uint64(now))
-	buf = binary.BigEndian.AppendUint16(buf, uint16(sentFlows+sentRemoved))
+	buf = binary.BigEndian.AppendUint16(buf, wire.U16(sentFlows+sentRemoved, &n.stats.Saturated))
 	for _, k := range keys[:sentFlows] {
 		v := flows[k]
 		buf = binary.BigEndian.AppendUint32(buf, v.bps)
 		buf = binary.BigEndian.AppendUint16(buf, v.count)
-		buf = appendLinks(buf, keyLinks(k), n.cfg.Wide)
+		buf = appendLinks(buf, keyLinks(k), n.cfg.Wide, &n.stats.Saturated)
 	}
 	for _, k := range removed[:sentRemoved] {
 		buf = binary.BigEndian.AppendUint32(buf, 0)
 		buf = binary.BigEndian.AppendUint16(buf, 0)
-		buf = appendLinks(buf, keyLinks(k), n.cfg.Wide)
+		buf = appendLinks(buf, keyLinks(k), n.cfg.Wide, &n.stats.Saturated)
 	}
 	return buf, sentFlows, sentRemoved
 }
@@ -478,7 +481,7 @@ func (n *deltaNode) maybeAck(typ byte, to int, seq uint32) {
 func (n *deltaNode) ack(to int, seq uint32) {
 	buf := make([]byte, 0, 7)
 	buf = append(buf, msgDeltaAck)
-	buf = binary.BigEndian.AppendUint16(buf, uint16(n.host))
+	buf = binary.BigEndian.AppendUint16(buf, wire.U16(n.host, &n.stats.Saturated))
 	buf = binary.BigEndian.AppendUint32(buf, seq)
 	n.stats.send(n.tr, to, buf)
 }
@@ -509,7 +512,7 @@ func (n *deltaNode) AppendRemoteFlows(now, maxAge time.Duration, out []RemoteFlo
 		for _, k := range keys {
 			v := p.flows[k]
 			out = append(out, RemoteFlow{
-				Origin: uint16(h),
+				Origin: wire.U16(h, nil),
 				BPS:    v.bps,
 				Count:  v.count,
 				Links:  keyLinks(k),

@@ -34,6 +34,15 @@
 //
 // Every node exposes control-plane counters (datagrams, bytes, staleness)
 // through internal/metrics so experiments can quantify the trade-off.
+//
+// The package is a deterministic wire codec, with both contracts
+// enforced by kollapslint: no wall-clock or global-rand reads (time is
+// the virtual `now` threaded through every call; randomness is the
+// seeded gossip sampler), and no unchecked integer narrowing into wire
+// fields (saturate via internal/wire instead of wrapping).
+//
+//kollaps:deterministic
+//kollaps:wirecodec
 package dissem
 
 import (
@@ -45,6 +54,7 @@ import (
 	"repro/internal/metadata"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
 // Kind selects a dissemination strategy.
@@ -191,6 +201,12 @@ func (c Config) Validate() error {
 		// 49152+ managers it would collide with the wire-version marker.
 		return fmt.Errorf("dissem: tree supports at most %d managers (wire-version byte space), got %d", int(treeVerMask)<<8-1, c.NumHosts)
 	}
+	if c.NumHosts > 0xFFFF {
+		// Host ids and host counts ride 16-bit wire fields (report
+		// headers, gossip version vectors); a larger deployment would
+		// saturate every datagram instead of failing one Validate call.
+		return fmt.Errorf("dissem: at most %d managers (16-bit host ids on the wire), got %d", 0xFFFF, c.NumHosts)
+	}
 	return nil
 }
 
@@ -207,6 +223,8 @@ const MergedOrigin uint16 = 0xFFFF
 
 // RemoteFlow is one entry of a node's current view of every other
 // manager's flows — the input the bandwidth-sharing model consumes.
+//
+//kollaps:wire
 type RemoteFlow struct {
 	// Origin is the reporting manager, or MergedOrigin for aggregates.
 	Origin uint16
@@ -260,6 +278,12 @@ type Stats struct {
 	// of a mixed-version deployment (an old node never sees its newer
 	// peers' reports, which would otherwise read as a silent partition).
 	BadVersion metrics.Counter
+	// Saturated counts wire-field narrowings this node had to clamp
+	// (link lists cut at 255 entries, 32-bit usage sums pinned at max):
+	// the value on the wire is the field maximum, not a wrapped
+	// garbage value, and this counter is the evidence. Mirrors the
+	// process-wide wire.Saturations.
+	Saturated metrics.Counter
 
 	staleStride int
 	staleSkip   int
@@ -417,13 +441,22 @@ func keyLinks(k string) []uint16 {
 	return links
 }
 
-func appendLinks(buf []byte, links []uint16, wide bool) []byte {
-	buf = append(buf, byte(len(links)))
+// appendLinks encodes a link list with a 1-byte count. Paths longer
+// than 255 links saturate: the first 255 ids are encoded and sat
+// counts the clamp — the pre-fix behavior wrapped the count byte,
+// desynchronizing the decoder from the first overlong path onward.
+func appendLinks(buf []byte, links []uint16, wide bool, sat *metrics.Counter) []byte {
+	if n := int(wire.U8(len(links), sat)); n < len(links) {
+		links = links[:n]
+	}
+	buf = append(buf, wire.U8(len(links), nil))
 	for _, l := range links {
 		if wide {
 			buf = binary.BigEndian.AppendUint16(buf, l)
 		} else {
-			buf = append(buf, byte(l))
+			// Narrow mode is only negotiated when every topology link id
+			// fits a byte; a saturation here means mis-negotiation.
+			buf = append(buf, wire.U8(int(l), sat))
 		}
 	}
 	return buf
@@ -455,12 +488,11 @@ func readLinks(b []byte, off int, wide bool) ([]uint16, int, error) {
 	return links, off, nil
 }
 
-func clampU32(v uint64) uint32 {
-	if v > uint64(^uint32(0)) {
-		return ^uint32(0)
-	}
-	return uint32(v)
-}
+// clampU32 saturates a 64-bit usage sum into a 32-bit wire field,
+// counting clamps in the process-wide wire.Saturations.
+//
+//kollaps:saturates
+func clampU32(v uint64) uint32 { return wire.U32(v, nil) }
 
 // ---- liveness ----
 

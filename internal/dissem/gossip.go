@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/metadata"
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
 // gossipNode is the epidemic strategy: no mesh, no overlay, no structure
@@ -92,6 +93,8 @@ type gossipEntry struct {
 }
 
 // gossipRec is one path aggregate of a report.
+//
+//kollaps:wire
 type gossipRec struct {
 	bps   uint32
 	count uint16
@@ -302,8 +305,8 @@ func (n *gossipNode) encodePush(now time.Duration, target int, only []uint16) []
 	}
 	buf := make([]byte, 0, 5+len(origins)*28+2+12*n.cfg.NumHosts)
 	buf = append(buf, msgGossip)
-	buf = binary.BigEndian.AppendUint16(buf, uint16(n.host))
-	buf = binary.BigEndian.AppendUint16(buf, uint16(len(origins)))
+	buf = binary.BigEndian.AppendUint16(buf, wire.U16(n.host, &n.stats.Saturated))
+	buf = binary.BigEndian.AppendUint16(buf, wire.U16(len(origins), &n.stats.Saturated))
 	for _, o := range origins {
 		e := n.entries[o]
 		age := (now - e.ts) / time.Microsecond
@@ -317,17 +320,17 @@ func (n *gossipNode) encodePush(now time.Duration, target int, only []uint16) []
 		if ttl < 1 {
 			ttl = 1 // pull replies are point-to-point: deliver, don't re-spread
 		}
-		buf = append(buf, byte(ttl))
+		buf = append(buf, wire.U8(ttl, &n.stats.Saturated))
 		nrec := len(e.recs)
 		if nrec > maxWireRecords {
 			n.stats.TruncatedRecords.Add(int64(nrec - maxWireRecords))
 			nrec = maxWireRecords
 		}
-		buf = binary.BigEndian.AppendUint16(buf, uint16(nrec))
+		buf = binary.BigEndian.AppendUint16(buf, wire.U16(nrec, &n.stats.Saturated))
 		for _, r := range e.recs[:nrec] {
 			buf = binary.BigEndian.AppendUint32(buf, r.bps)
 			buf = binary.BigEndian.AppendUint16(buf, r.count)
-			buf = appendLinks(buf, r.links, n.cfg.Wide)
+			buf = appendLinks(buf, r.links, n.cfg.Wide, &n.stats.Saturated)
 		}
 	}
 	return n.appendVV(buf, now)
@@ -337,13 +340,13 @@ func (n *gossipNode) encodePush(now time.Duration, target int, only []uint16) []
 func (n *gossipNode) encodeVVOnly(now time.Duration) []byte {
 	buf := make([]byte, 0, 5+2+12*n.cfg.NumHosts)
 	buf = append(buf, msgGossip)
-	buf = binary.BigEndian.AppendUint16(buf, uint16(n.host))
+	buf = binary.BigEndian.AppendUint16(buf, wire.U16(n.host, &n.stats.Saturated))
 	buf = binary.BigEndian.AppendUint16(buf, 0)
 	return n.appendVV(buf, now)
 }
 
 func (n *gossipNode) appendVV(buf []byte, now time.Duration) []byte {
-	buf = binary.BigEndian.AppendUint16(buf, uint16(n.cfg.NumHosts))
+	buf = binary.BigEndian.AppendUint16(buf, wire.U16(n.cfg.NumHosts, &n.stats.Saturated))
 	for h := 0; h < n.cfg.NumHosts; h++ {
 		e := n.entries[uint16(h)]
 		if e == nil {
@@ -544,8 +547,8 @@ func (n *gossipNode) receivePush(now time.Duration, from int, payload []byte) {
 	if len(want) > 0 {
 		buf := make([]byte, 0, 5+2*len(want))
 		buf = append(buf, msgGossipPull)
-		buf = binary.BigEndian.AppendUint16(buf, uint16(n.host))
-		buf = binary.BigEndian.AppendUint16(buf, uint16(len(want)))
+		buf = binary.BigEndian.AppendUint16(buf, wire.U16(n.host, &n.stats.Saturated))
+		buf = binary.BigEndian.AppendUint16(buf, wire.U16(len(want), &n.stats.Saturated))
 		for _, o := range want {
 			buf = binary.BigEndian.AppendUint16(buf, o)
 		}
@@ -640,7 +643,7 @@ func (n *gossipNode) AppendRemoteFlows(now, maxAge time.Duration, out []RemoteFl
 		}
 		for i := range e.recs {
 			out = append(out, RemoteFlow{
-				Origin: uint16(h),
+				Origin: wire.U16(h, nil),
 				BPS:    e.recs[i].bps,
 				Count:  e.recs[i].count,
 				Links:  e.recs[i].links,

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/metadata"
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
 // treeNode arranges the N managers in a complete fanout-k tree by host
@@ -74,6 +75,8 @@ type treeNode struct {
 }
 
 // aggRec is one aggregated flow record.
+//
+//kollaps:wire
 type aggRec struct {
 	origin uint16        // reporting host, MergedOrigin when aggregated
 	bps    uint64        // summed usage (clamped to uint32 on the wire)
@@ -200,7 +203,7 @@ func (n *treeNode) Publish(now time.Duration, msg *metadata.Message) {
 		start := len(n.localLinks)
 		n.localLinks = append(n.localLinks, f.Links...)
 		n.local = append(n.local, aggRec{
-			origin: uint16(n.host),
+			origin: wire.U16(n.host, nil),
 			bps:    uint64(f.BPS),
 			count:  1,
 			ts:     now,
@@ -287,11 +290,7 @@ func mergeRecs(parts [][]aggRec) []aggRec {
 			// Saturate: at deployment scale the per-path flow count can
 			// exceed 16 bits, and silent wraparound would hand the min-max
 			// solver a tiny weight for the heaviest aggregate.
-			if s := uint32(a.count) + uint32(r.count); s <= uint32(^uint16(0)) {
-				a.count = uint16(s)
-			} else {
-				a.count = ^uint16(0)
-			}
+			a.count = wire.U16(int(a.count)+int(r.count), nil)
 			if r.ts < a.ts {
 				a.ts = r.ts
 			}

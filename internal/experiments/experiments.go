@@ -5,6 +5,12 @@
 // returns the same rows or series the paper reports. The cmd/kollaps-bench
 // binary prints them; bench_test.go wraps them as testing.B benchmarks;
 // EXPERIMENTS.md records paper-vs-measured values.
+//
+// The package is deterministic: no wall-clock reads and no global
+// math/rand outside //kollaps:wallclock sites (kollapslint walltime),
+// and no map-iteration order reaching an encoder (maporder).
+//
+//kollaps:deterministic
 package experiments
 
 import (

@@ -1,0 +1,302 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAnalyzer enforces the 0 allocs/op contract: a function
+// annotated //kollaps:hotpath, and every project-local function it
+// statically reaches, must contain no allocating construct.
+//
+// Flagged constructs: make, new, map/slice composite literals, pointer
+// composite literals (&T{...}), func literals (closures capture), string
+// concatenation, string<->[]byte/[]rune conversions, fmt.* calls, and
+// calls into packages the loader cannot see bodies for are left alone —
+// interface dispatch and stdlib calls end traversal, mirroring how
+// BenchmarkIterate draws the boundary (dissemination happens behind the
+// Node interface and is excluded from the 0-alloc gate).
+//
+// Escapes: a function annotated //kollaps:coldpath is skipped entirely
+// (arena growth, error exits); a statement on a line annotated
+// //kollaps:coldpath is skipped within an otherwise-hot function.
+var HotPathAnalyzer = &Analyzer{
+	Name: "hotpath",
+	Doc: "report allocating constructs reachable from //kollaps:hotpath functions; " +
+		"mark slow paths //kollaps:coldpath",
+	Run: runHotPath,
+}
+
+func runHotPath(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if !FuncDirective(pass.Fset, fd, pass.Files, "hotpath") {
+				continue
+			}
+			root := pass.TypesInfo.Defs[fd.Name]
+			fn, ok := root.(*types.Func)
+			if !ok {
+				continue
+			}
+			visited := map[*types.Func]bool{}
+			checkHotFunc(pass, &FuncSource{Pkg: passPackage(pass), Decl: fd}, fn, visited)
+		}
+	}
+	return nil
+}
+
+// passPackage reconstructs the *Package for the pass's own package so
+// local roots and cross-package callees share one traversal shape.
+func passPackage(pass *Pass) *Package {
+	if pkg, ok := pass.Prog.Packages[pass.Pkg.Path()]; ok {
+		return pkg
+	}
+	// Fixture runs load a single synthetic package not in Prog.Packages.
+	return &Package{Path: pass.Pkg.Path(), Files: pass.Files, Types: pass.Pkg, Info: pass.TypesInfo}
+}
+
+// checkHotFunc walks one function body for allocating constructs and
+// recurses into project-local static callees.
+func checkHotFunc(pass *Pass, src *FuncSource, fn *types.Func, visited map[*types.Func]bool) {
+	if visited[fn] {
+		return
+	}
+	visited[fn] = true
+	decl := src.Decl
+	if decl.Body == nil {
+		return
+	}
+	if FuncDirective(pass.Fset, decl, src.Pkg.Files, "coldpath") {
+		return
+	}
+	info := src.Pkg.Info
+	coldLines := coldpathLines(pass.Fset, src.Pkg.Files, pass.Fset.Position(decl.Pos()).Filename)
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if line := pass.Fset.Position(n.Pos()).Line; coldLines[line] {
+			// Statement-level //kollaps:coldpath: skip this subtree.
+			if _, isStmt := n.(ast.Stmt); isStmt {
+				return false
+			}
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, src, x, visited)
+		case *ast.CompositeLit:
+			t := info.TypeOf(x)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map, *types.Slice:
+					pass.Reportf(x.Pos(), "hot path allocates: %s literal in %s", kindName(t), fn.FullName())
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					pass.Reportf(x.Pos(), "hot path allocates: &composite literal in %s", fn.FullName())
+				}
+			}
+		case *ast.FuncLit:
+			pass.Reportf(x.Pos(), "hot path allocates: func literal (closure) in %s", fn.FullName())
+			return false
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD {
+				// Constant-folded concats ("a"+"b") cost nothing at run time.
+				if tv, ok := info.Types[x]; ok && tv.Value == nil && isString(tv.Type) {
+					pass.Reportf(x.Pos(), "hot path allocates: string concatenation in %s", fn.FullName())
+				}
+			}
+		case *ast.GoStmt:
+			pass.Reportf(x.Pos(), "hot path spawns goroutine in %s", fn.FullName())
+		}
+		return true
+	})
+}
+
+// checkHotCall classifies one call inside a hot function: builtin
+// allocators, fmt, string conversions, and project-local callees.
+func checkHotCall(pass *Pass, src *FuncSource, call *ast.CallExpr, visited map[*types.Func]bool) {
+	info := src.Pkg.Info
+	// Builtin allocators.
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "hot path allocates: make(...)")
+			case "new":
+				pass.Reportf(call.Pos(), "hot path allocates: new(...)")
+			}
+			return
+		}
+	}
+	// Conversion T(x) — covers named types and []byte/[]rune type
+	// expressions alike: flag string<->[]byte/[]rune, which copy.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			from := info.TypeOf(call.Args[0])
+			if from != nil && stringBytesConversion(from, tv.Type) {
+				pass.Reportf(call.Pos(), "hot path allocates: %s conversion copies", types.TypeString(tv.Type, nil))
+			}
+		}
+		return
+	}
+
+	// fmt.* always allocates (boxing into ...any at minimum).
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if pkgOf(info, sel) == "fmt" {
+			pass.Reportf(call.Pos(), "hot path allocates: fmt.%s boxes arguments", sel.Sel.Name)
+			return
+		}
+	}
+
+	// Project-local static callee: recurse into its body.
+	callee := calleeFunc(info, call)
+	if callee == nil {
+		return
+	}
+	if !pass.Prog.Local(callee.Pkg()) {
+		return
+	}
+	next := pass.Prog.FuncDecl(callee)
+	if next == nil {
+		// Same-package fixture function not indexed in Prog: find it.
+		next = findLocalDecl(pass, src, callee)
+	}
+	if next == nil {
+		return
+	}
+	checkHotFunc(pass, next, callee, visited)
+}
+
+// findLocalDecl locates a callee declared in the pass's own files —
+// needed for fixture packages that are loaded outside Program.Load.
+func findLocalDecl(pass *Pass, src *FuncSource, fn *types.Func) *FuncSource {
+	for _, f := range src.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			if src.Pkg.Info.Defs[fd.Name] == fn {
+				return &FuncSource{Pkg: src.Pkg, Decl: fd}
+			}
+		}
+	}
+	return nil
+}
+
+// unparen strips any enclosing parentheses from an expression.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// calleeFunc resolves a call's static target, or nil for interface
+// methods and func values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			if fn == nil {
+				return nil
+			}
+			// Interface dispatch has no statically known body.
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+				if types.IsInterface(recv.Type()) {
+					return nil
+				}
+			}
+			return fn
+		}
+		// Package-qualified call: pkg.F.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// coldpathLines collects lines of filename annotated //kollaps:coldpath
+// so statement-level escapes work; the directive marks its own line and
+// the line below it.
+func coldpathLines(fset *token.FileSet, files []*ast.File, filename string) map[int]bool {
+	out := map[int]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if directiveName(c.Text) != "coldpath" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if pos.Filename != filename {
+					continue
+				}
+				out[pos.Line] = true
+				out[pos.Line+1] = true
+			}
+		}
+	}
+	return out
+}
+
+// pkgOf returns the package name of a pkg.Sel selector, or "".
+func pkgOf(info *types.Info, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// stringBytesConversion reports whether a conversion between from and
+// to crosses the string/[]byte or string/[]rune boundary (which copies).
+func stringBytesConversion(from, to types.Type) bool {
+	return (isString(from) && isByteOrRuneSlice(to)) || (isByteOrRuneSlice(from) && isString(to))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// kindName names a type's allocation-relevant kind for diagnostics.
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Map:
+		return "map"
+	case *types.Slice:
+		return "slice"
+	default:
+		return t.String()
+	}
+}

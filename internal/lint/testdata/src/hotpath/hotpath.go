@@ -1,0 +1,60 @@
+// Package hotpath is the hotpath analyzer fixture: annotated functions
+// and their project-local callees must not allocate; coldpath escapes
+// and unannotated functions stay clean.
+package hotpath
+
+import "fmt"
+
+// state is a reusable arena, grown once.
+type state struct {
+	buf   []int
+	cache map[int]int
+}
+
+// Iterate is the annotated hot root: every construct below must be
+// reported.
+//
+//kollaps:hotpath
+func (s *state) Iterate(n int) {
+	s.buf = make([]int, n) // want `hot path allocates: make`
+	m := map[int]int{}     // want `hot path allocates: map literal`
+	_ = m
+	p := &state{} // want `hot path allocates: &composite literal`
+	_ = p
+	f := func() {} // want `hot path allocates: func literal`
+	f()
+	msg := "a" + "b" // constant-folded, still a string concat node
+	_ = msg
+	fmt.Println(n) // want `hot path allocates: fmt\.Println`
+	go s.helper(n) // want `hot path spawns goroutine`
+	s.helper(n)    // transitive: helper's body is checked too
+	s.slowGrow(n)  // coldpath func: not traversed
+}
+
+// helper is reached transitively from Iterate.
+func (s *state) helper(n int) {
+	_ = []byte("x") // want `hot path allocates: \[\]byte conversion copies`
+}
+
+// slowGrow is the sanctioned slow path: excluded from traversal.
+//
+//kollaps:coldpath
+func (s *state) slowGrow(n int) {
+	s.buf = make([]int, n) // not reported: coldpath
+}
+
+// ColdStatement shows the statement-level escape inside a hot function.
+//
+//kollaps:hotpath
+func (s *state) ColdStatement(n int) {
+	if cap(s.buf) < n {
+		//kollaps:coldpath
+		s.buf = make([]int, n) // not reported: cold line
+	}
+	s.buf = s.buf[:n]
+}
+
+// Unannotated allocates freely: no hotpath directive, no reports.
+func Unannotated(n int) []int {
+	return make([]int, n)
+}

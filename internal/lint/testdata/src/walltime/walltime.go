@@ -1,0 +1,36 @@
+// Package walltime is the walltime analyzer fixture: a deterministic
+// package must not read the wall clock or the global rand stream except
+// at //kollaps:wallclock sites.
+//
+//kollaps:deterministic
+package walltime
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad reads every forbidden source.
+func Bad() time.Duration {
+	now := time.Now()            // want `deterministic package calls time\.Now`
+	time.Sleep(time.Millisecond) // want `deterministic package calls time\.Sleep`
+	_ = rand.Intn(10)            // want `deterministic package uses global rand\.Intn`
+	_ = rand.Float64()           // want `deterministic package uses global rand\.Float64`
+	return time.Since(now)       // want `deterministic package calls time\.Since`
+}
+
+// Allowed shows the sanctioned escapes: annotated wall-clock probes and
+// seeded generators.
+func Allowed(seed int64) time.Duration {
+	start := time.Now() //kollaps:wallclock
+	rng := rand.New(rand.NewSource(seed))
+	_ = rng.Intn(10) // method on a seeded instance, not the global stream
+	//kollaps:wallclock
+	elapsed := time.Since(start)
+	return elapsed
+}
+
+// Virtual arithmetic on time values needs no clock.
+func Virtual(now time.Duration) time.Duration {
+	return now + 50*time.Millisecond
+}

@@ -1,0 +1,19 @@
+// Package walltime_clean has no //kollaps:deterministic directive, so
+// the walltime and maporder analyzers must not fire here at all — the
+// scope annotation, not the import list, opts a package in.
+package walltime_clean
+
+import "time"
+
+// WallOK reads the clock freely: this package never claimed determinism.
+func WallOK() time.Time { return time.Now() }
+
+// RangeOK leaks map order into an encoder, legally.
+func RangeOK(m map[int]int, buf []byte) []byte {
+	for k := range m {
+		buf = encodeVal(buf, k)
+	}
+	return buf
+}
+
+func encodeVal(buf []byte, v int) []byte { return append(buf, byte(v)) }

@@ -1,0 +1,67 @@
+// Package wiresafe is the wiresafe analyzer fixture: in a wirecodec
+// package, integer narrowing that reaches a wire position must go
+// through the saturating helpers of internal/wire.
+//
+//kollaps:wirecodec
+package wiresafe
+
+import (
+	"encoding/binary"
+
+	"repro/internal/wire"
+)
+
+// header is a wire-format record: narrowing into its fields is checked.
+//
+//kollaps:wire
+type header struct {
+	Host  uint16
+	Count uint16
+}
+
+// view is NOT a wire struct: narrowing into it is out of scope.
+type view struct {
+	Count uint16
+}
+
+// BadEncode wraps instead of saturating.
+func BadEncode(buf []byte, host, nrec int, links []uint16) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(host)) // want `unchecked uint16 narrowing in wire encode call`
+	buf = append(buf, byte(nrec))                          // want `unchecked uint8 narrowing in wire encode call`
+	h := header{Host: uint16(host)}                        // want `unchecked uint16 narrowing into wire struct header`
+	h.Count = uint16(nrec)                                 // want `unchecked uint16 narrowing into wire struct header`
+	_ = h
+	return buf
+}
+
+// GoodEncode routes every narrowing through the saturating helpers.
+func GoodEncode(buf []byte, host, nrec int) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, wire.U16(host, nil))
+	buf = append(buf, wire.U8(nrec, nil))
+	h := header{Host: wire.U16(host, nil)}
+	h.Count = wire.U16(nrec, nil)
+	_ = h
+	return buf
+}
+
+// GoodGuarded shows the recognized manual escapes: fitting constants,
+// masked operands, widening, and non-wire targets.
+func GoodGuarded(buf []byte, host int, id uint8) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(42)) // constant fits
+	buf = append(buf, byte(host&0xFF))                   // masked
+	buf = binary.BigEndian.AppendUint16(buf, uint16(id)) // widening
+	v := view{Count: uint16(host)}                       // not a wire struct
+	_ = v
+	return buf
+}
+
+// saturate is this package's own checked-narrowing helper: its body is
+// exempt, like internal/wire's.
+//
+//kollaps:saturates
+func saturate(buf []byte, v int) []byte {
+	if v > 0xFF {
+		v = 0xFF
+	}
+	return append(buf, byte(v))
+}

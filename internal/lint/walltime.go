@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallTimeAnalyzer enforces the virtual-time contract: packages
+// annotated //kollaps:deterministic simulate time themselves (periods,
+// time.Duration arithmetic, injected clocks), so reading the wall clock
+// or the global math/rand stream inside them silently couples results
+// to the host machine. The analyzer flags:
+//
+//   - time.Now, time.Since, time.Until, time.Sleep, time.Tick,
+//     time.After, time.NewTimer, time.NewTicker
+//   - package-level math/rand functions (rand.Intn, rand.Float64, ...),
+//     whose global source is seeded from wall time; seeded rand.New
+//     instances are fine and are the project idiom
+//
+// A sanctioned site — today only the solver wall-clock probe that
+// feeds the solve-duration metric in internal/core — carries
+// //kollaps:wallclock on its line or the line above.
+var WallTimeAnalyzer = &Analyzer{
+	Name: "walltime",
+	Doc: "forbid wall-clock reads and global math/rand in //kollaps:deterministic " +
+		"packages outside //kollaps:wallclock sites",
+	Run: runWallTime,
+}
+
+// wallTimeFuncs are the time package functions that read or wait on the
+// wall clock. Pure constructors/arithmetic (time.Duration, t.Add,
+// time.Unix) stay legal.
+var wallTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+func runWallTime(pass *Pass) error {
+	if !pass.PkgDirective("deterministic") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// Only package-qualified calls matter: method values like
+			// rng.Intn resolve through Selections, not a PkgName.
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "time":
+				if wallTimeFuncs[sel.Sel.Name] && !pass.SiteAllowed(call.Pos(), "wallclock") {
+					pass.Reportf(call.Pos(),
+						"deterministic package calls time.%s; use virtual time or annotate //kollaps:wallclock",
+						sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				// Everything package-level draws from the global source;
+				// rand.New / rand.NewSource construct seeded instances.
+				switch sel.Sel.Name {
+				case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+					return true
+				}
+				if !pass.SiteAllowed(call.Pos(), "wallclock") {
+					pass.Reportf(call.Pos(),
+						"deterministic package uses global rand.%s; use a seeded rand.New(rand.NewSource(seed))",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,307 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// WireSafeAnalyzer generalizes the PR 4 mergeRecs fix into a rule:
+// in a package annotated //kollaps:wirecodec, a plain narrowing
+// conversion (uint16(x), byte(n), uint8(l), uint32(v)) silently wraps
+// when the value outgrows the wire field — the exact bug that shipped
+// as the uint16 flow-count wrap. Narrowing must go through the
+// saturating helpers in internal/wire (wire.U16/U8/U32), which clamp
+// and count.
+//
+// The analyzer flags a narrowing conversion when its result reaches a
+// wire position:
+//
+//   - an argument of a binary.BigEndian Put/Append call,
+//   - an argument of append onto a []byte,
+//   - a value assigned to a field of a struct type annotated
+//     //kollaps:wire (composite literal or selector assignment).
+//
+// Not flagged: constant operands that provably fit, operands whose type
+// is already at least as narrow, operands masked with & below the
+// target width, conversions inside functions annotated
+// //kollaps:saturates (the helpers themselves), and widening
+// conversions.
+var WireSafeAnalyzer = &Analyzer{
+	Name: "wiresafe",
+	Doc: "require saturating helpers (internal/wire) for integer narrowing into " +
+		"wire-format fields in //kollaps:wirecodec packages",
+	Run: runWireSafe,
+}
+
+func runWireSafe(pass *Pass) error {
+	if !pass.PkgDirective("wirecodec") {
+		return nil
+	}
+	wireStructs := collectWireStructs(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if FuncDirective(pass.Fset, fd, pass.Files, "saturates") {
+				continue
+			}
+			checkWireFunc(pass, fd, wireStructs)
+		}
+	}
+	return nil
+}
+
+// collectWireStructs gathers the named struct types annotated
+// //kollaps:wire in this package.
+func collectWireStructs(pass *Pass) map[*types.TypeName]bool {
+	out := map[*types.TypeName]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gen, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !TypeDirective(gen, ts, "wire") {
+					continue
+				}
+				if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+					out[tn] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkWireFunc walks one function for narrowing conversions in wire
+// positions.
+func checkWireFunc(pass *Pass, fd *ast.FuncDecl, wireStructs map[*types.TypeName]bool) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			checkWireCallArgs(pass, x)
+		case *ast.CompositeLit:
+			// Fields of a //kollaps:wire struct literal.
+			t := info.TypeOf(x)
+			if t == nil {
+				return true
+			}
+			named, ok := derefNamed(t)
+			if !ok || !wireStructs[named.Obj()] {
+				return true
+			}
+			for _, elt := range x.Elts {
+				val := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if conv, msg := narrowingConv(info, val); conv != nil {
+					pass.Reportf(conv.Pos(),
+						"unchecked %s into wire struct %s field; use wire.%s", msg, named.Obj().Name(), helperFor(msg))
+				}
+			}
+		case *ast.AssignStmt:
+			// x.Field = uint16(v) where x is a //kollaps:wire struct.
+			for i, lhs := range x.Lhs {
+				if i >= len(x.Rhs) {
+					break
+				}
+				sel, ok := unparen(lhs).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				t := info.TypeOf(sel.X)
+				if t == nil {
+					continue
+				}
+				named, ok := derefNamed(t)
+				if !ok || !wireStructs[named.Obj()] {
+					continue
+				}
+				if conv, msg := narrowingConv(info, x.Rhs[i]); conv != nil {
+					pass.Reportf(conv.Pos(),
+						"unchecked %s into wire struct %s field; use wire.%s", msg, named.Obj().Name(), helperFor(msg))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkWireCallArgs flags narrowing conversions passed to serialization
+// calls: binary.BigEndian.PutUint*/AppendUint* and append onto []byte.
+func checkWireCallArgs(pass *Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	wirePos := false
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		name := sel.Sel.Name
+		switch name {
+		case "PutUint16", "AppendUint16", "PutUint32", "AppendUint32", "PutUint64", "AppendUint64":
+			wirePos = true
+		}
+	}
+	if !wirePos {
+		// append(buf, byte(x), ...) onto a byte slice.
+		id, ok := unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return
+		}
+		b, ok := info.Uses[id].(*types.Builtin)
+		if !ok || b.Name() != "append" || len(call.Args) == 0 {
+			return
+		}
+		if t := info.TypeOf(call.Args[0]); t == nil || !isByteSlice(t) {
+			return
+		}
+		wirePos = true
+	}
+	for _, arg := range call.Args {
+		if conv, msg := narrowingConv(info, arg); conv != nil {
+			pass.Reportf(conv.Pos(), "unchecked %s in wire encode call; use wire.%s", msg, helperFor(msg))
+		}
+	}
+}
+
+// narrowingConv reports whether expr is an unchecked narrowing integer
+// conversion, returning the conversion call and a description
+// ("uint16 narrowing" etc.), or nil.
+func narrowingConv(info *types.Info, expr ast.Expr) (*ast.CallExpr, string) {
+	call, ok := unparen(expr).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil, ""
+	}
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil, ""
+	}
+	tn, ok := info.Uses[id].(*types.TypeName)
+	if !ok {
+		return nil, ""
+	}
+	to, ok := tn.Type().Underlying().(*types.Basic)
+	if !ok || to.Info()&types.IsInteger == 0 {
+		return nil, ""
+	}
+	toBits := intBits(to)
+	if toBits == 0 || toBits > 32 {
+		return nil, ""
+	}
+	arg := unparen(call.Args[0])
+	tv, ok := info.Types[arg]
+	if !ok {
+		return nil, ""
+	}
+	// Constant that fits: not a narrowing hazard.
+	if tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if v, exact := constant.Uint64Val(tv.Value); exact && fitsIn(v, toBits) {
+			return nil, ""
+		}
+	}
+	from, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || from.Info()&types.IsInteger == 0 {
+		return nil, ""
+	}
+	fromBits := intBits(from)
+	if fromBits != 0 && fromBits <= toBits && from.Info()&types.IsUnsigned != 0 {
+		// Already at most as wide and unsigned: widening or identity.
+		return nil, ""
+	}
+	// Masked operand below the target width is a manual clamp.
+	if masked(arg, toBits) {
+		return nil, ""
+	}
+	name := to.Name()
+	if name == "byte" {
+		name = "uint8"
+	}
+	return call, name + " narrowing"
+}
+
+// helperFor maps a narrowing description to the wire helper name.
+func helperFor(msg string) string {
+	switch msg {
+	case "uint8 narrowing", "byte narrowing":
+		return "U8"
+	case "uint16 narrowing":
+		return "U16"
+	default:
+		return "U32"
+	}
+}
+
+// masked reports whether expr is of form x&mask (or mask&x) with mask
+// within bits.
+func masked(expr ast.Expr, bits int) bool {
+	be, ok := expr.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	if be.Op.String() != "&" {
+		return false
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		if lit, ok := unparen(side).(*ast.BasicLit); ok {
+			_ = lit
+			return true
+		}
+	}
+	return false
+}
+
+// intBits returns the width of a basic integer type in bits, or 0 when
+// platform-dependent (int, uint, uintptr are treated as 64).
+func intBits(b *types.Basic) int {
+	switch b.Kind() {
+	case types.Int8, types.Uint8:
+		return 8
+	case types.Int16, types.Uint16:
+		return 16
+	case types.Int32, types.Uint32:
+		return 32
+	case types.Int64, types.Uint64, types.Int, types.Uint, types.Uintptr:
+		return 64
+	}
+	return 0
+}
+
+// fitsIn reports whether v fits in an unsigned field of the given bits.
+func fitsIn(v uint64, bits int) bool {
+	if bits >= 64 {
+		return true
+	}
+	return v <= (uint64(1)<<bits)-1
+}
+
+// isByteSlice reports whether t is []byte.
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+// derefNamed unwraps pointers to reach a named struct type.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	if _, ok := n.Underlying().(*types.Struct); !ok {
+		return nil, false
+	}
+	return n, true
+}

@@ -9,16 +9,26 @@
 // 2 bytes; (ii) used bandwidth per flow, 4 bytes; (iii) number of links
 // per flow; (iv) the link identifiers — 1 byte each for topologies with
 // ≤ 256 links, 2 bytes otherwise.
+//
+// The package is a wire codec: integer narrowing into wire fields goes
+// through the saturating helpers of internal/wire, enforced by the
+// kollapslint wiresafe analyzer.
+//
+//kollaps:wirecodec
 package metadata
 
 import (
 	"encoding/binary"
 	"fmt"
+
+	"repro/internal/wire"
 )
 
 // FlowRecord reports one active flow: its current usage and the physical
 // link ids its collapsed path traverses. Flows are identified by their
 // link lists — the only state peers need to run the sharing model.
+//
+//kollaps:wire
 type FlowRecord struct {
 	// BPS is the observed bandwidth usage in bits per second.
 	BPS uint32
@@ -28,6 +38,8 @@ type FlowRecord struct {
 
 // Message is one Emulation Manager's report: all active flows whose source
 // containers it hosts.
+//
+//kollaps:wire
 type Message struct {
 	// Host identifies the sending Emulation Manager.
 	Host uint16
@@ -40,26 +52,41 @@ type Message struct {
 func Wide(numLinks int) bool { return numLinks > 256 }
 
 // Encode serializes the message. wide selects 2-byte link ids.
+//
+// Counts saturate instead of wrapping: a message with more than 65535
+// flows encodes only the first 65535 (and more than 255 links per flow
+// only the first 255), bumping wire.Saturations — the pre-fix behavior
+// wrapped the count field and desynchronized every decoder downstream.
 func Encode(m *Message, wide bool) []byte {
+	flows := m.Flows
+	if n := int(wire.U16(len(flows), nil)); n < len(flows) {
+		flows = flows[:n]
+	}
 	size := 2 + 2 // host + flow count
 	idw := 1
 	if wide {
 		idw = 2
 	}
-	for _, f := range m.Flows {
+	for _, f := range flows {
 		size += 4 + 1 + idw*len(f.Links)
 	}
 	buf := make([]byte, 0, size)
 	buf = binary.BigEndian.AppendUint16(buf, m.Host)
-	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Flows)))
-	for _, f := range m.Flows {
+	buf = binary.BigEndian.AppendUint16(buf, wire.U16(len(flows), nil))
+	for _, f := range flows {
+		links := f.Links
+		if n := int(wire.U8(len(links), nil)); n < len(links) {
+			links = links[:n]
+		}
 		buf = binary.BigEndian.AppendUint32(buf, f.BPS)
-		buf = append(buf, byte(len(f.Links)))
-		for _, l := range f.Links {
+		buf = append(buf, wire.U8(len(links), nil))
+		for _, l := range links {
 			if wide {
 				buf = binary.BigEndian.AppendUint16(buf, l)
 			} else {
-				buf = append(buf, byte(l))
+				// Narrow mode is only selected when all link ids fit a
+				// byte; saturation here means the caller mis-sized.
+				buf = append(buf, wire.U8(int(l), nil))
 			}
 		}
 	}

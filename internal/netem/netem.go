@@ -165,6 +165,9 @@ func (tb *TokenBucket) drain() {
 			wait = time.Microsecond
 		}
 		tb.draining = true
+		// Packet-wait scheduling is the data plane: it allocates a timer
+		// event by design and never runs in a quiescent control period.
+		//kollaps:coldpath
 		tb.eng.After(wait, func() {
 			tb.draining = false
 			tb.drain()

@@ -148,8 +148,11 @@ func NewTracer(capacity int) *Tracer {
 	return &Tracer{ev: make([]Event, c), mask: uint64(c - 1)}
 }
 
-// Record appends one event. It never allocates, and on a nil tracer it
-// is a no-op.
+// Record appends one event. It never allocates (//kollaps:hotpath —
+// it runs inside the emulation loop's 0-alloc budget), and on a nil
+// tracer it is a no-op.
+//
+//kollaps:hotpath
 func (t *Tracer) Record(at time.Duration, kind Kind, host int32, a, b int64) {
 	if t == nil {
 		return

@@ -7,6 +7,12 @@
 // a total deterministic order, timers, and a seeded random number source.
 // Two runs with the same seed produce bit-identical results — which is the
 // reproducibility property the paper argues for.
+//
+// The package is deterministic: no wall-clock reads and no global
+// math/rand outside //kollaps:wallclock sites (kollapslint walltime),
+// and no map-iteration order reaching an encoder (maporder).
+//
+//kollaps:deterministic
 package sim
 
 import (

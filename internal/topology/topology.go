@@ -4,6 +4,12 @@
 // network collapsing step that turns a declared topology into the
 // end-to-end virtual link mesh the Emulation Manager enforces, and the
 // offline pre-computation of the graph sequence for dynamic experiments.
+//
+// The package is deterministic: no wall-clock reads and no global
+// math/rand outside //kollaps:wallclock sites (kollapslint walltime),
+// and no map-iteration order reaching an encoder (maporder).
+//
+//kollaps:deterministic
 package topology
 
 import (
@@ -244,11 +250,21 @@ func (c *Collapsed) Path(src, dst graph.NodeID) *graph.Path {
 }
 
 // PathsFrom returns the collapsed paths from src to every reachable
-// service, computing and caching them on first use.
+// service, computing and caching them on first use. The cache-hit fast
+// path is allocation-free; the per-(src, state) compute runs once.
 func (c *Collapsed) PathsFrom(src graph.NodeID) map[graph.NodeID]*graph.Path {
 	if m, ok := c.cache[src]; ok {
 		return m
 	}
+	return c.computePathsFrom(src)
+}
+
+// computePathsFrom fills the cache for src: one Dijkstra sweep plus the
+// service filter. Cold by construction — it runs once per source per
+// topology state, never in the steady-state emulation loop.
+//
+//kollaps:coldpath
+func (c *Collapsed) computePathsFrom(src graph.NodeID) map[graph.NodeID]*graph.Path {
 	all := c.g.ShortestPaths(src)
 	m := make(map[graph.NodeID]*graph.Path)
 	for dst, p := range all {

@@ -1,0 +1,71 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestU16Saturates(t *testing.T) {
+	var sat metrics.Counter
+	cases := []struct {
+		in   int
+		want uint16
+		sats int64
+	}{
+		{0, 0, 0},
+		{1, 1, 0},
+		{0xFFFF, 0xFFFF, 0},
+		{0x10000, 0xFFFF, 1},
+		{1 << 30, 0xFFFF, 1},
+		{-1, 0, 1},
+	}
+	for _, c := range cases {
+		before := sat.Value()
+		got := U16(c.in, &sat)
+		if got != c.want {
+			t.Errorf("U16(%d) = %d, want %d", c.in, got, c.want)
+		}
+		if d := sat.Value() - before; d != c.sats {
+			t.Errorf("U16(%d) bumped counter by %d, want %d", c.in, d, c.sats)
+		}
+	}
+}
+
+func TestU8Saturates(t *testing.T) {
+	var sat metrics.Counter
+	if got := U8(255, &sat); got != 255 || sat.Value() != 0 {
+		t.Errorf("U8(255) = %d (sat %d), want 255 (0)", got, sat.Value())
+	}
+	if got := U8(256, &sat); got != 255 || sat.Value() != 1 {
+		t.Errorf("U8(256) = %d (sat %d), want 255 (1)", got, sat.Value())
+	}
+	if got := U8(-7, &sat); got != 0 || sat.Value() != 2 {
+		t.Errorf("U8(-7) = %d (sat %d), want 0 (2)", got, sat.Value())
+	}
+}
+
+func TestU32Saturates(t *testing.T) {
+	if got := U32(0xFFFFFFFF, nil); got != 0xFFFFFFFF {
+		t.Errorf("U32(max) = %d", got)
+	}
+	var sat metrics.Counter
+	if got := U32(1<<32, &sat); got != 0xFFFFFFFF || sat.Value() != 1 {
+		t.Errorf("U32(2^32) = %d (sat %d), want max (1)", got, sat.Value())
+	}
+	if got := U32FromInt64(-5, &sat); got != 0 || sat.Value() != 2 {
+		t.Errorf("U32FromInt64(-5) = %d (sat %d), want 0 (2)", got, sat.Value())
+	}
+	if got := U32FromInt64(42, &sat); got != 42 {
+		t.Errorf("U32FromInt64(42) = %d", got)
+	}
+}
+
+// Nil counters must be safe: most call sites only want the global.
+func TestNilCounter(t *testing.T) {
+	before := Saturations.Value()
+	_ = U16(1<<20, nil)
+	if Saturations.Value() != before+1 {
+		t.Errorf("global Saturations not bumped on nil site counter")
+	}
+}
