@@ -22,11 +22,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table2 table3 table4 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 dissem alloc failover sweep or all")
+	exp := flag.String("exp", "all", "experiment id: table2 table3 table4 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 dissem alloc failover sweep chaos or all")
 	quick := flag.Bool("quick", false, "reduced durations (coarser numbers, much faster)")
 	benchOut := flag.String("bench-out", "BENCH_allocator.json", "output path for the alloc experiment's JSON report (empty = don't write)")
 	failoverOut := flag.String("failover-out", "BENCH_failover.json", "output path for the failover experiment's JSON report (empty = don't write)")
 	sweepOut := flag.String("sweep-out", "BENCH_sweep.json", "output path for the sweep experiment's JSON report (empty = don't write)")
+	chaosOut := flag.String("chaos-out", "BENCH_chaos.json", "output path for the chaos experiment's JSON report (empty = don't write)")
 	flag.Parse()
 	// `-exp all` must not silently rewrite the committed CI baselines on a
 	// developer box; each JSON is only written when its experiment (or an
@@ -41,6 +42,9 @@ func main() {
 	}
 	if *exp == "all" && !outSet["sweep-out"] {
 		*sweepOut = ""
+	}
+	if *exp == "all" && !outSet["chaos-out"] {
+		*chaosOut = ""
 	}
 
 	d := func(full, fast time.Duration) time.Duration {
@@ -137,8 +141,26 @@ func main() {
 				fmt.Printf("\nwrote %s\n", *sweepOut)
 			}
 		},
+		"chaos": func() {
+			// The acceptance scenario: every strategy soaked twice (the
+			// rerun checks determinism) in the seeded 60-period fault
+			// schedule with a 10-period one-way partition mid-window.
+			n, faultPeriods := 8, 60
+			if *quick {
+				faultPeriods = 50
+			}
+			t, _, err := experiments.RunChaos(*chaosOut, n, faultPeriods)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			t.Fprint(os.Stdout)
+			if *chaosOut != "" {
+				fmt.Printf("\nwrote %s\n", *chaosOut)
+			}
+		},
 	}
-	order := []string{"table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table4", "fig9", "fig10", "fig11", "dissem", "alloc", "failover", "sweep"}
+	order := []string{"table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table4", "fig9", "fig10", "fig11", "dissem", "alloc", "failover", "sweep", "chaos"}
 
 	if *exp == "all" {
 		for _, id := range order {

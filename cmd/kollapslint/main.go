@@ -36,6 +36,7 @@ var contractPackages = map[string][]string{
 		"repro/internal/topology",
 		"repro/internal/sim",
 		"repro/internal/experiments",
+		"repro/internal/chaos",
 	},
 	"wirecodec": {
 		"repro/internal/dissem",

@@ -102,8 +102,37 @@ func (t managerTransport) SendTo(host int, payload []byte) {
 	if m.dead {
 		return // a killed manager's datagrams never reach the wire
 	}
+	if m.rt.chaos.Active() {
+		m.sendChaos(host, payload)
+		return
+	}
+	m.sendWire(host, payload)
+}
+
+// sendWire puts one metadata datagram on the cluster fabric.
+func (m *Manager) sendWire(host int, payload []byte) {
 	port := m.rt.opts.MetadataPort
 	m.stack.SendUDP(m.emIPs[host], port, port, len(payload), payload)
+}
+
+// sendChaos routes one datagram through the armed chaos injector, which
+// may drop, mutate, duplicate, or defer it. Deferred copies ride an
+// engine timer, so chaos latency composes with the fabric's own.
+//
+//kollaps:coldpath
+func (m *Manager) sendChaos(host int, payload []byte) {
+	m.rt.chaos.Send(m.rt.Eng.Now(), m.host, host, payload, func(d time.Duration, p []byte) {
+		if d <= 0 {
+			m.sendWire(host, p)
+			return
+		}
+		m.rt.Eng.After(d, func() {
+			if m.dead {
+				return // the sender died while the datagram was in flight
+			}
+			m.sendWire(host, p)
+		})
+	})
 }
 
 // localFlow is one (source container, destination container) aggregate.

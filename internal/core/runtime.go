@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/dissem"
 	"repro/internal/fabric"
 	"repro/internal/graph"
@@ -141,6 +142,12 @@ type Runtime struct {
 	managers []*Manager
 	opts     Options
 	started  bool
+
+	// chaos interposes on every metadata datagram between
+	// managerTransport.SendTo and the fabric. It is always present but
+	// transparent (and randomness-free) until an experiment arms it, so
+	// pre-chaos deployments replay unchanged.
+	chaos *chaos.Injector
 }
 
 // containerNet adapts a container's egress to its TCAL and its ingress to
@@ -200,6 +207,7 @@ func NewRuntime(eng *sim.Engine, g *graph.Graph, nHosts int, placement map[strin
 		byIP:    make(map[packet.IP]*Container),
 		byNode:  make(map[graph.NodeID]*Container),
 		opts:    opts,
+		chaos:   chaos.NewInjector(opts.Dissem.Seed, nHosts, opts.Tracer),
 	}
 
 	idx := 0
@@ -582,6 +590,10 @@ func (rt *Runtime) DissemKind() dissem.Kind { return rt.opts.Dissem.Kind }
 // disabled).
 func (rt *Runtime) Tracer() *obs.Tracer { return rt.opts.Tracer }
 
+// Chaos returns the deployment's control-plane fault injector. It is
+// never nil: an unarmed injector is a transparent passthrough.
+func (rt *Runtime) Chaos() *chaos.Injector { return rt.chaos }
+
 // Metrics returns the deployment's metrics registry (nil when none was
 // configured).
 func (rt *Runtime) Metrics() *obs.Registry { return rt.opts.Registry }
@@ -619,6 +631,8 @@ func (rt *Runtime) registerMetrics() {
 		gauge("bytes_received", "", func(s *dissem.Stats) float64 { return float64(s.BytesRecv.Value()) })
 		gauge("suspicions", "", func(s *dissem.Stats) float64 { return float64(s.Suspicions.Value()) })
 		gauge("recoveries", "", func(s *dissem.Stats) float64 { return float64(s.Recoveries.Value()) })
+		gauge("bad_datagrams", "", func(s *dissem.Stats) float64 { return float64(s.BadDatagram.Value()) })
+		gauge("bad_checksums", "", func(s *dissem.Stats) float64 { return float64(s.BadChecksum.Value()) })
 		gauge("stale_links", "", func(s *dissem.Stats) float64 { return float64(s.StaleLinks.Value()) })
 		gauge("staleness_ms", `,quantile="0.5"`, func(s *dissem.Stats) float64 { return s.Staleness.Percentile(50) })
 		gauge("staleness_ms", `,quantile="0.99"`, func(s *dissem.Stats) float64 { return s.Staleness.Percentile(99) })
@@ -631,6 +645,7 @@ func (rt *Runtime) registerMetrics() {
 		})
 		reg.Gauge("kollaps_manager_iterations"+hostLabel, func() float64 { return float64(m.Iterations) })
 	}
+	reg.Gauge("kollaps_chaos_faults_total", func() float64 { return float64(rt.chaos.Stats().Total()) })
 	if p := rt.opts.Probe; p != nil {
 		reg.Gauge("kollaps_accuracy_mean_share_deviation", func() float64 { return p.Mean.Last() })
 		reg.Gauge("kollaps_accuracy_max_share_deviation", func() float64 { return p.Max.Last() })

@@ -320,9 +320,10 @@ func TestRuntimeMetadataScalesWithHostsNotContainers(t *testing.T) {
 	if sent4 == 0 || recv4 == 0 {
 		t.Fatal("multi-host deployment exchanged no metadata")
 	}
-	// One active flow reported by 1 EM to 3 peers every 50ms: tiny.
+	// One active flow reported by 1 EM to 3 peers every 50ms: tiny, even
+	// with the 13-byte integrity envelope on every datagram.
 	rate := float64(sent4) / 5
-	if rate > 4096 {
+	if rate > 6144 {
 		t.Fatalf("metadata rate = %.0f B/s, unexpectedly high", rate)
 	}
 }

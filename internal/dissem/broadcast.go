@@ -30,6 +30,7 @@ type broadcastNode struct {
 type broadcastEntry struct {
 	msg *metadata.Message
 	at  time.Duration // arrival (virtual) time
+	seq uint32        // envelope sequence the entry was stamped with
 }
 
 func newBroadcastNode(cfg Config, host int, tr Transport) *broadcastNode {
@@ -54,16 +55,28 @@ func (n *broadcastNode) Publish(now time.Duration, msg *metadata.Message) {
 }
 
 func (n *broadcastNode) Receive(now time.Duration, payload []byte) {
-	n.stats.DatagramsRecv.Inc()
-	n.stats.BytesRecv.Add(int64(len(payload)))
-	msg, err := metadata.Decode(payload, n.cfg.Wide)
+	inner, seq, ok := n.stats.open(payload)
+	if !ok {
+		return
+	}
+	msg, err := metadata.Decode(inner, n.cfg.Wide)
 	if err != nil {
+		n.stats.BadDatagram.Inc()
 		return // corrupted reports are ignored, next period repairs
 	}
 	if int(msg.Host) >= n.cfg.NumHosts || int(msg.Host) == n.host {
+		n.stats.BadDatagram.Inc()
 		return // corrupted sender id: no phantom peers in the view
 	}
-	n.remote[msg.Host] = broadcastEntry{msg: msg, at: now}
+	// Duplicate or reordered-stale copy of a report already held: the
+	// held entry wins, so a duplicated datagram cannot refresh `at` and a
+	// displaced old report cannot roll the view backwards. Expiry in
+	// AppendRemoteFlows deletes the entry, clearing the sequence state a
+	// cold-restarted sender would otherwise have to outrun.
+	if e, held := n.remote[msg.Host]; held && !seqFresh(e.seq, seq) {
+		return
+	}
+	n.remote[msg.Host] = broadcastEntry{msg: msg, at: now, seq: seq}
 }
 
 func (n *broadcastNode) RemoteFlows(now, maxAge time.Duration) []RemoteFlow {

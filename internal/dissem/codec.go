@@ -202,6 +202,9 @@ func encodeTree(typ byte, host int, now time.Duration, recs []aggRec, stats *Sta
 // not a silent drop.
 func decodeTree(payload []byte, now time.Duration, wide bool, stats *Stats) ([]aggRec, bool) {
 	if len(payload) < 2 {
+		if stats != nil {
+			stats.BadDatagram.Inc()
+		}
 		return nil, false
 	}
 	if payload[1]&treeVerMask == treeVerMask {
@@ -211,9 +214,17 @@ func decodeTree(payload []byte, now time.Duration, wide bool, stats *Stats) ([]a
 			}
 			return nil, false
 		}
-		return decodeTreeV1(payload, now)
+		recs, ok := decodeTreeV1(payload, now)
+		if !ok && stats != nil {
+			stats.BadDatagram.Inc() // truncated or malformed v1 body
+		}
+		return recs, ok
 	}
-	return decodeTreeV0(payload, now, wide)
+	recs, ok := decodeTreeV0(payload, now, wide)
+	if !ok && stats != nil {
+		stats.BadDatagram.Inc() // truncated or malformed legacy body
+	}
+	return recs, ok
 }
 
 // decodeTreeV1 parses the grouped varint body.

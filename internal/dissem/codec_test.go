@@ -248,12 +248,13 @@ func TestTreeViewEquivalentUnderCodec(t *testing.T) {
 		h := newHarness(t, Config{Kind: Tree, Fanout: 2, Wide: true}, n)
 		if reencodeV0 {
 			h.drop = func(from, to int, payload []byte) bool {
-				recs, ok := decodeTree(payload, h.now, true, &Stats{})
+				inner := unsealed(payload)
+				recs, ok := decodeTree(inner, h.now, true, &Stats{})
 				if !ok {
 					return true
 				}
 				var stats Stats
-				h.nodes[to].Receive(h.now, encodeTreeV0(payload[0], from, h.now, recs, true, &stats))
+				h.nodes[to].Receive(h.now, encodeTreeV0(inner[0], from, h.now, recs, true, &stats))
 				return true // delivered via the legacy format instead
 			}
 		}

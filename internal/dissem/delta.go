@@ -46,6 +46,11 @@ type deltaNode struct {
 	snapOrder []uint32
 	acked     map[int]uint32 // peer host -> highest acked seq
 	sinceFull int
+	// forcedGap/forcedWait implement the capped exponential backoff on
+	// baseline-miss forced fulls (see Publish); scheduled ResyncEvery
+	// fulls are not affected.
+	forcedGap  int
+	forcedWait int
 	// live suspects peers silent for more than SuspectAfter periods;
 	// needFull marks re-admitted peers owed a targeted full report.
 	live     *liveness
@@ -139,7 +144,33 @@ func (n *deltaNode) Publish(now time.Duration, msg *metadata.Message) {
 	baseSeq := n.minAcked()
 	_, ok := n.snaps[baseSeq]
 	n.sinceFull++
-	full := !ok || n.sinceFull >= n.cfg.ResyncEvery
+	full := n.sinceFull >= n.cfg.ResyncEvery
+	if !ok && !full {
+		// The acked baseline fell out of retention (a peer stopped
+		// acking — dead, partitioned, or flapping), which forces a full
+		// report. Re-forcing it every period would turn one unreachable
+		// peer into a per-period full-state storm to everyone, so forced
+		// fulls back off exponentially (1, 2, 4, ... periods, capped at
+		// the ResyncEvery cadence); during the holdoff the node diffs
+		// against every retained snapshot — the widest diff it can still
+		// prove correct. The backoff resets as soon as the baseline is
+		// acked again.
+		if n.forcedWait > 0 {
+			n.forcedWait--
+			baseSeq = 0
+		} else {
+			full = true
+			n.forcedGap *= 2
+			if n.forcedGap < 1 {
+				n.forcedGap = 1
+			} else if n.forcedGap > n.cfg.ResyncEvery {
+				n.forcedGap = n.cfg.ResyncEvery
+			}
+			n.forcedWait = n.forcedGap
+		}
+	} else if ok {
+		n.forcedGap, n.forcedWait = 0, 0
+	}
 	var raw []byte
 	if full {
 		n.sinceFull = 0
@@ -362,9 +393,12 @@ func (n *deltaNode) encodeReport(typ byte, now time.Duration, flows deltaSnapsho
 }
 
 func (n *deltaNode) Receive(now time.Duration, payload []byte) {
-	n.stats.DatagramsRecv.Inc()
-	n.stats.BytesRecv.Add(int64(len(payload)))
+	payload, _, ok := n.stats.open(payload)
+	if !ok {
+		return
+	}
 	if len(payload) < 3 {
+		n.stats.BadDatagram.Inc()
 		return
 	}
 	typ := payload[0]
@@ -372,6 +406,7 @@ func (n *deltaNode) Receive(now time.Duration, payload []byte) {
 	// A corrupted or spoofed sender id must not drive acks (the
 	// transport indexes peers by host) or pollute peer state.
 	if int(from) >= n.cfg.NumHosts || int(from) == n.host {
+		n.stats.BadDatagram.Inc()
 		return
 	}
 	// Any traffic proves the peer alive. A re-admitted suspect is owed a
@@ -390,6 +425,7 @@ func (n *deltaNode) Receive(now time.Duration, payload []byte) {
 	switch typ {
 	case msgDeltaAck:
 		if len(payload) < 7 {
+			n.stats.BadDatagram.Inc()
 			return
 		}
 		seq := binary.BigEndian.Uint32(payload[3:])
@@ -403,6 +439,7 @@ func (n *deltaNode) Receive(now time.Duration, payload []byte) {
 
 func (n *deltaNode) receiveReport(now time.Duration, typ byte, from uint16, payload []byte) {
 	if len(payload) < 17 {
+		n.stats.BadDatagram.Inc()
 		return
 	}
 	seq := binary.BigEndian.Uint32(payload[3:])
@@ -427,8 +464,13 @@ func (n *deltaNode) receiveReport(now time.Duration, typ byte, from uint16, payl
 	// from 1 again) — possibly one that died and returned faster than the
 	// suspicion threshold, so no recovery fired. Its full is authoritative
 	// current state; treating it as a duplicate would pin the view on the
-	// pre-failure stream until the retention fallback.
-	if p.gotAny && seq <= p.lastSeq && !(typ == msgDeltaFull && seq < p.lastSeq) {
+	// pre-failure stream until the retention fallback. The generation
+	// timestamp disambiguates the restart from a *reordered old* full
+	// (periodic resyncs make those common under a displacing fabric): a
+	// restarted sender generates at a later virtual time than anything it
+	// published before dying, while a displaced old full's ts predates
+	// the report the view already holds.
+	if p.gotAny && seq <= p.lastSeq && !(typ == msgDeltaFull && seq < p.lastSeq && ts > p.originTS) {
 		n.maybeAck(typ, int(from), seq)
 		return
 	}
@@ -436,6 +478,7 @@ func (n *deltaNode) receiveReport(now time.Duration, typ byte, from uint16, payl
 	off := 17
 	for i := 0; i < nrec; i++ {
 		if off+6 > len(payload) {
+			n.stats.BadDatagram.Inc()
 			return // truncated: drop without acking, a resync repairs
 		}
 		v := deltaVal{
@@ -444,12 +487,14 @@ func (n *deltaNode) receiveReport(now time.Duration, typ byte, from uint16, payl
 		}
 		links, next, err := readLinks(payload, off+6, n.cfg.Wide)
 		if err != nil {
+			n.stats.BadDatagram.Inc()
 			return
 		}
 		off = next
 		recs[pathKey(links)] = v
 	}
 	if off != len(payload) {
+		n.stats.BadDatagram.Inc()
 		return // trailing garbage
 	}
 	if typ == msgDeltaFull {

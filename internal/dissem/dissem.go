@@ -196,16 +196,13 @@ func (c Config) Validate() error {
 	if c.Kind == Tree && c.Fanout == 1 {
 		return fmt.Errorf("dissem: tree fanout must be >= 2, got %d", c.Fanout)
 	}
-	if c.Kind == Tree && c.NumHosts >= int(treeVerMask)<<8 {
-		// Byte 1 of a legacy tree datagram is the host id's high byte; at
-		// 49152+ managers it would collide with the wire-version marker.
-		return fmt.Errorf("dissem: tree supports at most %d managers (wire-version byte space), got %d", int(treeVerMask)<<8-1, c.NumHosts)
-	}
-	if c.NumHosts > 0xFFFF {
-		// Host ids and host counts ride 16-bit wire fields (report
-		// headers, gossip version vectors); a larger deployment would
-		// saturate every datagram instead of failing one Validate call.
-		return fmt.Errorf("dissem: at most %d managers (16-bit host ids on the wire), got %d", 0xFFFF, c.NumHosts)
+	if c.NumHosts >= int(treeVerMask)<<8 {
+		// Byte 0 of an unenveloped frame can be the high byte of a host
+		// id (Broadcast's raw paper format, legacy v0 tree datagrams); at
+		// 49152+ managers it would collide with the 0xC0 envelope and
+		// wire-version marker space — and host ids also ride 16-bit wire
+		// fields, so the cap subsumes the old 65535 limit.
+		return fmt.Errorf("dissem: at most %d managers (0xC0 wire-version marker space), got %d", int(treeVerMask)<<8-1, c.NumHosts)
 	}
 	return nil
 }
@@ -278,6 +275,17 @@ type Stats struct {
 	// of a mixed-version deployment (an old node never sees its newer
 	// peers' reports, which would otherwise read as a silent partition).
 	BadVersion metrics.Counter
+	// BadDatagram counts control datagrams rejected as structurally
+	// invalid: truncated envelopes or inner frames, inconsistent lengths,
+	// out-of-range sender ids, trailing garbage. Before this counter a
+	// chaos run that shredded datagrams was invisible — every decode
+	// path bare-returned.
+	BadDatagram metrics.Counter
+	// BadChecksum counts datagrams rejected by the envelope's CRC-32C:
+	// the precise footprint of in-flight corruption, as opposed to the
+	// structural damage BadDatagram counts. Non-zero exactly when the
+	// fabric (or the chaos plane) flips bits.
+	BadChecksum metrics.Counter
 	// Saturated counts wire-field narrowings this node had to clamp
 	// (link lists cut at 255 entries, 32-bit usage sums pinned at max):
 	// the value on the wire is the field maximum, not a wrapped
@@ -287,15 +295,19 @@ type Stats struct {
 
 	staleStride int
 	staleSkip   int
+	envSeq      uint32 // envelope sequence of the last datagram sealed
 }
 
 // maxStalenessSamples caps the staleness histogram per node.
 const maxStalenessSamples = 1 << 16
 
+// send seals the inner frame in the integrity envelope (envelope.go)
+// and hands it to the transport. Counters see the on-wire size.
 func (s *Stats) send(tr Transport, host int, b []byte) {
-	tr.SendTo(host, b)
+	sealed := s.seal(b)
+	tr.SendTo(host, sealed)
 	s.DatagramsSent.Inc()
-	s.BytesSent.Add(int64(len(b)))
+	s.BytesSent.Add(int64(len(sealed)))
 }
 
 func (s *Stats) staleness(age time.Duration) {

@@ -103,6 +103,18 @@ func viewTotals(view []RemoteFlow) map[string][2]uint64 {
 	return m
 }
 
+// unsealed strips the integrity envelope from a captured datagram so
+// tests can keep asserting on the strategies' inner wire formats (the
+// first inner byte is the message type). Legacy unenveloped frames pass
+// through unchanged; an undecodable envelope returns nil.
+func unsealed(payload []byte) []byte {
+	inner, _, ok := (&Stats{}).open(payload)
+	if !ok {
+		return nil
+	}
+	return inner
+}
+
 func TestParseKind(t *testing.T) {
 	for s, want := range map[string]Kind{"broadcast": Broadcast, "": Broadcast, "delta": Delta, "tree": Tree, "gossip": Gossip} {
 		got, err := ParseKind(s)
@@ -222,8 +234,13 @@ func TestBroadcastWireMatchesPaperFormat(t *testing.T) {
 	if len(h.sent) == 0 {
 		t.Fatal("no datagrams sent")
 	}
-	if want := metadata.Encode(msg, false); !bytes.Equal(h.sent[0].payload, want) {
-		t.Fatalf("broadcast wire bytes differ from the paper's metadata format:\n%x\n%x", h.sent[0].payload, want)
+	// The paper's §4.2 report format rides verbatim inside the integrity
+	// envelope: envelope header, then byte-identical metadata.Encode.
+	if got := h.sent[0].payload; len(got) < envHeaderLen || got[0] != envVersion {
+		t.Fatalf("broadcast datagram not enveloped: % x", got)
+	}
+	if want := metadata.Encode(msg, false); !bytes.Equal(unsealed(h.sent[0].payload), want) {
+		t.Fatalf("broadcast wire bytes differ from the paper's metadata format:\n%x\n%x", unsealed(h.sent[0].payload), want)
 	}
 }
 
@@ -279,10 +296,11 @@ func TestDeltaConvergesAndSuppresses(t *testing.T) {
 	}
 	h.round(period, wiggle)
 	for _, s := range h.sent {
-		if s.payload[0] == msgDeltaDiff && len(s.payload) != 17 {
-			t.Fatalf("sub-epsilon diff carries %d bytes, want empty (17-byte header)", len(s.payload))
+		p := unsealed(s.payload)
+		if p[0] == msgDeltaDiff && len(p) != 17 {
+			t.Fatalf("sub-epsilon diff carries %d bytes, want empty (17-byte header)", len(p))
 		}
-		if s.payload[0] == msgDeltaFull {
+		if p[0] == msgDeltaFull {
 			t.Fatal("unexpected full resync")
 		}
 	}
@@ -312,7 +330,7 @@ func TestDeltaLossRepairedByResync(t *testing.T) {
 	h.round(period, msg(1000))
 	// Drop every report from 0 to 1 (acks still flow) for two rounds.
 	h.drop = func(from, to int, payload []byte) bool {
-		return from == 0 && payload[0] != msgDeltaAck
+		return from == 0 && unsealed(payload)[0] != msgDeltaAck
 	}
 	h.round(period, msg(500_000))
 	h.round(period, msg(500_000))
@@ -333,7 +351,7 @@ func TestDeltaLossRepairedByResync(t *testing.T) {
 	}
 	var fulls int
 	for _, s := range h.sent {
-		if s.from == 0 && s.payload[0] == msgDeltaFull {
+		if s.from == 0 && unsealed(s.payload)[0] == msgDeltaFull {
 			fulls++
 		}
 	}

@@ -149,7 +149,7 @@ func TestFailoverOneDeadManager(t *testing.T) {
 				h.round(foPeriod, msgs)
 				for _, s := range h.sent {
 					deadBytes += int64(len(s.payload))
-					if s.payload[0] == msgDeltaFull {
+					if unsealed(s.payload)[0] == msgDeltaFull {
 						fulls++
 					}
 				}
@@ -223,7 +223,7 @@ func TestFailoverAllPeersDead(t *testing.T) {
 		h.round(foPeriod, msgs)
 	}
 	for _, s := range h.sent {
-		if s.from == 0 && s.payload[0] == msgDeltaFull {
+		if s.from == 0 && unsealed(s.payload)[0] == msgDeltaFull {
 			fulls++
 		}
 	}
@@ -271,7 +271,7 @@ func TestDeltaReadmissionFullIsTargeted(t *testing.T) {
 			if s.from != from {
 				continue
 			}
-			switch s.payload[0] {
+			switch unsealed(s.payload)[0] {
 			case msgDeltaFull:
 				fulls++
 				if s.to == 1 {

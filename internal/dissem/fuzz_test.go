@@ -57,11 +57,37 @@ func fuzzSeeds(t interface{ Helper() }) [][]byte {
 		gh.nodes = append(gh.nodes, node)
 	}
 	gh.round(50*time.Millisecond, msgs)
-	var seeds [][]byte
+	var raw [][]byte
 	for _, s := range append(append(h.sent, th.sent...), gh.sent...) {
-		seeds = append(seeds, s.payload)
+		raw = append(raw, s.payload)
+	}
+	// Adversarial shapes lead (the corpus writer caps the committed seed
+	// count, and these must survive the cut): then every captured datagram
+	// both sealed (exercising the envelope open path) and as its inner
+	// frame (the legacy passthrough straight into the strategy decoders).
+	seeds := corruptSeeds(raw)
+	for _, p := range raw {
+		seeds = append(seeds, p, unsealed(p))
 	}
 	return seeds
+}
+
+// corruptSeeds derives adversarial envelope frames from well-formed
+// ones: a CRC-valid envelope around garbage (the checksum passes; the
+// strategy decoder must reject the body and count BadDatagram) and a
+// CRC-invalid copy of a real datagram (open must reject it outright and
+// count BadChecksum, before any strategy decoding runs).
+func corruptSeeds(raw [][]byte) [][]byte {
+	out := [][]byte{(&Stats{}).seal([]byte{0x00, 0xde, 0xad, 0xbe, 0xef, 0x7f})}
+	for _, s := range raw {
+		if len(s) > envHeaderLen && s[0] == envVersion {
+			bad := append([]byte(nil), s...)
+			bad[len(bad)-1] ^= 0x40 // flip an inner bit: CRC now fails
+			out = append(out, bad)
+			break
+		}
+	}
+	return out
 }
 
 func FuzzDecodeTree(f *testing.F) {

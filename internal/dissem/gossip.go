@@ -79,7 +79,13 @@ type gossipNode struct {
 	peerVV map[int][]uint64
 	// lastPull rate-limits anti-entropy: at most one pull per origin per
 	// period, so a slow origin cannot be pulled from every peer at once.
+	// pullGap stretches that to a capped exponential backoff while a
+	// pull goes unanswered (partitioned or flapping origin): 1, 2, 4, 8
+	// periods between retries, reset to 1 the moment the origin's
+	// content is adopted — so a healed partition recovers within one
+	// backoff step instead of compounding a pull storm while down.
 	lastPull map[uint16]int
+	pullGap  map[uint16]int
 
 	hostsBuf []int // view scratch (deterministic origin ordering)
 }
@@ -124,6 +130,7 @@ func newGossipNode(cfg Config, host int, tr Transport) *gossipNode {
 		entries:  make(map[uint16]*gossipEntry),
 		peerVV:   make(map[int][]uint64),
 		lastPull: make(map[uint16]int),
+		pullGap:  make(map[uint16]int),
 	}
 	for h := 0; h < cfg.NumHosts; h++ {
 		if h != host {
@@ -445,14 +452,18 @@ func decodeGossip(payload []byte, now time.Duration, wide bool) (entries []gossi
 }
 
 func (n *gossipNode) Receive(now time.Duration, payload []byte) {
-	n.stats.DatagramsRecv.Inc()
-	n.stats.BytesRecv.Add(int64(len(payload)))
+	payload, _, ok := n.stats.open(payload)
+	if !ok {
+		return
+	}
 	if len(payload) < 3 {
+		n.stats.BadDatagram.Inc()
 		return
 	}
 	typ := payload[0]
 	from := int(binary.BigEndian.Uint16(payload[1:]))
 	if from >= n.cfg.NumHosts || from < 0 || from == n.host {
+		n.stats.BadDatagram.Inc()
 		return // corrupted or spoofed sender id
 	}
 	switch typ {
@@ -466,6 +477,7 @@ func (n *gossipNode) Receive(now time.Duration, payload []byte) {
 func (n *gossipNode) receivePush(now time.Duration, from int, payload []byte) {
 	entries, vvCver, vvTs, ok := decodeGossip(payload, now, n.cfg.Wide)
 	if !ok || len(vvCver) != n.cfg.NumHosts {
+		n.stats.BadDatagram.Inc()
 		return // corrupted: the epidemic repairs
 	}
 	if n.live.heard(from) {
@@ -499,6 +511,7 @@ func (n *gossipNode) receivePush(now time.Duration, from int, payload []byte) {
 				ttl = n.rounds
 			}
 			n.entries[e.origin] = &gossipEntry{cver: e.cver, ts: e.ts, ttl: ttl, recs: e.recs}
+			delete(n.pullGap, e.origin) // content arrived: reset the pull backoff
 			if ttl > 0 {
 				fresh = append(fresh, e.origin)
 			}
@@ -510,6 +523,7 @@ func (n *gossipNode) receivePush(now time.Duration, from int, payload []byte) {
 			if local.ttl > n.rounds {
 				local.ttl = n.rounds
 			}
+			delete(n.pullGap, e.origin) // content arrived: reset the pull backoff
 			if local.ttl > 0 {
 				fresh = append(fresh, e.origin)
 			}
@@ -534,12 +548,23 @@ func (n *gossipNode) receivePush(now time.Duration, from int, payload []byte) {
 			continue
 		}
 		if local == nil || vvCver[h] > local.cver {
-			// At most one pull per origin per period (lastPull stores
-			// tick+1): every datagram of a wave carries the same vv, and
-			// pulling from each sender would multiply the repair traffic
-			// for nothing.
+			// At most one pull per origin per pullGap periods: every
+			// datagram of a wave carries the same vv, and pulling from
+			// each sender would multiply the repair traffic for nothing.
+			// The gap doubles (capped at 8) for every unanswered pull —
+			// capped exponential backoff, so a partitioned origin costs
+			// a bounded trickle instead of a per-period pull storm —
+			// and resets when the origin's content is finally adopted.
 			if n.lastPull[uint16(h)] <= n.live.tick {
-				n.lastPull[uint16(h)] = n.live.tick + 1
+				gap := n.pullGap[uint16(h)]
+				if gap < 1 {
+					gap = 1
+				}
+				n.lastPull[uint16(h)] = n.live.tick + gap
+				if gap < 8 {
+					gap *= 2
+				}
+				n.pullGap[uint16(h)] = gap
 				want = append(want, uint16(h))
 			}
 		}
@@ -588,10 +613,12 @@ func (n *gossipNode) forward(now time.Duration, except int, origins []uint16) {
 
 func (n *gossipNode) receivePull(now time.Duration, from int, payload []byte) {
 	if len(payload) < 5 {
+		n.stats.BadDatagram.Inc()
 		return
 	}
 	nreq := int(binary.BigEndian.Uint16(payload[3:]))
 	if 5+2*nreq != len(payload) {
+		n.stats.BadDatagram.Inc()
 		return
 	}
 	if n.live.heard(from) {
@@ -603,6 +630,7 @@ func (n *gossipNode) receivePull(now time.Duration, from int, payload []byte) {
 	for i := 0; i < nreq; i++ {
 		o := binary.BigEndian.Uint16(payload[5+2*i:])
 		if int(o) >= n.cfg.NumHosts {
+			n.stats.BadDatagram.Inc()
 			return // corrupted request
 		}
 		if n.entries[o] != nil {

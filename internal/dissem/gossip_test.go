@@ -58,10 +58,11 @@ func TestGossipSteadyStateCost(t *testing.T) {
 		t.Fatalf("steady-state datagrams per period = %d, want exactly %d (N·Fanout); broadcast would send %d", len(h.sent), want, n*(n-1))
 	}
 	for _, s := range h.sent {
-		if s.payload[0] != msgGossip {
-			t.Fatalf("steady state sent a %d-type datagram, want pushes only", s.payload[0])
+		p := unsealed(s.payload)
+		if p[0] != msgGossip {
+			t.Fatalf("steady state sent a %d-type datagram, want pushes only", p[0])
 		}
-		entries, _, _, ok := decodeGossip(s.payload, h.now, false)
+		entries, _, _, ok := decodeGossip(p, h.now, false)
 		if !ok {
 			t.Fatalf("undecodable steady-state push from %d", s.from)
 		}
@@ -118,7 +119,7 @@ func TestGossipPullHealsIsolatedNode(t *testing.T) {
 	h.round(goPeriod, msgs)
 	var pulled bool
 	for _, s := range h.sent {
-		if s.from == victim && s.payload[0] == msgGossipPull {
+		if s.from == victim && unsealed(s.payload)[0] == msgGossipPull {
 			pulled = true
 		}
 	}

@@ -58,6 +58,22 @@ import (
 // each other's messages until the first datagram heard from a suspect
 // clears the suspicion and both converge back — false suspicion
 // self-heals the same way a restart does.
+//
+// Asymmetric faults (a one-way partition or gray failure on a tree
+// edge) break the symmetry that reasoning relies on: the child suspects
+// its silent parent and reroutes its ups to the grandparent, but the
+// grandparent still hears the parent fine, never suspects it, and so
+// never grafts the orphan in — the orphan would send ups into the void
+// and receive no downs until the fault healed. Adoption closes the gap:
+// an up from a static descendant that is not currently a child is proof
+// the sender considers this node its parent, so the node fosters it —
+// relays its subtree upward, serves it downs — until its ups stop
+// arriving (the fault healed and they returned to the static parent),
+// which un-adopts without suspicion or probing. While the fault is
+// active the orphan's flows can transiently reach the root twice (the
+// ex-parent's view of the orphan heals and re-expires on the probe
+// cycle); path coverage is never affected and the surplus resolves with
+// the fault.
 type treeNode struct {
 	cfg   Config
 	host  int
@@ -67,11 +83,24 @@ type treeNode struct {
 	live     *liveness
 	parent   int // -1 for the root
 	children []int
+	// foster maps adopted orphans — static descendants whose ups arrive
+	// here because an asymmetric fault hides their parent from them but
+	// not from us — to the liveness tick of their latest up. Expired in
+	// Publish after SuspectAfter silent ticks.
+	foster map[int]int
 
 	local      []aggRec            // own flows as aggregate records
 	localLinks []uint16            // arena backing local's link slices
 	childUp    map[int]*treeReport // child host -> latest subtree aggregate
 	extern     *treeReport         // latest extern from the parent
+
+	// lastSeq tracks each neighbor's newest envelope sequence — the
+	// tree's epoch check. Ups and downs trigger immediate relays, so an
+	// unguarded duplicate would not just waste a merge: it would re-fire
+	// sendUp/sendDowns and amplify one duplicated datagram into a
+	// cascade. Cleared when a suspect is re-admitted (its counter may
+	// have regressed past what seqFresh's restart gap can absorb).
+	lastSeq map[int]uint32
 }
 
 // aggRec is one aggregated flow record.
@@ -97,6 +126,8 @@ func newTreeNode(cfg Config, host int, tr Transport) *treeNode {
 		tr:      tr,
 		live:    newLiveness(cfg.SuspectAfter),
 		childUp: make(map[int]*treeReport),
+		lastSeq: make(map[int]uint32),
+		foster:  make(map[int]int),
 	}
 	n.reform()
 	return n
@@ -165,6 +196,8 @@ func (n *treeNode) reform() {
 	for _, c := range n.children {
 		watched[c] = true
 		n.live.watch(c)
+		// A foster that became a real child is just a child now.
+		delete(n.foster, c)
 	}
 	for h := 0; h < n.cfg.NumHosts; h++ {
 		if !watched[h] {
@@ -172,7 +205,7 @@ func (n *treeNode) reform() {
 		}
 	}
 	for h := range n.childUp {
-		if !watched[h] {
+		if _, fostered := n.foster[h]; !watched[h] && !fostered {
 			delete(n.childUp, h)
 		}
 	}
@@ -193,6 +226,15 @@ func (n *treeNode) Publish(now time.Duration, msg *metadata.Message) {
 			n.cfg.Tracer.Record(now, obs.KindSuspect, int32(n.host), int64(h), 0)
 		}
 		n.reform()
+	}
+	// Expire fosters whose ups stopped coming: the asymmetric fault
+	// healed and their ups returned to the static parent. Un-adoption,
+	// not death — no suspicion, no probes.
+	for _, f := range n.fosterHosts() {
+		if n.live.tick-n.foster[f] > n.cfg.SuspectAfter {
+			delete(n.foster, f)
+			delete(n.childUp, f)
+		}
 	}
 	// n.local outlives this call (ups are re-sent when a child's report
 	// arrives), while the caller owns and reuses msg's link slices — copy
@@ -237,7 +279,36 @@ func (n *treeNode) Publish(now time.Duration, msg *metadata.Message) {
 	}
 }
 
-// sendUp pushes the subtree aggregate to the parent.
+// fosterHosts returns the adopted orphans in deterministic order.
+func (n *treeNode) fosterHosts() []int {
+	if len(n.foster) == 0 {
+		return nil
+	}
+	hosts := make([]int, 0, len(n.foster))
+	for f := range n.foster {
+		hosts = append(hosts, f)
+	}
+	sort.Ints(hosts)
+	return hosts
+}
+
+// staticAncestorOf reports whether this node is a strict ancestor of
+// host h in the static tree — the adoption precondition: only a static
+// ancestor can legitimately be chosen as a rerouted parent, so anything
+// else sending ups here (a probe from a suspect, a corrupted sender id)
+// is not adopted.
+func (n *treeNode) staticAncestorOf(h int) bool {
+	for h > 0 {
+		h = (h - 1) / n.cfg.Fanout
+		if h == n.host {
+			return true
+		}
+	}
+	return false
+}
+
+// sendUp pushes the subtree aggregate — children and fosters — to the
+// parent.
 func (n *treeNode) sendUp(now time.Duration) {
 	if n.parent < 0 {
 		return
@@ -248,17 +319,23 @@ func (n *treeNode) sendUp(now time.Duration) {
 			parts = append(parts, r.recs)
 		}
 	}
+	for _, f := range n.fosterHosts() {
+		if r := n.childUp[f]; r != nil {
+			parts = append(parts, r.recs)
+		}
+	}
 	n.stats.send(n.tr, n.parent, encodeTree(msgTreeUp, n.host, now, mergeRecs(parts), &n.stats))
 }
 
-// sendDowns pushes extern(c) to every child c.
+// sendDowns pushes extern(c) to every child and foster c.
 func (n *treeNode) sendDowns(now time.Duration) {
-	for _, c := range n.children {
+	targets := append(append(make([]int, 0, len(n.children)+len(n.foster)), n.children...), n.fosterHosts()...)
+	for _, c := range targets {
 		parts := [][]aggRec{n.local}
 		if n.extern != nil {
 			parts = append(parts, n.extern.recs)
 		}
-		for _, c2 := range n.children {
+		for _, c2 := range targets {
 			if c2 == c {
 				continue
 			}
@@ -308,14 +385,18 @@ func mergeRecs(parts [][]aggRec) []aggRec {
 }
 
 func (n *treeNode) Receive(now time.Duration, payload []byte) {
-	n.stats.DatagramsRecv.Inc()
-	n.stats.BytesRecv.Add(int64(len(payload)))
+	payload, seq, ok := n.stats.open(payload)
+	if !ok {
+		return
+	}
 	if len(payload) < 3 {
+		n.stats.BadDatagram.Inc()
 		return
 	}
 	typ := payload[0]
 	from, ok := treeSender(payload)
 	if !ok || from >= n.cfg.NumHosts || from < 0 || from == n.host {
+		n.stats.BadDatagram.Inc()
 		return // truncated header, corrupted or spoofed sender id
 	}
 	recs, ok := decodeTree(payload, now, n.cfg.Wide, &n.stats)
@@ -329,17 +410,37 @@ func (n *treeNode) Receive(now time.Duration, payload []byte) {
 		n.stats.Recoveries.Inc()
 		n.cfg.Tracer.Record(now, obs.KindRecover, int32(n.host), int64(from), 0)
 		n.reform()
+		delete(n.lastSeq, from) // new epoch: forget the dead life's counter
+	}
+	// Epoch check against the sender's envelope sequence: duplicates and
+	// displaced stale copies are shed here, before they can overwrite a
+	// fresher aggregate or re-fire the eager relays.
+	if !seqFresh(n.lastSeq[from], seq) {
+		return
+	}
+	if seq != 0 {
+		n.lastSeq[from] = seq
 	}
 	switch typ {
 	case msgTreeUp:
-		// Only accept subtree aggregates from actual children, and relay
-		// the refreshed aggregate toward the root immediately.
+		// Accept subtree aggregates from actual children, relaying the
+		// refreshed aggregate toward the root immediately.
 		for _, c := range n.children {
 			if c == from {
+				delete(n.foster, from)
 				n.childUp[from] = &treeReport{recs: recs, at: now}
 				n.sendUp(now)
 				return
 			}
+		}
+		// An up from a static descendant that is not a child means an
+		// asymmetric fault: the sender suspects an ancestor between us
+		// that we still hear, so it rerouted its ups here and we never
+		// grafted it in. Adopt it (see the failure model above).
+		if n.staticAncestorOf(from) {
+			n.foster[from] = n.live.tick
+			n.childUp[from] = &treeReport{recs: recs, at: now}
+			n.sendUp(now)
 		}
 	case msgTreeDown:
 		// A fresh extern cascades to the leaves immediately.
@@ -361,6 +462,11 @@ func (n *treeNode) AppendRemoteFlows(now, maxAge time.Duration, out []RemoteFlow
 	}
 	for _, c := range n.children {
 		if r := n.childUp[c]; r != nil && now-r.at <= maxAge {
+			parts = append(parts, r.recs)
+		}
+	}
+	for _, f := range n.fosterHosts() {
+		if r := n.childUp[f]; r != nil && now-r.at <= maxAge {
 			parts = append(parts, r.recs)
 		}
 	}

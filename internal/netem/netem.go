@@ -7,6 +7,15 @@
 // loss) → htb (bandwidth). The same primitives also build the "bare-metal"
 // fabric links and the baseline emulators, so all systems under comparison
 // shape traffic with the same machinery — as they do on a real kernel.
+//
+// Layer ownership: this package models link physics — the impairments a
+// real network path inflicts and Kollaps configures (delay, jitter,
+// Bernoulli loss, bandwidth). It never duplicates, reorders, or corrupts
+// a packet, because the emulated links are configured not to. Adversarial
+// faults — duplication, reordering, corruption, partitions, gray
+// failures — are the chaos plane's job (internal/chaos), which injects
+// them into the control plane's metadata datagrams, deterministically
+// under the experiment seed, without touching these qdiscs.
 package netem
 
 import (
@@ -181,9 +190,12 @@ func (tb *TokenBucket) drain() {
 }
 
 // Netem models the netem qdisc: fixed delay, normally distributed jitter,
-// and Bernoulli packet loss. Delivery order is preserved (reordering
-// disabled, as Kollaps configures it), so a packet's exit time is clamped
-// to be no earlier than that of its predecessor.
+// and Bernoulli packet loss. Delivery order is preserved within this
+// stage (reordering disabled, as Kollaps configures the real qdisc), so a
+// packet's exit time is clamped to be no earlier than that of its
+// predecessor. That guarantee is about link physics and holds only here:
+// experiments that want reordered, duplicated, or corrupted control
+// datagrams get them from the chaos plane (internal/chaos), one layer up.
 type Netem struct {
 	eng  *sim.Engine
 	next func(*packet.Packet)

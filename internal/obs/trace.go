@@ -67,6 +67,23 @@ const (
 	// KindProbe is one accuracy-probe sample: A is the mean and B the
 	// max observed-vs-oracle share deviation, in parts per million.
 	KindProbe
+	// The chaos fault-injection plane (internal/chaos). Per-fault events
+	// record the datagram they hit: Host is the sender, A the receiver,
+	// and B carries the fault-specific argument (added latency in
+	// nanoseconds for reorder/delay/gray, flipped bit count for corrupt,
+	// burst size for duplicate). Per-action events record schedule steps:
+	// partition/heal carry the two endpoints in A and B (-1 = wildcard),
+	// gray carries the delayed host in A, profile marks a fault-profile
+	// change on the whole fabric (Host is -1).
+	KindChaosDrop
+	KindChaosDuplicate
+	KindChaosReorder
+	KindChaosCorrupt
+	KindChaosDelay
+	KindChaosPartition
+	KindChaosHeal
+	KindChaosGray
+	KindChaosProfile
 )
 
 // String returns the snake_case name used in the JSONL export.
@@ -102,6 +119,24 @@ func (k Kind) String() string {
 		return "recover"
 	case KindProbe:
 		return "probe"
+	case KindChaosDrop:
+		return "chaos_drop"
+	case KindChaosDuplicate:
+		return "chaos_duplicate"
+	case KindChaosReorder:
+		return "chaos_reorder"
+	case KindChaosCorrupt:
+		return "chaos_corrupt"
+	case KindChaosDelay:
+		return "chaos_delay"
+	case KindChaosPartition:
+		return "chaos_partition"
+	case KindChaosHeal:
+		return "chaos_heal"
+	case KindChaosGray:
+		return "chaos_gray"
+	case KindChaosProfile:
+		return "chaos_profile"
 	}
 	return fmt.Sprintf("kind_%d", uint8(k))
 }
@@ -350,6 +385,10 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		case KindProbe:
 			emit(`{"name":"share-deviation","ph":"C","ts":%d,"pid":%d,"tid":0,"args":{"mean_ppm":%d,"max_ppm":%d}}`,
 				ts, pid(e.Host), e.A, e.B)
+		case KindChaosDrop, KindChaosDuplicate, KindChaosReorder, KindChaosCorrupt,
+			KindChaosDelay, KindChaosPartition, KindChaosHeal, KindChaosGray, KindChaosProfile:
+			emit(`{"name":%q,"cat":"chaos","ph":"i","s":"p","ts":%d,"pid":%d,"tid":0,"args":{"a":%d,"b":%d}}`,
+				e.Kind.String(), ts, pid(e.Host), e.A, e.B)
 		default:
 			emit(`{"name":%q,"ph":"i","s":"t","ts":%d,"pid":%d,"tid":0,"args":{"a":%d,"b":%d}}`,
 				e.Kind.String(), ts, pid(e.Host), e.A, e.B)

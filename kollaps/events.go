@@ -4,19 +4,25 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/topology"
 )
 
-// Event is one dynamic topology change, not yet bound to a time. Build
-// events with the constructors (Set, LinkDown, LinkUp, NodeDown, NodeUp)
-// and bind them with Experiment.At or TopologyBuilder.At; the immediate
-// mutators (SetLink, FailLink, ...) bind them to the current virtual
-// time. The same five event kinds back the YAML dynamic: section, so any
-// scripted scenario has a deterministic YAML-expressible core — what the
-// API adds is Go control flow, parameterization and seeded randomness
-// around them.
+// Event is one dynamic experiment change, not yet bound to a time. Build
+// events with the constructors — topology (Set, LinkDown, LinkUp,
+// NodeDown, NodeUp) or chaos (ChaosProfile, PartitionHosts,
+// PartitionOneWay, HealPartitions, GrayHost, ...) — and bind them with
+// Experiment.At or TopologyBuilder.At; the immediate mutators (SetLink,
+// FailLink, ...) bind them to the current virtual time. The five
+// topology event kinds back the YAML dynamic: section, so any scripted
+// scenario has a deterministic YAML-expressible core — what the API adds
+// is Go control flow, parameterization, seeded randomness and the chaos
+// plane around them.
 type Event struct {
 	ev topology.Event
+	// chaos, when non-nil, marks this as a chaos-plane action instead of
+	// a topology change; At routes it to the deployment's fault injector.
+	chaos *chaos.Action
 }
 
 // Set changes properties of the link(s) between two declared endpoints;
@@ -59,17 +65,36 @@ func NodeUp(name string) Event {
 	return Event{ev: topology.Event{Kind: topology.EvNodeJoin, Name: name}}
 }
 
-// At schedules events at an absolute virtual time. Before Deploy, the
-// events are pre-registered on the topology (exactly like a YAML
-// dynamic: section — they are validated at Deploy and the two forms
-// produce identical deterministic runs). After Deploy, they are armed on
-// the live runtime; scheduling in the virtual past is an error. Events
-// passed in one call apply atomically as one topology change.
+// At schedules events at an absolute virtual time. Topology events
+// registered before Deploy are pre-registered on the topology (exactly
+// like a YAML dynamic: section — they are validated at Deploy and the
+// two forms produce identical deterministic runs); after Deploy they are
+// armed on the live runtime. Chaos events route to the deployment's
+// fault injector the same way (pre-registered, armed at Deploy).
+// Scheduling in the virtual past is an error. Topology events passed in
+// one call apply atomically as one topology change.
 func (e *Experiment) At(at time.Duration, evs ...Event) error {
 	if at < 0 {
 		return fmt.Errorf("kollaps: At(%v) is before the experiment start", at)
 	}
-	raw := unwrap(at, evs)
+	var topo []Event
+	var acts []chaos.Action
+	for _, ev := range evs {
+		if ev.chaos != nil {
+			acts = append(acts, *ev.chaos)
+		} else {
+			topo = append(topo, ev)
+		}
+	}
+	if len(acts) > 0 {
+		if err := e.scheduleChaos(at, acts); err != nil {
+			return err
+		}
+	}
+	if len(topo) == 0 {
+		return nil
+	}
+	raw := unwrap(at, topo)
 	if e.Runtime == nil {
 		e.Topology.Events = append(e.Topology.Events, raw...)
 		return nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/units"
 	"repro/kollaps"
 )
@@ -106,6 +107,62 @@ func ExampleExperiment_ManagerChurn() {
 	fmt.Println("managers still down after churn stopped:", down)
 	// Output:
 	// managers still down after churn stopped: 0
+}
+
+// ExampleExperiment_Chaos arms a stochastic fault profile on the
+// running control plane: from this virtual instant on, metadata
+// datagrams are dropped and corrupted with the given probabilities,
+// deterministically under the experiment seed. The emulation must ride
+// it out — corruption is caught by the integrity envelope and counted,
+// never decoded — and every injected fault is observable in ChaosStats.
+func ExampleExperiment_Chaos() {
+	exp, err := kollaps.Load(exampleYAML)
+	if err != nil {
+		panic(err)
+	}
+	if err := exp.Deploy(4, kollaps.WithSeed(7)); err != nil {
+		panic(err)
+	}
+	if err := exp.Chaos(chaos.Profile{Drop: 0.2, Corrupt: 0.1}); err != nil {
+		panic(err)
+	}
+	if err := exp.Run(2 * time.Second); err != nil {
+		panic(err)
+	}
+	st := exp.ChaosStats()
+	fmt.Println("datagrams dropped:", st.Dropped > 0)
+	fmt.Println("datagrams corrupted:", st.Corrupted > 0)
+	fmt.Println("schedule is replayable:", exp.ChaosScheduleHash() != 0)
+	// Output:
+	// datagrams dropped: true
+	// datagrams corrupted: true
+	// schedule is replayable: true
+}
+
+// ExamplePartitionHosts schedules a control-plane partition exactly like
+// a topology event — even before Deploy — cutting hosts {0, 1} off from
+// the rest of the cluster for one virtual second, then healing. Only
+// metadata datagrams are blocked; application traffic still flows.
+func ExamplePartitionHosts() {
+	exp, err := kollaps.Load(exampleYAML)
+	if err != nil {
+		panic(err)
+	}
+	if err := exp.At(500*time.Millisecond, kollaps.PartitionHosts(0, 1)); err != nil {
+		panic(err)
+	}
+	if err := exp.At(1500*time.Millisecond, kollaps.HealPartitions()); err != nil {
+		panic(err)
+	}
+	if err := exp.Deploy(4, kollaps.WithSeed(7)); err != nil {
+		panic(err)
+	}
+	if err := exp.Run(3 * time.Second); err != nil {
+		panic(err)
+	}
+	fmt.Println("datagrams blocked at the cut:", exp.ChaosStats().Blocked > 0)
+	// Output:
+	// datagrams blocked at the cut: true
 }
 
 // ExampleNewTopology builds an experiment programmatically — no YAML —

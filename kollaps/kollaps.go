@@ -61,6 +61,9 @@ type Experiment struct {
 	Runtime *core.Runtime
 
 	seed int64
+	// pendingChaos holds chaos steps scheduled before Deploy (via At or
+	// ChaosPlan); Deploy arms them on the runtime's fault injector.
+	pendingChaos []chaosStep
 }
 
 // Load parses an experiment description, auto-detecting the YAML dialect
@@ -131,6 +134,12 @@ func (e *Experiment) Deploy(hosts int, opts ...Option) error {
 	}
 	e.Runtime = rt
 	rt.Start()
+	for _, s := range e.pendingChaos {
+		if err := e.armChaos(s.at, s.acts); err != nil {
+			return err
+		}
+	}
+	e.pendingChaos = nil
 	return nil
 }
 
