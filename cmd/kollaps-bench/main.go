@@ -97,12 +97,14 @@ func main() {
 			experiments.RunDissemScale(d(5*time.Second, 2*time.Second), ns, nil).Fprint(os.Stdout)
 		},
 		"alloc": func() {
-			t, _, err := experiments.RunAllocBench(*benchOut)
+			tables, _, err := experiments.RunAllocBench(*benchOut)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			t.Fprint(os.Stdout)
+			for _, t := range tables {
+				t.Fprint(os.Stdout)
+			}
 			if *benchOut != "" {
 				fmt.Printf("\nwrote %s\n", *benchOut)
 			}

@@ -1,22 +1,28 @@
 // Command kollapslint runs the project's contract analyzers — hotpath,
-// walltime, maporder, wiresafe — over the module. It is the static half
-// of the determinism/hot-path/wire-safety enforcement story; the
-// dynamic half is the four-strategy equivalence test, cmd/benchcheck,
-// and the dissem fuzz targets.
+// walltime, maporder, wiresafe, guardedby, arenaescape, gostmt — over
+// the module. It is the static half of the determinism, hot-path,
+// wire-safety and concurrency enforcement story; the dynamic half is
+// the four-strategy equivalence test, cmd/benchcheck, the dissem fuzz
+// targets, and go test -race.
 //
 // Usage:
 //
 //	go run ./cmd/kollapslint ./...
-//	go run ./cmd/kollapslint ./internal/dissem ./internal/core
+//	go run ./cmd/kollapslint -json ./internal/dissem ./internal/core
 //
 // Exit status 1 when any analyzer reports a finding or a contract
-// package is missing its scope annotation; findings print one per line
-// in file:line:col order, like compiler errors. See the package
-// documentation of internal/lint for the annotation vocabulary and
-// DESIGN.md "Determinism & hot-path contract" for the rationale.
+// package is missing its scope annotation or annotation floor;
+// findings print one per line in file:line:col order, like compiler
+// errors. With -json they print as one JSON array of
+// {file,line,col,analyzer,message} objects instead, for editor and CI
+// integration. See the package documentation of internal/lint for the
+// annotation vocabulary and DESIGN.md "Determinism & hot-path
+// contract" for the rationale.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -44,8 +50,39 @@ var contractPackages = map[string][]string{
 	},
 }
 
+// annotationFloors pins how many of each field/func-scope annotation a
+// package must carry — the same evasion-stopper for the concurrency
+// contracts: unguarding the tracer ring or de-annotating the solver
+// arenas silently disables guardedby/arenaescape, so the floor makes
+// the deletion itself a finding. Floors sit at the current real counts
+// for load-bearing surfaces; adding annotations never fails.
+var annotationFloors = map[string]map[string]int{
+	"repro/internal/obs": {
+		"guardedby": 5, // Tracer ring (ev, head) + Registry maps (counts, gauges, hists)
+	},
+	"repro/internal/core": {
+		"guardedby":  3,  // runtime obsSnapshot (metrics, dissem, published)
+		"arena":      30, // AllocState + ParallelAllocState + Manager scratch
+		"workerpool": 1,  // ParallelAllocState.startPool
+	},
+	"repro/internal/dissem": {
+		"arena": 4, // per-node view scratch (broadcast, gossip, delta×2)
+	},
+}
+
+// jsonFinding is the -json output shape for one diagnostic.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
-	patterns := os.Args[1:]
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text lines")
+	flag.Parse()
+	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -76,25 +113,71 @@ func main() {
 			}
 		}
 	}
+	// Meta-check: annotation floors — deleting a guardedby/arena/
+	// workerpool annotation from a contract surface fails the run even
+	// though the analyzers, having nothing to check, would go quiet.
+	for path, floors := range annotationFloors {
+		pkg, ok := prog.Packages[path]
+		if !ok {
+			continue
+		}
+		counts := countDirectives(pkg)
+		for name, floor := range floors {
+			if counts[name] < floor {
+				fmt.Fprintf(os.Stderr, "%s: %d //kollaps:%s annotations, floor is %d (contract surface de-annotated?)\n",
+					path, counts[name], name, floor)
+				exit = 1
+			}
+		}
+	}
 
 	findings, err := lint.RunAnalyzers(prog, lint.Analyzers(), prog.PackageList())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kollapslint:", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		// Print module-relative paths so output is stable across hosts.
-		pos := f.Position
-		if rel, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			pos.Filename = rel
+	if *jsonOut {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:     relPath(root, f.Position.Filename),
+				Line:     f.Position.Line,
+				Col:      f.Position.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			})
 		}
-		fmt.Printf("%s: %s (%s)\n", pos, f.Message, f.Analyzer)
-		exit = 1
-	}
-	if exit == 0 {
-		fmt.Printf("kollapslint: %d packages clean\n", len(prog.Packages))
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "kollapslint:", err)
+			os.Exit(2)
+		}
+		if len(findings) > 0 {
+			exit = 1
+		}
+	} else {
+		for _, f := range findings {
+			// Print module-relative paths so output is stable across hosts.
+			pos := f.Position
+			pos.Filename = relPath(root, pos.Filename)
+			fmt.Printf("%s: %s (%s)\n", pos, f.Message, f.Analyzer)
+			exit = 1
+		}
+		if exit == 0 {
+			fmt.Printf("kollapslint: %d packages clean\n", len(prog.Packages))
+		}
 	}
 	os.Exit(exit)
+}
+
+// relPath renders filename relative to the module root when it is
+// inside it.
+func relPath(root, filename string) string {
+	if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return filename
 }
 
 // hasPkgDirective reports whether any file of pkg declares the given
@@ -102,6 +185,28 @@ func main() {
 func hasPkgDirective(prog *lint.Program, pkg *lint.Package, name string) bool {
 	pass := &lint.Pass{Fset: prog.Fset, Files: pkg.Files, Pkg: pkg.Types, TypesInfo: pkg.Info, Prog: prog}
 	return pass.PkgDirective(name)
+}
+
+// countDirectives tallies every //kollaps: directive in a package's
+// comments by name.
+func countDirectives(pkg *lint.Package) map[string]int {
+	out := make(map[string]int)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, "//kollaps:") {
+					continue
+				}
+				name := strings.TrimPrefix(text, "//kollaps:")
+				if i := strings.IndexAny(name, " \t"); i >= 0 {
+					name = name[:i]
+				}
+				out[name]++
+			}
+		}
+	}
+	return out
 }
 
 // findModule walks up from the working directory to the enclosing

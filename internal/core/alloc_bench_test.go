@@ -100,3 +100,45 @@ func benchIterate(b *testing.B, opts Options) {
 		m.enforce(flows, all)
 	}
 }
+
+// BenchmarkAllocateSharded / BenchmarkAllocateParallel measure the
+// component-sharded workload (SyntheticShardedAllocation, 8 shards):
+// the monolithic indexed solver against the partitioned parallel one
+// (ParallelAllocState, GOMAXPROCS workers). The sequential/parallel
+// pair at N=1024 is what the CI bench job's parallel gate compares; the
+// parallel solver must also hold the 0 allocs/op steady state.
+func BenchmarkAllocateSharded(b *testing.B) {
+	for _, n := range allocBenchSizes {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			capsMap, flows := SyntheticShardedAllocation(n, n/2+8, 8, 42)
+			var s AllocState
+			caps := DenseCaps(capsMap, nil)
+			var out []Allocation
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out = s.Allocate(caps, flows, out)
+			}
+			_ = out
+		})
+	}
+}
+
+func BenchmarkAllocateParallel(b *testing.B) {
+	for _, n := range allocBenchSizes {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			capsMap, flows := SyntheticShardedAllocation(n, n/2+8, 8, 42)
+			var p ParallelAllocState
+			defer p.Close()
+			caps := DenseCaps(capsMap, nil)
+			var out []Allocation
+			out = p.Allocate(caps, flows, out) // warm the pool and arenas
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out = p.Allocate(caps, flows, out)
+			}
+			_ = out
+		})
+	}
+}

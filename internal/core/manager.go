@@ -68,27 +68,42 @@ type Manager struct {
 
 	// ---- per-period scratch, reused across iterations ----
 
-	// alloc is the indexed min-max solver's arena.
-	alloc AllocState
+	// alloc is the indexed min-max solver's arena; palloc, when
+	// Options.ParallelSolve is set, is the component-sharded parallel
+	// form the loop solves with instead (bit-identical results).
+	alloc  AllocState
+	palloc *ParallelAllocState
 	// caps is the dense per-link capacity table handed to the allocator,
 	// rebuilt only when the live topology's generation moves.
+	//
+	//kollaps:arena
 	caps    []float64
 	capsGen uint64
 
-	flowsBuf  []localFlow
-	allBuf    []FlowDemand
+	//kollaps:arena
+	flowsBuf []localFlow
+	//kollaps:arena
+	allBuf []FlowDemand
+	//kollaps:arena
 	greedyBuf []FlowDemand
-	wdBuf     []Allocation
-	entBuf    []Allocation
-	rfBuf     []dissem.RemoteFlow
-	rlinks    []int // arena backing remote FlowDemand.Links
+	//kollaps:arena
+	wdBuf []Allocation
+	//kollaps:arena
+	entBuf []Allocation
+	//kollaps:arena
+	rfBuf []dissem.RemoteFlow
+	//kollaps:arena
+	rlinks []int // arena backing remote FlowDemand.Links
 
 	// msg and its records/link arena back the shared-memory report; the
 	// ring hands the pointer to disseminate() within the same iteration,
 	// and every dissemination strategy copies or serializes what it keeps,
-	// so reusing the storage next period is safe.
-	msg      metadata.Message
-	recBuf   []metadata.FlowRecord
+	// so reusing the storage next period is safe — the interior-slice
+	// hand-offs below carry //kollaps:arenaok for exactly that reason.
+	msg metadata.Message
+	//kollaps:arena
+	recBuf []metadata.FlowRecord
+	//kollaps:arena
 	recLinks []uint16
 }
 
@@ -152,6 +167,9 @@ func newManager(rt *Runtime, host int, emIPs []packet.IP) (*Manager, error) {
 		host:  host,
 		emIPs: emIPs,
 		ring:  metadata.NewRing(64),
+	}
+	if rt.opts.ParallelSolve {
+		m.palloc = &ParallelAllocState{}
 	}
 	if reg := rt.opts.Registry; reg != nil {
 		label := fmt.Sprintf(`{host="%d"}`, host)
@@ -306,11 +324,13 @@ func (m *Manager) collectLocal(period time.Duration) []localFlow {
 			arena = append(arena, uint16(l))
 		}
 		recs = append(recs, metadata.FlowRecord{
-			BPS:   clampU32(int64(flows[i].rate)),
+			BPS: clampU32(int64(flows[i].rate)),
+			//kollaps:arenaok — drained by disseminate() this same iteration
 			Links: arena[start:len(arena):len(arena)],
 		})
 	}
 	m.recBuf, m.recLinks = recs, arena
+	//kollaps:arenaok — the ring hand-off; strategies copy what they keep
 	m.msg = metadata.Message{Host: uint16(m.host), Flows: recs}
 	m.ring.Publish(&m.msg)
 	return flows
@@ -388,7 +408,8 @@ func (m *Manager) globalFlows(local []localFlow) []FlowDemand {
 			demand = 0
 		}
 		all = append(all, FlowDemand{
-			ID:     RemoteFlowID(i),
+			ID: RemoteFlowID(i),
+			//kollaps:arenaok — consumed by the solver within this period
 			Links:  links,
 			RTT:    2 * lat,
 			Demand: demand,
@@ -443,6 +464,18 @@ func (m *Manager) linkCaps() []float64 {
 	return m.caps
 }
 
+// solve runs one sharing-model pass through whichever allocator the
+// deployment selected — the monolithic arena, or the component-sharded
+// parallel one (Options.ParallelSolve). Both are bit-identical.
+//
+//kollaps:hotpath
+func (m *Manager) solve(caps []float64, flows []FlowDemand, out []Allocation) []Allocation {
+	if m.palloc != nil {
+		return m.palloc.Allocate(caps, flows, out)
+	}
+	return m.alloc.Allocate(caps, flows, out)
+}
+
 // enforce applies the allocation to local flows: htb rate per destination
 // plus injected loss when the application demands more than its share.
 func (m *Manager) enforce(local []localFlow, all []FlowDemand) {
@@ -463,14 +496,14 @@ func (m *Manager) enforce(local []localFlow, all []FlowDemand) {
 	// A flow's own htb is set to the larger of the two, so an idle flow's
 	// ramp-up is never throttled below its fair share (the next period
 	// rebalances), while competitors enjoy the maximized allocation.
-	withDemand := m.alloc.Allocate(caps, all, m.wdBuf)
+	withDemand := m.solve(caps, all, m.wdBuf)
 	m.wdBuf = withDemand
 	greedy := append(m.greedyBuf[:0], all...)
 	for i := range greedy {
 		greedy[i].Demand = 0
 	}
 	m.greedyBuf = greedy
-	entitled := m.alloc.Allocate(caps, greedy, m.entBuf)
+	entitled := m.solve(caps, greedy, m.entBuf)
 	m.entBuf = entitled
 	wall := time.Since(wallStart).Nanoseconds() //kollaps:wallclock
 	m.solveRuns.Inc()

@@ -1,0 +1,375 @@
+// The component-sharded parallel form of the RTT-aware min-max solver.
+//
+// Progressive filling has an exploitable structure: two flows interact
+// only when their paths share a constrained link (directly or through a
+// chain of other flows). Partitioning the flow set by link-connected
+// component therefore splits one solve into independent sub-solves —
+// every per-link weight sum, every theta comparison, every tie-break and
+// every freeze stays inside one component, so solving the components
+// separately (in any order, on any goroutine) reproduces the monolithic
+// solver's floating-point arithmetic bit for bit. The differential fuzz
+// (FuzzAllocateParallel, partition tests) holds this to exact equality
+// against both the indexed solver and the retained reference oracle.
+//
+// The parallelism contract is enforced statically: the worker pool is a
+// //kollaps:workerpool scope (kollapslint gostmt — every goroutine is
+// WaitGroup-joined), the scratch arenas are //kollaps:arena (arenaescape
+// — no interior slice leaks into another component's solve), and the
+// whole path stays inside the emulation loop's 0 allocs/op budget in
+// steady state: partition arrays grow once, workers are spawned once,
+// and a component dispatch is one int32 channel send.
+package core
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/units"
+)
+
+// ParallelAllocState solves Allocate by link-connected component on a
+// bounded worker pool. It is a drop-in for AllocState.Allocate with
+// identical (bit-for-bit) results; one per Emulation Manager, owned by
+// the simulation thread like the sequential arena. Workers persist
+// across calls (spawned lazily on first use); Close joins them. The
+// zero value is ready to use with GOMAXPROCS workers.
+type ParallelAllocState struct {
+	// workers is the pool size; 0 selects runtime.GOMAXPROCS(0). It is
+	// latched when the pool starts — call SetWorkers before the first
+	// Allocate (or after Close).
+	workers int
+
+	// ---- partition scratch (owner thread) ----
+
+	//kollaps:arena
+	parent []int32 // union-find over constrained link ids; -1 = untouched
+	//kollaps:arena
+	compOf []int32 // flow index -> dense component id
+	//kollaps:arena
+	compID []int32 // root link id (or L for the misc batch) -> dense id
+	//kollaps:arena
+	compStart []int32 // CSR bucket start per component
+	//kollaps:arena
+	compEnd []int32 // CSR bucket end per component (fill cursor)
+	//kollaps:arena
+	order []int32 // flow indices grouped by component, ascending within
+	nComp int
+
+	// ---- per-call shared inputs, published to workers ----
+	//
+	// Written by the owner before task dispatch and read by workers
+	// after the channel receive (the send is the happens-before edge);
+	// out writes are index-disjoint per component. Cleared after the
+	// join so no caller arena stays aliased between calls.
+
+	//kollaps:arena
+	caps []float64
+	//kollaps:arena
+	flows []FlowDemand
+	//kollaps:arena
+	out []Allocation
+
+	// ---- worker pool ----
+
+	ws      []allocWorker
+	tasks   chan int32
+	pending sync.WaitGroup // per-call join: one Done per solved component
+	stopped sync.WaitGroup // lifecycle join: one Done per exited worker
+}
+
+// allocWorker is one worker's private solve state: its own sequential
+// arena plus gather/scatter buffers, so concurrent component solves
+// share nothing but the read-only inputs and disjoint output slots.
+type allocWorker struct {
+	st AllocState
+	//kollaps:arena
+	fbuf []FlowDemand
+	//kollaps:arena
+	obuf []Allocation
+}
+
+// SetWorkers fixes the pool size (0 = GOMAXPROCS, 1 = solve inline with
+// no goroutines). It takes effect when the pool next starts: call it
+// before the first Allocate, or Close first.
+func (p *ParallelAllocState) SetWorkers(n int) { p.workers = n }
+
+// Close shuts the worker pool down and joins every worker. The state
+// remains usable — the next Allocate starts a fresh pool. Close on a
+// never-used or already-closed state is a no-op.
+func (p *ParallelAllocState) Close() {
+	if p.tasks != nil {
+		close(p.tasks)
+		p.stopped.Wait()
+		p.tasks = nil
+		p.ws = nil
+	}
+}
+
+// Components reports how many independent components the last Allocate
+// partitioned its flows into (the misc batch of flows crossing no
+// constrained link counts as one).
+func (p *ParallelAllocState) Components() int { return p.nComp }
+
+// Allocate computes the RTT-aware min-max allocation exactly like
+// AllocState.Allocate — same inputs, same bit-identical outputs, same
+// appended-into-out contract — but solves each link-connected component
+// of the flow set independently, in parallel on the worker pool when
+// both the pool and the partition are wider than one. Results are
+// scattered straight into each flow's slot, so the output order (and
+// everything else) is independent of worker scheduling.
+//
+//kollaps:hotpath
+func (p *ParallelAllocState) Allocate(caps []float64, flows []FlowDemand, out []Allocation) []Allocation {
+	n := len(flows)
+	out = grow(out, n)
+	if n == 0 {
+		return out
+	}
+	p.partition(caps, flows)
+
+	workers := p.poolSize()
+	if workers <= 1 || p.nComp < 2 {
+		// Inline path: still component-sharded (the partition cost is
+		// already paid and sub-solves are cheaper than one monolith),
+		// but no goroutines.
+		if len(p.ws) == 0 {
+			p.ws = make([]allocWorker, 1) //kollaps:coldpath
+		}
+		w := &p.ws[0]
+		for c := int32(0); c < int32(p.nComp); c++ {
+			p.solveComponent(w, c, caps, flows, out)
+		}
+		return out
+	}
+
+	if p.tasks == nil {
+		p.startPool(workers)
+	}
+	p.caps, p.flows, p.out = caps, flows, out
+	p.pending.Add(p.nComp)
+	for c := int32(0); c < int32(p.nComp); c++ {
+		p.tasks <- c
+	}
+	p.pending.Wait()
+	p.caps, p.flows, p.out = nil, nil, nil
+	return out
+}
+
+// poolSize resolves the configured worker count.
+func (p *ParallelAllocState) poolSize() int {
+	if p.tasks != nil {
+		// The pool is running: its width was latched at start.
+		return len(p.ws)
+	}
+	if p.workers > 0 {
+		return p.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// startPool spawns the persistent workers. Each worker owns its private
+// arena, receives component ids from the tasks channel, and is joined
+// twice over: pending.Done per completed task (Allocate's per-call
+// barrier) and stopped.Done at exit (Close's lifecycle barrier). It runs
+// once per pool lifetime (//kollaps:coldpath — the hot loop never
+// re-enters it after the first period).
+//
+//kollaps:workerpool
+//kollaps:coldpath
+func (p *ParallelAllocState) startPool(workers int) {
+	p.tasks = make(chan int32, workers)
+	p.ws = make([]allocWorker, workers)
+	for i := 0; i < workers; i++ {
+		w := &p.ws[i]
+		p.stopped.Add(1)
+		go func() {
+			defer p.stopped.Done()
+			for c := range p.tasks {
+				p.solveComponent(w, c, p.caps, p.flows, p.out)
+				p.pending.Done()
+			}
+		}()
+	}
+}
+
+// solveComponent gathers component c's flows (ascending flow index — the
+// order the monolithic solver sums and freezes them in), solves them on
+// the worker's private arena against the shared capacity table, and
+// scatters the results to their disjoint output slots.
+//
+//kollaps:hotpath
+func (p *ParallelAllocState) solveComponent(w *allocWorker, c int32, caps []float64, flows []FlowDemand, out []Allocation) {
+	lo, hi := p.compStart[c], p.compEnd[c]
+	fb := w.fbuf[:0]
+	for k := lo; k < hi; k++ {
+		fb = append(fb, flows[p.order[k]])
+	}
+	w.fbuf = fb
+	ob := w.st.Allocate(caps, fb, w.obuf)
+	w.obuf = ob
+	for j, k := 0, lo; k < hi; j, k = j+1, k+1 {
+		out[p.order[k]] = ob[j]
+	}
+}
+
+// partition groups the flows by link-connected component: a union-find
+// over the constrained link ids (present in caps and not NaN; negative
+// capacities — tombstones — are constrained), merged along every flow's
+// path. Flows crossing no constrained link are mutually independent and
+// form one shared "misc" batch. Component ids are assigned densely in
+// order of first appearance by flow index, and the order CSR keeps each
+// component's flows in ascending flow index — both deterministic, so
+// the parallel solve's arithmetic replays the monolithic solver's.
+func (p *ParallelAllocState) partition(caps []float64, flows []FlowDemand) {
+	n := len(flows)
+	L := len(caps)
+	p.parent = grow(p.parent, L)
+	for l := range p.parent {
+		p.parent[l] = -1
+	}
+	for i := range flows {
+		first := int32(-1)
+		for _, l := range flows[i].Links {
+			if !constrainedLink(caps, l) {
+				continue
+			}
+			if p.parent[l] == -1 {
+				p.parent[l] = int32(l)
+			}
+			if first == -1 {
+				first = int32(l)
+			} else {
+				p.union(first, int32(l))
+			}
+		}
+	}
+
+	// Dense component ids, in order of first appearance by flow index.
+	// Root key L is the misc batch.
+	p.compID = grow(p.compID, L+1)
+	for i := range p.compID {
+		p.compID[i] = -1
+	}
+	p.compOf = grow(p.compOf, n)
+	nComp := 0
+	for i := range flows {
+		root := int32(L)
+		for _, l := range flows[i].Links {
+			if constrainedLink(caps, l) {
+				root = p.find(int32(l))
+				break
+			}
+		}
+		id := p.compID[root]
+		if id == -1 {
+			id = int32(nComp)
+			nComp++
+			p.compID[root] = id
+		}
+		p.compOf[i] = id
+	}
+	p.nComp = nComp
+
+	// CSR: bucket sizes, prefix sums, then a stable fill in flow order.
+	p.compStart = grow(p.compStart, nComp)
+	p.compEnd = grow(p.compEnd, nComp)
+	for c := 0; c < nComp; c++ {
+		p.compEnd[c] = 0
+	}
+	for i := 0; i < n; i++ {
+		p.compEnd[p.compOf[i]]++
+	}
+	total := int32(0)
+	for c := 0; c < nComp; c++ {
+		p.compStart[c] = total
+		total += p.compEnd[c]
+		p.compEnd[c] = p.compStart[c]
+	}
+	p.order = grow(p.order, n)
+	for i := 0; i < n; i++ {
+		c := p.compOf[i]
+		p.order[p.compEnd[c]] = int32(i)
+		p.compEnd[c]++
+	}
+}
+
+// constrainedLink reports whether link id l is present in the capacity
+// table and enforceable: in range and not NaN (NaN marks unconstrained
+// entries; negative capacities are tombstones and still constrained).
+func constrainedLink(caps []float64, l int) bool {
+	return l >= 0 && l < len(caps) && !math.IsNaN(caps[l])
+}
+
+// find returns l's component root with path compression.
+func (p *ParallelAllocState) find(l int32) int32 {
+	for p.parent[l] != l {
+		p.parent[l] = p.parent[p.parent[l]]
+		l = p.parent[l]
+	}
+	return l
+}
+
+// union merges the components of a and b, keeping the smaller link id as
+// root — a deterministic rule, so the root (and with it the component
+// numbering) never depends on merge order.
+func (p *ParallelAllocState) union(a, b int32) {
+	ra, rb := p.find(a), p.find(b)
+	if ra == rb {
+		return
+	}
+	if rb < ra {
+		ra, rb = rb, ra
+	}
+	p.parent[rb] = ra
+}
+
+// SyntheticShardedAllocation builds a deterministic allocator workload
+// whose contention graph splits into `shards` independent components:
+// the links partition into contiguous shard ranges and flow i draws its
+// 2–5 links from shard i%shards only. Same distributions as
+// SyntheticAllocation otherwise. This is the multi-core benchmark's
+// workload — a realistic shape (a deployment's topology decomposes into
+// weakly-coupled regions) on which component sharding has real work to
+// exploit, where the single-blob workload degenerates to one component.
+func SyntheticShardedAllocation(nFlows, nLinks, shards int, seed int64) (map[int]units.Bandwidth, []FlowDemand) {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > nLinks {
+		shards = nLinks
+	}
+	rng := rand.New(rand.NewSource(seed))
+	caps := make(map[int]units.Bandwidth, nLinks)
+	for l := 0; l < nLinks; l++ {
+		caps[l] = units.Bandwidth(10+rng.Intn(990)) * units.Mbps
+	}
+	per := nLinks / shards
+	flows := make([]FlowDemand, nFlows)
+	for i := range flows {
+		s := i % shards
+		lo := s * per
+		width := per
+		if s == shards-1 {
+			width = nLinks - lo
+		}
+		k := 2 + rng.Intn(4)
+		links := make([]int, k)
+		for j := range links {
+			links[j] = lo + rng.Intn(width)
+		}
+		var demand units.Bandwidth
+		if rng.Intn(3) == 0 {
+			demand = units.Bandwidth(1+rng.Intn(200)) * units.Mbps
+		}
+		flows[i] = FlowDemand{
+			ID:     FlowID(i),
+			Links:  links,
+			RTT:    time.Duration(1+rng.Intn(200)) * time.Millisecond,
+			Demand: demand,
+		}
+	}
+	return caps, flows
+}

@@ -1,0 +1,431 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+	"repro/internal/transport"
+	"repro/internal/units"
+)
+
+// bruteComponents is the oracle the union-find partitioner is proven
+// against: an adjacency walk over flows, where two flows are adjacent
+// iff their paths share a constrained link. Returns one label per flow;
+// flows crossing no constrained link get label -1 (the partitioner puts
+// them in one shared misc batch — checked separately).
+func bruteComponents(caps []float64, flows []FlowDemand) []int {
+	constrained := func(l int) bool {
+		return l >= 0 && l < len(caps) && !math.IsNaN(caps[l])
+	}
+	byLink := map[int][]int{}
+	for i, f := range flows {
+		for _, l := range f.Links {
+			if constrained(l) {
+				byLink[l] = append(byLink[l], i)
+			}
+		}
+	}
+	labels := make([]int, len(flows))
+	for i := range labels {
+		labels[i] = -2 // unvisited
+	}
+	next := 0
+	for i, f := range flows {
+		if labels[i] != -2 {
+			continue
+		}
+		hasConstrained := false
+		for _, l := range f.Links {
+			if constrained(l) {
+				hasConstrained = true
+				break
+			}
+		}
+		if !hasConstrained {
+			labels[i] = -1
+			continue
+		}
+		// BFS from flow i across shared constrained links.
+		label := next
+		next++
+		queue := []int{i}
+		labels[i] = label
+		for len(queue) > 0 {
+			fi := queue[0]
+			queue = queue[1:]
+			for _, l := range flows[fi].Links {
+				if !constrained(l) {
+					continue
+				}
+				for _, fj := range byLink[l] {
+					if labels[fj] == -2 {
+						labels[fj] = label
+						queue = append(queue, fj)
+					}
+				}
+			}
+		}
+	}
+	return labels
+}
+
+// checkPartition asserts that the partitioner's grouping is exactly the
+// oracle's: same same-component relation for connected flows, all
+// misc flows batched together, and component ids dense in order of
+// first appearance by flow index.
+func checkPartition(t *testing.T, p *ParallelAllocState, caps []float64, flows []FlowDemand) {
+	t.Helper()
+	p.partition(caps, flows)
+	oracle := bruteComponents(caps, flows)
+	seen := map[int32]bool{}
+	nextID := int32(0)
+	var miscID int32 = -1
+	oracleOf := map[int32]int{}
+	for i := range flows {
+		got := p.compOf[i]
+		if !seen[got] {
+			// Dense first-appearance numbering.
+			if got != nextID {
+				t.Fatalf("flow %d opens component %d, want %d (dense first-appearance ids)", i, got, nextID)
+			}
+			seen[got] = true
+			nextID++
+		}
+		if oracle[i] == -1 {
+			if miscID == -1 {
+				miscID = got
+			} else if got != miscID {
+				t.Fatalf("flow %d (unconstrained) in component %d, want misc batch %d", i, got, miscID)
+			}
+			continue
+		}
+		if prev, ok := oracleOf[got]; ok {
+			if prev != oracle[i] {
+				t.Fatalf("flow %d: component %d mixes oracle components %d and %d", i, got, prev, oracle[i])
+			}
+		} else {
+			oracleOf[got] = oracle[i]
+		}
+		if got == miscID {
+			t.Fatalf("flow %d (constrained) landed in the misc batch", i)
+		}
+	}
+	// Injective both ways: one partitioner component per oracle component.
+	inv := map[int]int32{}
+	for id, ol := range oracleOf {
+		if prev, ok := inv[ol]; ok && prev != id {
+			t.Fatalf("oracle component %d split across partitioner components %d and %d", ol, prev, id)
+		}
+		inv[ol] = id
+	}
+	if p.Components() != int(nextID) {
+		t.Fatalf("Components() = %d, want %d", p.Components(), nextID)
+	}
+}
+
+// TestPartitionMatchesBruteForce proves the union-find component
+// extraction against the BFS oracle over seeded random instances,
+// including paths with out-of-table ids, duplicate links, tombstoned
+// (negative) and unconstrained (NaN) capacities.
+func TestPartitionMatchesBruteForce(t *testing.T) {
+	var p ParallelAllocState
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for iter := 0; iter < 30; iter++ {
+			caps, flows := diffCase(rng)
+			dense := DenseCaps(caps, nil)
+			// Sprinkle tombstones: negative capacity is constrained.
+			for l := range dense {
+				if rng.Intn(8) == 0 {
+					dense[l] = -1
+				}
+			}
+			checkPartition(t, &p, dense, flows)
+		}
+	}
+}
+
+// TestParallelAllocateMatchesSequential is the differential proof at
+// diffCase scale: pooled parallel solves must equal the sequential
+// indexed solver and the reference oracle bit for bit, with arenas and
+// the worker pool reused across every case.
+func TestParallelAllocateMatchesSequential(t *testing.T) {
+	var par ParallelAllocState
+	par.SetWorkers(4)
+	defer par.Close()
+	var seq AllocState
+	var capsBuf []float64
+	var seqOut, parOut []Allocation
+	for seed := int64(100); seed < 115; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for iter := 0; iter < 40; iter++ {
+			caps, flows := diffCase(rng)
+			capsBuf = DenseCaps(caps, capsBuf)
+			want := AllocateReference(caps, flows)
+			seqOut = seq.Allocate(capsBuf, flows, seqOut)
+			sameAllocations(t, "sequential vs reference", seqOut, want)
+			parOut = par.Allocate(capsBuf, flows, parOut)
+			sameAllocations(t, "parallel vs reference", parOut, want)
+		}
+	}
+}
+
+// TestParallelAllocateSyntheticSizes pins bit-identity on the benchmark
+// workloads at every benchmarked size, for both the single-blob and the
+// sharded topologies.
+func TestParallelAllocateSyntheticSizes(t *testing.T) {
+	var par ParallelAllocState
+	par.SetWorkers(4)
+	defer par.Close()
+	var seq AllocState
+	var capsBuf []float64
+	var seqOut, parOut []Allocation
+	for _, n := range []int{16, 64, 256, 1024} {
+		caps, flows := SyntheticAllocation(n, n/2+8, 42)
+		capsBuf = DenseCaps(caps, capsBuf)
+		seqOut = seq.Allocate(capsBuf, flows, seqOut)
+		parOut = par.Allocate(capsBuf, flows, parOut)
+		sameAllocations(t, "synthetic", parOut, seqOut)
+
+		caps, flows = SyntheticShardedAllocation(n, n/2+8, 8, 42)
+		capsBuf = DenseCaps(caps, capsBuf)
+		want := AllocateReference(caps, flows)
+		seqOut = seq.Allocate(capsBuf, flows, seqOut)
+		sameAllocations(t, "sharded sequential vs reference", seqOut, want)
+		parOut = par.Allocate(capsBuf, flows, parOut)
+		sameAllocations(t, "sharded parallel vs reference", parOut, want)
+		if n >= 64 && par.Components() < 8 {
+			t.Fatalf("N=%d sharded workload split into %d components, want >= 8", n, par.Components())
+		}
+	}
+}
+
+// TestPartitionTracksLiveMutation drives the partitioner with flows
+// derived from a live topology's collapsed paths across Gen() bumps:
+// removing the bridge link splits the contention graph into the two
+// chains (and severs the cross-chain flows), restoring it merges them
+// back. Each state is proven against the BFS oracle.
+func TestPartitionTracksLiveMutation(t *testing.T) {
+	const yaml = `
+experiment:
+  services:
+    name: a
+    name: b
+    name: c
+    name: d
+  links:
+    orig: a
+    dest: b
+    latency: 2
+    up: 100Mbps
+  links:
+    orig: b
+    dest: c
+    latency: 2
+    up: 100Mbps
+  links:
+    orig: c
+    dest: d
+    latency: 2
+    up: 100Mbps
+`
+	top, err := topology.ParseYAML(yaml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := top.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := topology.NewLive(g)
+	var p ParallelAllocState
+
+	flowsOf := func() []FlowDemand {
+		st := live.State()
+		byName := map[string]graph.NodeID{}
+		for _, n := range st.Graph.Nodes() {
+			byName[n.Name] = n.ID
+		}
+		var flows []FlowDemand
+		names := []string{"a", "b", "c", "d"}
+		id := 0
+		for _, from := range names {
+			for _, to := range names {
+				if from == to {
+					continue
+				}
+				path := st.Collapsed.Path(byName[from], byName[to])
+				if path == nil {
+					continue
+				}
+				flows = append(flows, FlowDemand{
+					ID:    FlowID(id),
+					Links: path.Links,
+					RTT:   path.RTT(),
+				})
+				id++
+			}
+		}
+		return flows
+	}
+	capsOf := func() []float64 {
+		gr := live.State().Graph
+		caps := make([]float64, gr.NumLinks())
+		for l := range caps {
+			caps[l] = float64(gr.Link(l).Bandwidth)
+		}
+		return caps
+	}
+	componentsAt := func(label string, wantGen uint64) int {
+		t.Helper()
+		if got := live.Gen(); got != wantGen {
+			t.Fatalf("%s: Gen() = %d, want %d", label, got, wantGen)
+		}
+		caps, flows := capsOf(), flowsOf()
+		checkPartition(t, &p, caps, flows)
+		return p.Components()
+	}
+
+	// Full chain a-b-c-d: every pair routes. Each YAML link expands into
+	// two directed links, so the contention graph has two components —
+	// the forward chain and the reverse chain.
+	if n := componentsAt("initial", 1); n != 2 {
+		t.Fatalf("connected chain partitioned into %d components, want 2", n)
+	}
+
+	// Cut the bridge: two 2-node islands, flows within each island only
+	// (and still one component per direction within each island).
+	if err := live.Apply(1*time.Second, topology.Event{
+		At: 1 * time.Second, Kind: topology.EvLinkLeave, Orig: "b", Dest: "c",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := componentsAt("after cut", 2); n != 4 {
+		t.Fatalf("severed chain partitioned into %d components, want 4 (two islands, two directions)", n)
+	}
+
+	// Restore it: one component again, across the Gen() bump.
+	if err := live.Apply(2*time.Second, topology.Event{
+		At: 2 * time.Second, Kind: topology.EvLinkJoin, Orig: "b", Dest: "c",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := componentsAt("after heal", 3); n != 2 {
+		t.Fatalf("healed chain partitioned into %d components, want 2", n)
+	}
+}
+
+// TestParallelRuntimeBitIdentical runs two full deployments — one with
+// Options.ParallelSolve, one without — over the same scenario and
+// demands identical enforced allocations, pinning that the parallel
+// solver slots into the emulation loop without perturbing it.
+func TestParallelRuntimeBitIdentical(t *testing.T) {
+	run := func(parallel bool) map[string]units.Bandwidth {
+		rt := buildRuntime(t, fig8YAML, 2, Options{ParallelSolve: parallel})
+		defer rt.Close()
+		rt.Start()
+		c1, _ := rt.Container("c1")
+		c2, _ := rt.Container("c2")
+		s1, _ := rt.Container("s1")
+		s2, _ := rt.Container("s2")
+		startGreedy(rt.Eng, c1, s1, transport.Cubic)
+		startGreedy(rt.Eng, c2, s2, transport.Cubic)
+		rt.Eng.Run(5 * time.Second)
+		out := map[string]units.Bandwidth{}
+		for _, c := range rt.Containers() {
+			for _, dst := range c.TCAL().Destinations() {
+				props, _ := c.TCAL().Props(dst)
+				out[c.Name+"->"+dst.String()] = props.Bandwidth
+			}
+		}
+		return out
+	}
+	seqAllocs := run(false)
+	parAllocs := run(true)
+	if len(seqAllocs) == 0 {
+		t.Fatal("no enforced allocations recorded")
+	}
+	if len(parAllocs) != len(seqAllocs) {
+		t.Fatalf("allocation sets differ: %d vs %d", len(parAllocs), len(seqAllocs))
+	}
+	for k, v := range seqAllocs {
+		if parAllocs[k] != v {
+			t.Fatalf("%s: parallel enforced %v, sequential %v", k, parAllocs[k], v)
+		}
+	}
+}
+
+// FuzzAllocateParallel is the differential fuzz of the parallel solver:
+// random capacity tables (absent, tombstoned and constrained links) and
+// random flow sets (duplicate links, out-of-table ids, zero RTTs,
+// demands, aggregate weights) must solve bit-identically through the
+// sequential indexed solver and the pooled parallel solver, and — for
+// unweighted instances — through the retained reference oracle.
+func FuzzAllocateParallel(f *testing.F) {
+	for _, c := range []struct {
+		seed   int64
+		nf, nl uint16
+		w      uint8
+	}{
+		{1, 16, 12, 2}, {7, 64, 40, 3}, {42, 256, 136, 4},
+		{1024, 1024, 520, 4}, {-9, 33, 5, 1},
+	} {
+		f.Add(c.seed, c.nf, c.nl, c.w)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, nf, nl uint16, workers uint8) {
+		nFlows := int(nf)%1024 + 1
+		nLinks := int(nl)%256 + 1
+		rng := rand.New(rand.NewSource(seed))
+		caps := make(map[int]units.Bandwidth)
+		for l := 0; l < nLinks; l++ {
+			switch rng.Intn(10) {
+			case 0:
+				// absent: unconstrained
+			case 1:
+				caps[l] = -units.Bandwidth(1 + rng.Int63n(100)) // tombstone
+			default:
+				caps[l] = units.Bandwidth(rng.Int63n(int64(1000*units.Mbps)) + int64(100*units.Kbps))
+			}
+		}
+		flows := make([]FlowDemand, nFlows)
+		weighted := false
+		for i := range flows {
+			k := 1 + rng.Intn(5)
+			links := make([]int, k)
+			for j := range links {
+				links[j] = rng.Intn(nLinks + 2) // occasionally past the table
+			}
+			var demand units.Bandwidth
+			if rng.Intn(2) == 0 {
+				demand = units.Bandwidth(rng.Int63n(int64(300*units.Mbps)) + 1)
+			}
+			rtt := time.Duration(rng.Int63n(int64(250 * time.Millisecond)))
+			if rng.Intn(8) == 0 {
+				rtt = 0
+			}
+			wt := 0
+			if rng.Intn(5) == 0 {
+				wt = 1 + rng.Intn(3)
+				if wt > 1 {
+					weighted = true
+				}
+			}
+			flows[i] = FlowDemand{ID: FlowID(i), Links: links, RTT: rtt, Demand: demand, Weight: wt}
+		}
+		var par ParallelAllocState
+		par.SetWorkers(int(workers)%8 + 1)
+		defer par.Close()
+		var seq AllocState
+		dense := DenseCaps(caps, nil)
+		seqOut := seq.Allocate(dense, flows, nil)
+		parOut := par.Allocate(dense, flows, nil)
+		sameAllocations(t, "parallel vs sequential", parOut, seqOut)
+		if !weighted {
+			sameAllocations(t, "sequential vs reference", seqOut, AllocateReference(caps, flows))
+		}
+	})
+}

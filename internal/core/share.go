@@ -123,25 +123,41 @@ type Allocation struct {
 // concurrent use — one per Emulation Manager, like the loop that owns it.
 type AllocState struct {
 	// per-flow scratch
-	weight   []float64 // 1/RTT of one underlying flow
-	wmult    []int     // weight multiplier (aggregated flow count)
+
+	//kollaps:arena
+	weight []float64 // 1/RTT of one underlying flow
+	//kollaps:arena
+	wmult []int // weight multiplier (aggregated flow count)
+	//kollaps:arena
 	demTheta []float64 // demand/weight, +Inf for greedy flows
-	frozen   []bool
+	//kollaps:arena
+	frozen []bool
 
 	// per-link scratch, dense over the capacity table's id space
-	capLeft []float64
-	sumW    []float64 // Σ weights of unfrozen flows; refreshed when dirty
-	dirty   []bool    // sumW invalidated by a freeze on this link
-	unfro   []int32   // unfrozen flow entries crossing the link
-	start   []int32   // CSR bucket start per link
-	end     []int32   // CSR bucket end per link (fill cursor during build)
-	touched []uint32  // per-call first-touch stamps
-	stamp   []uint32  // per-flow link-dedup stamps
-	calls   uint32
-	stamps  uint32
 
+	//kollaps:arena
+	capLeft []float64
+	//kollaps:arena
+	sumW []float64 // Σ weights of unfrozen flows; refreshed when dirty
+	//kollaps:arena
+	dirty []bool // sumW invalidated by a freeze on this link
+	//kollaps:arena
+	unfro []int32 // unfrozen flow entries crossing the link
+	//kollaps:arena
+	start []int32 // CSR bucket start per link
+	//kollaps:arena
+	end []int32 // CSR bucket end per link (fill cursor during build)
+	//kollaps:arena
+	touched []uint32 // per-call first-touch stamps
+	//kollaps:arena
+	stamp  []uint32 // per-flow link-dedup stamps
+	calls  uint32
+	stamps uint32
+
+	//kollaps:arena
 	active []int32 // constrained link ids with ≥1 flow, ascending
-	csr    []int32 // link→flow index storage
+	//kollaps:arena
+	csr []int32 // link→flow index storage
 
 	remaining int
 }

@@ -100,9 +100,35 @@ func (s *Server) Snapshot() Snapshot {
 }
 
 // Dissem captures every Emulation Manager's control-plane counters.
+// When the runtime publishes observability snapshots
+// (core.Runtime.EnableObsSnapshots), the data comes from the last
+// published snapshot — safe to call from any goroutine while the
+// simulation runs. Without snapshots it reads the live managers
+// directly, which is only safe between runs: the counters are atomics,
+// but the staleness percentiles sort a histogram the emulation loop is
+// appending to.
 func (s *Server) Dissem() []DissemInfo {
 	strategy := s.rt.DissemKind().String()
 	var out []DissemInfo
+	if snaps, ok := s.rt.ObsDissem(); ok {
+		for _, sn := range snaps {
+			out = append(out, DissemInfo{
+				Host:           sn.Host,
+				Strategy:       strategy,
+				Down:           sn.Down,
+				DatagramsSent:  sn.DatagramsSent,
+				BytesSent:      sn.BytesSent,
+				DatagramsRecv:  sn.DatagramsRecv,
+				BytesRecv:      sn.BytesRecv,
+				Suspicions:     sn.Suspicions,
+				Recoveries:     sn.Recoveries,
+				StaleLinks:     sn.StaleLinks,
+				StalenessP50Ms: sn.StalenessP50Ms,
+				StalenessP99Ms: sn.StalenessP99Ms,
+			})
+		}
+		return out
+	}
 	for _, m := range s.rt.Managers() {
 		st := m.DissemStats()
 		out = append(out, DissemInfo{
@@ -143,6 +169,13 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		// Serve the runtime's published snapshot when it exists — gauge
+		// closures read live simulation state and must only run on the
+		// simulation thread. The direct render is the between-runs path.
+		if text, ok := s.rt.ObsMetricsText(); ok {
+			_, _ = w.Write(text)
+			return
+		}
 		_ = reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {

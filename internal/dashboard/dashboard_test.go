@@ -185,6 +185,70 @@ func TestMetricsAndTraceEndpoints(t *testing.T) {
 	}
 }
 
+// TestObsSnapshotsServeWhileRunning is the live-dashboard race
+// regression test: with the runtime's owned snapshot path enabled,
+// /metrics, /dissem and /trace must be servable from other goroutines
+// *while* the simulation runs. Before the snapshot path existed this
+// raced — gauge closures and staleness percentiles read manager state
+// the emulation loop was mutating — and `go test -race` on this test
+// caught it.
+func TestObsSnapshotsServeWhileRunning(t *testing.T) {
+	rt := testRuntimeOpts(t, core.Options{
+		Tracer:   obs.NewTracer(1 << 12),
+		Registry: obs.NewRegistry(),
+	})
+	rt.EnableObsSnapshots()
+	s := New(rt)
+	h := s.Handler()
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, path := range []string{"/metrics", "/dissem", "/trace"} {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+				if rec.Code != 200 {
+					t.Errorf("%s while running = %d, want 200", path, rec.Code)
+					return
+				}
+			}
+		}
+	}()
+
+	drive(t, rt)
+	close(stop)
+	<-done
+
+	// The published snapshot reflects the run: control-plane counters
+	// moved and the Prometheus rendering carries the dissem families.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/dissem", nil))
+	var infos []DissemInfo
+	if err := json.NewDecoder(rec.Body).Decode(&infos); err != nil {
+		t.Fatalf("bad /dissem JSON: %v", err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("managers = %d, want 2", len(infos))
+	}
+	for _, in := range infos {
+		if in.BytesSent == 0 {
+			t.Fatalf("host %d snapshot reports no control-plane bytes", in.Host)
+		}
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if body := rec.Body.String(); !strings.Contains(body, "kollaps_dissem_bytes_sent") {
+		t.Fatalf("/metrics snapshot missing dissem counters:\n%s", body)
+	}
+}
+
 func TestMetricsAndTrace404WhenUnconfigured(t *testing.T) {
 	rt := testRuntime(t)
 	s := New(rt)

@@ -24,7 +24,8 @@ type broadcastNode struct {
 	stats Stats
 
 	remote map[uint16]broadcastEntry
-	hosts  []int // scratch for the per-view deterministic host ordering
+	//kollaps:arena
+	hosts []int // scratch for the per-view deterministic host ordering
 }
 
 type broadcastEntry struct {

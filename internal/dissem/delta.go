@@ -65,8 +65,10 @@ type deltaNode struct {
 	peers map[uint16]*deltaPeer
 
 	// view scratch (AppendRemoteFlows determinism without per-call allocs)
+	//kollaps:arena
 	hostsBuf []int
-	keysBuf  []string
+	//kollaps:arena
+	keysBuf []string
 }
 
 // deltaVal is one flow-path aggregate: summed usage and the number of

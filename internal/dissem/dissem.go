@@ -301,6 +301,33 @@ type Stats struct {
 // maxStalenessSamples caps the staleness histogram per node.
 const maxStalenessSamples = 1 << 16
 
+// AdoptFrom transfers old's accumulated counters, staleness distribution
+// and envelope sequence into s, field by field. It exists for manager
+// restarts: control-plane counters are deployment observability, not
+// process state, so a fresh node adopts its predecessor's totals to stay
+// monotonic across the restart. Counters cannot be struct-copied (their
+// values are atomics), hence the explicit transfer. Call it on the
+// simulation thread before the fresh node starts publishing.
+func (s *Stats) AdoptFrom(old *Stats) {
+	s.DatagramsSent.Store(old.DatagramsSent.Value())
+	s.BytesSent.Store(old.BytesSent.Value())
+	s.DatagramsRecv.Store(old.DatagramsRecv.Value())
+	s.BytesRecv.Store(old.BytesRecv.Value())
+	s.StaleLinks.Store(old.StaleLinks.Value())
+	s.Suspicions.Store(old.Suspicions.Value())
+	s.Recoveries.Store(old.Recoveries.Value())
+	s.TruncatedRecords.Store(old.TruncatedRecords.Value())
+	s.BadVersion.Store(old.BadVersion.Value())
+	s.BadDatagram.Store(old.BadDatagram.Value())
+	s.BadChecksum.Store(old.BadChecksum.Value())
+	s.Saturated.Store(old.Saturated.Value())
+	s.Staleness.Reset()
+	s.Staleness.Merge(&old.Staleness)
+	s.staleStride = old.staleStride
+	s.staleSkip = old.staleSkip
+	s.envSeq = old.envSeq
+}
+
 // send seals the inner frame in the integrity envelope (envelope.go)
 // and hands it to the transport. Counters see the on-wire size.
 func (s *Stats) send(tr Transport, host int, b []byte) {

@@ -87,6 +87,7 @@ type gossipNode struct {
 	lastPull map[uint16]int
 	pullGap  map[uint16]int
 
+	//kollaps:arena
 	hostsBuf []int // view scratch (deterministic origin ordering)
 }
 

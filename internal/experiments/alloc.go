@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -37,17 +38,27 @@ type AllocBenchEntry struct {
 
 // AllocBenchReport is the BENCH_allocator.json schema.
 type AllocBenchReport struct {
-	// Workload documents the input generator so baselines are only ever
-	// compared against the same distribution.
-	Workload string            `json:"workload"`
-	Entries  []AllocBenchEntry `json:"entries"`
+	// Workload documents the input generators so baselines are only ever
+	// compared against the same distributions.
+	Workload string `json:"workload"`
+	// Cores records GOMAXPROCS at measurement time: the parallel solver's
+	// ns/op is meaningless without it (on one core its speedup over the
+	// monolithic solver is purely algorithmic — smaller per-component
+	// problems — not concurrency).
+	Cores   int               `json:"cores"`
+	Entries []AllocBenchEntry `json:"entries"`
 }
 
-// RunAllocBench benchmarks both solver entry points at every size, writes
-// the JSON report to path (skipped when path is empty) and returns a
-// printable table with the speedup columns.
-func RunAllocBench(path string) (*Table, *AllocBenchReport, error) {
-	report := &AllocBenchReport{Workload: "core.SyntheticAllocation(n, n/2+8, seed 42)"}
+// RunAllocBench benchmarks all four solver entry points at every size —
+// indexed vs seed reference on the dense workload, monolithic vs
+// component-sharded parallel on the sharded workload — writes the JSON
+// report to path (skipped when path is empty) and returns one printable
+// table per comparison, each with its speedup column.
+func RunAllocBench(path string) ([]*Table, *AllocBenchReport, error) {
+	report := &AllocBenchReport{
+		Workload: "core.SyntheticAllocation(n, n/2+8, seed 42); sharded: core.SyntheticShardedAllocation(n, n/2+8, 8, seed 42)",
+		Cores:    runtime.GOMAXPROCS(0),
+	}
 	table := &Table{
 		Title:   "allocator: indexed solver vs seed reference (bit-identical outputs)",
 		Columns: []string{"indexed ns/op", "ref ns/op", "speedup", "indexed allocs/op", "ref allocs/op"},
@@ -97,6 +108,64 @@ func RunAllocBench(path string) (*Table, *AllocBenchReport, error) {
 			},
 		})
 	}
+	// The sharded pair: the same indexed solver run monolithically vs the
+	// component-partitioned parallel one (GOMAXPROCS workers) on a
+	// workload with real component structure. Outputs are pinned
+	// bit-identical by core's differential tests; cmd/benchcheck gates
+	// the N=1024 pair (parallel ≤ 0.6× sharded, 0 allocs/op).
+	parTable := &Table{
+		Title:   fmt.Sprintf("allocator: monolithic vs component-sharded parallel (8 shards, %d cores)", report.Cores),
+		Columns: []string{"sharded ns/op", "parallel ns/op", "speedup", "components", "parallel allocs/op"},
+	}
+	for _, n := range AllocBenchSizes {
+		capsMap, flows := core.SyntheticShardedAllocation(n, n/2+8, 8, 42)
+		caps := core.DenseCaps(capsMap, nil)
+
+		var s core.AllocState
+		var out []core.Allocation
+		sharded := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out = s.Allocate(caps, flows, out)
+			}
+		})
+		var p core.ParallelAllocState
+		out = p.Allocate(caps, flows, out) // warm the pool and arenas
+		parallel := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out = p.Allocate(caps, flows, out)
+			}
+		})
+		components := p.Components()
+		p.Close()
+
+		report.Entries = append(report.Entries,
+			AllocBenchEntry{
+				Name: fmt.Sprintf("AllocateSharded/N=%d", n), Flows: n,
+				NsPerOp:    float64(sharded.NsPerOp()),
+				BytesPerOp: sharded.AllocedBytesPerOp(), AllocsPerOp: sharded.AllocsPerOp(),
+			},
+			AllocBenchEntry{
+				Name: fmt.Sprintf("AllocateParallel/N=%d", n), Flows: n,
+				NsPerOp:    float64(parallel.NsPerOp()),
+				BytesPerOp: parallel.AllocedBytesPerOp(), AllocsPerOp: parallel.AllocsPerOp(),
+			})
+		speedup := "n/a"
+		if parallel.NsPerOp() > 0 {
+			speedup = fmt.Sprintf("%.1fx", float64(sharded.NsPerOp())/float64(parallel.NsPerOp()))
+		}
+		parTable.Rows = append(parTable.Rows, Row{
+			Label: fmt.Sprintf("N=%d flows", n),
+			Values: []string{
+				fmt.Sprintf("%d", sharded.NsPerOp()),
+				fmt.Sprintf("%d", parallel.NsPerOp()),
+				speedup,
+				fmt.Sprintf("%d", components),
+				fmt.Sprintf("%d", parallel.AllocsPerOp()),
+			},
+		})
+	}
 	if path != "" {
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -107,5 +176,5 @@ func RunAllocBench(path string) (*Table, *AllocBenchReport, error) {
 			return nil, nil, err
 		}
 	}
-	return table, report, nil
+	return []*Table{table, parTable}, report, nil
 }

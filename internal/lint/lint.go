@@ -13,7 +13,7 @@
 // vendors no external modules. An analyzer written here ports to a real
 // multichecker by swapping the Pass type.
 //
-// Four analyzers enforce the contracts:
+// Seven analyzers enforce the contracts:
 //
 //   - hotpath: functions annotated //kollaps:hotpath and every
 //     project-local function statically reachable from them must contain
@@ -28,6 +28,19 @@
 //     narrowing into wire serialization calls or //kollaps:wire struct
 //     fields must go through the saturating helpers of internal/wire.
 //     See wiresafe.go.
+//   - guardedby: fields annotated //kollaps:guardedby <mutex> may only
+//     be touched with the named mutex held (a lexically dominating
+//     Lock, or a //kollaps:locked precondition on the enclosing
+//     function); annotated mutex pairs acquired in both orders and
+//     copies of annotated structs are also flagged. See guardedby.go.
+//   - arenaescape: slices interior to a //kollaps:arena pooled buffer
+//     must not outlive the arena — channel sends, stores into heap
+//     structures, closure captures and exported returns are flagged
+//     outside //kollaps:arenaok hand-off sites. See arenaescape.go.
+//   - gostmt: in //kollaps:deterministic packages every go statement
+//     must sit inside a //kollaps:workerpool scope with a provable
+//     WaitGroup join, no loop-variable capture and no global
+//     randomness. See gostmt.go.
 //
 // # Annotation vocabulary
 //
@@ -51,6 +64,18 @@
 //	                         values (narrowing into them is checked)
 //	//kollaps:saturates      func  performs a checked narrowing; its body
 //	                         is exempt from wiresafe
+//	//kollaps:guardedby M    field/var  accessible only with mutex M held
+//	                         (M is a sibling field, or a package-level
+//	                         mutex for package vars)
+//	//kollaps:locked M       func  precondition: the caller holds M; the
+//	                         body's accesses to M-guarded state are legal
+//	//kollaps:arena          field  pooled slice reused across calls;
+//	                         interior slices must not escape the owner
+//	//kollaps:arenaok        site  sanctioned arena hand-off (the callee
+//	                         takes ownership or copies before the reuse)
+//	//kollaps:workerpool     func  sanctioned goroutine-spawning scope;
+//	                         every go statement inside must be
+//	                         WaitGroup-joined
 package lint
 
 import (
@@ -229,14 +254,53 @@ func TypeDirective(gen *ast.GenDecl, spec *ast.TypeSpec, name string) bool {
 // directiveName extracts the kollaps directive name from a comment's
 // raw text, or "".
 func directiveName(text string) string {
-	if !strings.HasPrefix(text, directivePrefix) {
-		return ""
-	}
-	name := strings.TrimPrefix(text, directivePrefix)
-	if i := strings.IndexAny(name, " \t"); i >= 0 {
-		name = name[:i]
-	}
+	name, _ := directiveNameArg(text)
 	return name
+}
+
+// directiveNameArg splits a kollaps directive comment into its name and
+// argument: "//kollaps:guardedby mu" → ("guardedby", "mu"). Directives
+// without an argument return arg "".
+func directiveNameArg(text string) (name, arg string) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", ""
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		return rest[:i], strings.TrimSpace(rest[i:])
+	}
+	return rest, ""
+}
+
+// commentGroupArg scans a comment group for the named directive and
+// returns its argument.
+func commentGroupArg(doc *ast.CommentGroup, name string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		if n, arg := directiveNameArg(c.Text); n == name {
+			return arg, true
+		}
+	}
+	return "", false
+}
+
+// FuncDirectiveArg returns the argument of the named directive on a
+// function declaration ("//kollaps:locked mu" → "mu", true), looking in
+// the doc comment like FuncDirective does.
+func FuncDirectiveArg(decl *ast.FuncDecl, name string) (string, bool) {
+	return commentGroupArg(decl.Doc, name)
+}
+
+// fieldDirectiveArg returns the argument of the named directive on a
+// struct field or var spec, looking in the field's doc comment (the
+// line above) and its trailing comment.
+func fieldDirectiveArg(doc, comment *ast.CommentGroup, name string) (string, bool) {
+	if arg, ok := commentGroupArg(doc, name); ok {
+		return arg, true
+	}
+	return commentGroupArg(comment, name)
 }
 
 // ---- running ----
@@ -304,7 +368,10 @@ func RunAnalyzers(prog *Program, analyzers []*Analyzer, pkgs []*Package) ([]Find
 	return out, nil
 }
 
-// Analyzers returns the four kollapslint analyzers in reporting order.
+// Analyzers returns the seven kollapslint analyzers in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{HotPathAnalyzer, WallTimeAnalyzer, MapOrderAnalyzer, WireSafeAnalyzer}
+	return []*Analyzer{
+		HotPathAnalyzer, WallTimeAnalyzer, MapOrderAnalyzer, WireSafeAnalyzer,
+		GuardedByAnalyzer, ArenaEscapeAnalyzer, GoStmtAnalyzer,
+	}
 }

@@ -130,6 +130,18 @@ func TestWireSafeFixture(t *testing.T) {
 	runFixture(t, []*lint.Analyzer{lint.WireSafeAnalyzer}, "wiresafe")
 }
 
+func TestGuardedByFixture(t *testing.T) {
+	runFixture(t, []*lint.Analyzer{lint.GuardedByAnalyzer}, "guardedby")
+}
+
+func TestArenaEscapeFixture(t *testing.T) {
+	runFixture(t, []*lint.Analyzer{lint.ArenaEscapeAnalyzer}, "arenaescape")
+}
+
+func TestGoStmtFixture(t *testing.T) {
+	runFixture(t, []*lint.Analyzer{lint.GoStmtAnalyzer}, "gostmt")
+}
+
 // TestUnannotatedPackageIsClean runs ALL analyzers over the fixture that
 // opts into nothing: the scope directives, not the behavior, select
 // enforcement, so wall-clock reads and order-leaking ranges there are

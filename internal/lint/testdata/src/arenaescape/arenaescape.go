@@ -1,0 +1,79 @@
+// Package arenaescape is the arenaescape analyzer fixture: interior
+// slices of //kollaps:arena pooled buffers must not outlive the owner's
+// reuse; arena-to-arena hand-offs and //kollaps:arenaok sites are
+// sanctioned.
+package arenaescape
+
+// pool owns one reusable arena and a second arena it shuttles into.
+type pool struct {
+	//kollaps:arena
+	buf []byte
+	//kollaps:arena
+	spare []byte
+	held  [][]byte // heap destination: retained past the next reuse
+}
+
+// sink is a longer-lived struct the arena must not leak into.
+type sink struct {
+	data []byte
+}
+
+var global []byte
+
+func consume(b []byte) {}
+
+// Fill reuses the arena, stores it back, and hands it to a synchronous
+// callee: all clean.
+func (p *pool) Fill(n int) {
+	b := p.buf[:0]
+	for i := 0; i < n; i++ {
+		b = append(b, byte(i))
+	}
+	p.buf = b
+	consume(p.buf)
+}
+
+// Rotate moves the buffer between two arena fields: ownership transfer
+// within the pool, clean.
+func (p *pool) Rotate() {
+	p.buf, p.spare = p.spare, p.buf
+}
+
+// Leak demonstrates the escape shapes.
+func (p *pool) Leak(ch chan []byte, s *sink, m map[int][]byte, dst *[]byte) {
+	b := p.buf[:4]
+	ch <- b                    // want `sent over channel`
+	s.data = b                 // want `stored in non-arena field data`
+	m[0] = b                   // want `stored in map`
+	*dst = b                   // want `stored through pointer`
+	global = p.buf             // want `stored in package var global`
+	p.held = append(p.held, b) // want `appended to non-arena slice`
+	_ = sink{data: b}          // want `stored in composite literal`
+}
+
+// Retain captures an interior slice in a closure that outlives the
+// call; re-reading p.buf through the captured owner would be fine.
+func (p *pool) Retain() func() byte {
+	b := p.buf[:1]
+	return func() byte {
+		return b[0] // want `captured by closure`
+	}
+}
+
+// Bytes returns the live arena from an exported function.
+func (p *pool) Bytes() []byte {
+	return p.buf // want `returned from exported Bytes`
+}
+
+// Handoff is the sanctioned variant: the caller takes the buffer over
+// (the DenseCaps idiom), declared at the site.
+func (p *pool) Handoff() []byte {
+	//kollaps:arenaok
+	return p.buf
+}
+
+// bytes is unexported: intra-package hand-off, the caller is analyzed
+// in the same pass.
+func (p *pool) bytes() []byte {
+	return p.buf
+}

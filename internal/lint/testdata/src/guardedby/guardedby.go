@@ -1,0 +1,122 @@
+// Package guardedby is the guardedby analyzer fixture: annotated
+// fields must be touched with their mutex held, annotated mutexes must
+// be acquired in one global order, and guarded structs must not be
+// copied.
+package guardedby
+
+import "sync"
+
+// ring is the canonical guarded owner: two fields under mu, one free.
+type ring struct {
+	mu sync.Mutex
+	//kollaps:guardedby mu
+	buf []int
+	//kollaps:guardedby mu
+	head     int
+	capacity int // unguarded: immutable after construction
+}
+
+// newRing constructs through a composite literal: field keys are not
+// accesses, so initialization needs no lock.
+func newRing(n int) *ring {
+	return &ring{buf: make([]int, 0, n), capacity: n}
+}
+
+// Push holds the lock across both guarded accesses: clean.
+func (r *ring) Push(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf = append(r.buf, v)
+	r.head++
+}
+
+// Peek reads guarded state with no lock in sight.
+func (r *ring) Peek() int {
+	return r.buf[r.head] // want `access to (buf|head) guarded by .*mu without holding the lock`
+}
+
+// Reset unlocks too early: the access after the inline Unlock is
+// outside the critical section even though a Lock appears above it.
+func (r *ring) Reset() {
+	r.mu.Lock()
+	r.buf = r.buf[:0]
+	r.mu.Unlock()
+	r.head = 0 // want `access to head guarded by .*mu without holding the lock`
+}
+
+// lenLocked declares the caller-holds-mu precondition: clean.
+//
+//kollaps:locked mu
+func (r *ring) lenLocked() int {
+	return r.head
+}
+
+// Len is the sanctioned split: lock, then delegate to the locked form.
+func (r *ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lenLocked()
+}
+
+// Snapshot copies the ring — and with it a mutex that guards nothing.
+func (r ring) Snapshot() int { // want `value receiver copies ring`
+	return r.capacity
+}
+
+// clone copies through a dereference: same bug, different shape.
+func clone(r *ring) {
+	c := *r // want `dereference copies a struct with guarded fields`
+	_ = c
+}
+
+// a and b exist to demonstrate lock-order inversion between two
+// distinct annotated mutexes.
+type a struct {
+	mu sync.Mutex
+	//kollaps:guardedby mu
+	v int
+}
+
+type b struct {
+	mu sync.Mutex
+	//kollaps:guardedby mu
+	v int
+}
+
+// lockAB takes a.mu then b.mu.
+func lockAB(x *a, y *b) {
+	x.mu.Lock()
+	y.mu.Lock() // want `lock order inversion`
+	y.v++
+	x.v++
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// lockBA takes them in the reverse order: with lockAB this deadlocks.
+func lockBA(x *a, y *b) {
+	y.mu.Lock()
+	x.mu.Lock() // want `lock order inversion`
+	x.v++
+	y.v++
+	x.mu.Unlock()
+	y.mu.Unlock()
+}
+
+// Package-level guarded state.
+var pkgMu sync.Mutex
+
+//kollaps:guardedby pkgMu
+var pkgCount int
+
+// bumpLocked holds the package mutex: clean.
+func bumpLocked() {
+	pkgMu.Lock()
+	pkgCount++
+	pkgMu.Unlock()
+}
+
+// bumpRacy touches the package var bare.
+func bumpRacy() {
+	pkgCount++ // want `access to pkgCount guarded by pkgMu without holding the lock`
+}

@@ -7,11 +7,15 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 )
 
 // Histogram collects float64 samples and answers order statistics.
-// The zero value is ready to use.
+// The zero value is ready to use. A Histogram is not safe for concurrent
+// use: it belongs to the deterministic simulation thread, and anything
+// that must cross a goroutine boundary (the dashboard) goes through the
+// runtime's owned snapshot path instead of reading a live Histogram.
 type Histogram struct {
 	samples []float64
 	sorted  bool
@@ -138,19 +142,26 @@ func (h *Histogram) Merge(other *Histogram) {
 }
 
 // Counter is a monotonically increasing event or byte count. The zero
-// value is ready to use.
+// value is ready to use. Counters are safe for concurrent use: writers
+// live on the simulation thread but readers (the dashboard goroutine,
+// registry exports) may sample them at any time, so the value is an
+// atomic. Counters must not be copied after first use.
 type Counter struct {
-	v int64
+	v atomic.Int64
 }
 
 // Add increments the counter by n.
-func (c *Counter) Add(n int64) { c.v += n }
+func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.v++ }
+func (c *Counter) Inc() { c.v.Add(1) }
 
 // Value returns the accumulated count.
-func (c *Counter) Value() int64 { return c.v }
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Store overwrites the accumulated count. It exists for state transfer —
+// restoring a restarted manager's counters — not for normal accounting.
+func (c *Counter) Store(n int64) { c.v.Store(n) }
 
 // MSE returns the mean squared error between observed and expected.
 // The slices must have equal nonzero length.

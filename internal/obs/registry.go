@@ -25,14 +25,20 @@ import (
 // dissem.Stats counter, the live topology generation) are exported
 // without a parallel write path.
 //
-// Registration and export are mutex-guarded; the handed-out counters and
-// histograms themselves are as concurrent-safe as their metrics types
-// (which is: not — the deterministic simulation is single-threaded).
+// Registration and export are mutex-guarded. The handed-out counters are
+// atomics and safe to sample from any goroutine; histograms and gauge
+// closures are only as safe as the state they read, which is why a live
+// deployment exports through the runtime's owned snapshot path (refreshed
+// on the simulation thread) rather than calling WritePrometheus from an
+// HTTP goroutine.
 type Registry struct {
-	mu     sync.Mutex
+	mu sync.Mutex
+	//kollaps:guardedby mu
 	counts map[string]*metrics.Counter
+	//kollaps:guardedby mu
 	gauges map[string]func() float64
-	hists  map[string]*metrics.Histogram
+	//kollaps:guardedby mu
+	hists map[string]*metrics.Histogram
 }
 
 // NewRegistry builds an empty metrics registry.

@@ -19,6 +19,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 )
 
@@ -158,13 +159,18 @@ type Event struct {
 // the events that led up to it in the buffer.
 //
 // A nil *Tracer is the disabled recorder: Record on it is a no-op whose
-// cost is one inlined nil check, so call sites need no guards. Tracers
-// are not safe for concurrent use; the deterministic simulation is
-// single-threaded and exports happen after (or between) runs.
+// cost is one inlined nil check, so call sites need no guards. The ring
+// is guarded by an internal mutex so the dashboard's /trace endpoint can
+// export concurrently with the simulation thread recording; an
+// uncontended Lock/Unlock pair is a few nanoseconds and allocates
+// nothing, so Record stays inside the hot loop's 0-alloc budget.
 type Tracer struct {
-	ev   []Event
-	mask uint64
+	mu sync.Mutex
+	//kollaps:guardedby mu
+	ev []Event
+	//kollaps:guardedby mu
 	head uint64 // total events ever recorded
+	mask uint64 // immutable after NewTracer
 }
 
 // DefaultTraceEvents is the ring capacity NewTracer uses for capacity<=0.
@@ -192,8 +198,10 @@ func (t *Tracer) Record(at time.Duration, kind Kind, host int32, a, b int64) {
 	if t == nil {
 		return
 	}
+	t.mu.Lock()
 	t.ev[t.head&t.mask] = Event{At: at, Kind: kind, Host: host, A: a, B: b}
 	t.head++
+	t.mu.Unlock()
 }
 
 // Enabled reports whether the tracer records events (false for nil).
@@ -204,6 +212,15 @@ func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lenLocked()
+}
+
+// lenLocked is Len's body; the caller holds t.mu.
+//
+//kollaps:locked mu
+func (t *Tracer) lenLocked() int {
 	if t.head < uint64(len(t.ev)) {
 		return int(t.head)
 	}
@@ -215,6 +232,8 @@ func (t *Tracer) Cap() int {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return len(t.ev)
 }
 
@@ -223,6 +242,8 @@ func (t *Tracer) Dropped() int64 {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.head <= uint64(len(t.ev)) {
 		return 0
 	}
@@ -230,12 +251,15 @@ func (t *Tracer) Dropped() int64 {
 }
 
 // Events appends the held events to buf in chronological order and
-// returns it.
+// returns it. The copy is taken under the ring lock, so exporting while
+// the simulation records sees a consistent prefix.
 func (t *Tracer) Events(buf []Event) []Event {
 	if t == nil {
 		return buf
 	}
-	n := uint64(t.Len())
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := uint64(t.lenLocked())
 	for i := t.head - n; i < t.head; i++ {
 		buf = append(buf, t.ev[i&t.mask])
 	}

@@ -251,3 +251,39 @@ func TestEquivalenceStrategiesExercised(t *testing.T) {
 	}
 	t.Logf("control-plane bytes: %v", bytesSent)
 }
+
+// TestParallelSolveEquivalence pins the public-API form of the parallel
+// solver's bit-identity contract: the same dynamic scenario deployed
+// with and without ParallelSolve(true) must produce byte-equal per-flow
+// results AND byte-equal control-plane traffic — the component-sharded
+// solve may change wall-clock cost per period, never a single emitted
+// byte. (core's differential fuzz pins the solver pair per call; this
+// pins the full deployment path through kollaps options.)
+func TestParallelSolveEquivalence(t *testing.T) {
+	run := func(t *testing.T, parallel bool) ([2]int64, [2]int64) {
+		exp, err := Load(equivDynamicYAML)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := []Option{WithSeed(7), WithDissem("tree", DissemFanout(2)), WithPlacement(equivPlacement)}
+		if parallel {
+			opts = append(opts, ParallelSolve(true))
+		}
+		if err := exp.Deploy(4, opts...); err != nil {
+			t.Fatal(err)
+		}
+		defer exp.Close()
+		received := equivDrive(t, exp)
+		sent, recvd := exp.MetadataTraffic()
+		return received, [2]int64{sent, recvd}
+	}
+	seqFlows, seqMeta := run(t, false)
+	parFlows, parMeta := run(t, true)
+	if seqFlows != parFlows {
+		t.Errorf("per-flow bytes diverge: sequential %v, parallel %v", seqFlows, parFlows)
+	}
+	if seqMeta != parMeta {
+		t.Errorf("metadata traffic diverges: sequential %v, parallel %v", seqMeta, parMeta)
+	}
+	t.Logf("parallel solve: flows %v, metadata %v — identical to sequential", parFlows, parMeta)
+}

@@ -29,6 +29,7 @@ type config struct {
 	dissem      dissemConfig
 	traceEvents int // 0 = tracing disabled, <0 = default capacity
 	probeEvery  int // 0 = probe disabled
+	parallel    bool
 }
 
 type dissemConfig struct {
@@ -136,6 +137,18 @@ func WithTrace(events int) Option {
 		}
 		c.traceEvents = events
 	})
+}
+
+// ParallelSolve selects the component-sharded parallel sharing-model
+// solver (core.ParallelAllocState): each Emulation Manager partitions
+// its flow set by shared-constrained-link connectivity and solves the
+// components on a GOMAXPROCS worker pool. Results are bit-identical to
+// the sequential solver's — and therefore to the paper's reference —
+// regardless of scheduling, so this only changes wall-clock cost per
+// period, never emulation behavior. Worth enabling on multi-core hosts
+// or sharded topologies; see DESIGN.md "Parallel solve".
+func ParallelSolve(enabled bool) Option {
+	return optionFunc(func(c *config) { c.parallel = enabled })
 }
 
 // WithAccuracyProbe enables the emulation-accuracy probe: every
