@@ -62,7 +62,7 @@ var annotationFloors = map[string]map[string]int{
 	},
 	"repro/internal/core": {
 		"guardedby":  3,  // runtime obsSnapshot (metrics, dissem, published)
-		"arena":      30, // AllocState + ParallelAllocState + Manager scratch
+		"arena":      47, // AllocState + ParallelAllocState + IncrementalAllocState + Manager scratch
 		"workerpool": 1,  // ParallelAllocState.startPool
 	},
 	"repro/internal/dissem": {

@@ -1,0 +1,497 @@
+// The incremental form of the component-sharded solver: re-solve only
+// what changed since the previous period.
+//
+// The §4.1 emulation loop re-solves the full RTT-aware max-min
+// allocation every period, yet between consecutive periods almost
+// nothing moves — at production scale (1% churn per period) ~99% of the
+// solver work recomputes last period's answer. The PR 9 partition is
+// exactly the right invalidation granularity: a component's allocation
+// is a pure function of (its flows' contents, the capacities of the
+// links they cross) and of nothing else — that is the isolation property
+// the parallel solver's bit-identity proof rests on. So a component
+// whose inputs are unchanged since the previous call can reuse its
+// previous per-flow results verbatim, bit for bit.
+//
+// Change detection is a positional diff of the inputs against a private
+// snapshot, plus externally fed invalidation:
+//
+//   - per-link: a capacity entry changed (NaN-aware), or MarkLinkDirty
+//     was called — recorded as an epoch stamp per link id;
+//   - per-flow: the flow at index i differs in any field (ID, links,
+//     RTT, demand, weight) from the previous call's flow at index i, or
+//     the flow count changed; a changed flow stamps every link it
+//     crosses now and crossed before;
+//   - wholesale: InvalidateAll (the runtime calls it when the live
+//     topology's generation moves and when a manager restarts), a
+//     capacity-table length change, or the first call.
+//
+// A component of the *current* partition re-solves iff it contains a
+// changed flow, crosses a stamped link, or fails the shape check: all
+// of its flows must come from one previous component of the same size.
+// The shape check makes clean reuse locally provable: a clean component
+// C maps injectively into one previous component c0 of equal size, so
+// C's member set *is* c0's; its flows are content-identical, its links'
+// capacities unchanged (a change would have stamped them), and the
+// gather order (ascending flow index) is the same — solveComponent
+// would recompute exactly the snapshot. Any partition-shape change
+// around C (a merge, a split, a membership shift) either trips the
+// check or is driven by a stamped link/changed flow. Conservative
+// over-dirtying is always safe; reuse is only taken when identity is
+// guaranteed. FuzzAllocateIncremental holds this to exact equality
+// against the full solver and the reference oracle under random
+// mutation sequences.
+//
+// Cost per call: O(flows + links) for the diff, plus solver work on
+// dirty components only. The partition itself is a function of the link
+// paths, the flow order and the capacity table's constrainedness
+// pattern — when the diff proves none of those moved (the steady churn
+// regime: only demands/RTTs/weights/capacity values wiggle), the
+// union-find is skipped and the previous partition reused, and the
+// snapshot refresh shrinks to the changed flows and dirty components.
+// Steady state allocates nothing: the snapshot and scratch arenas grow
+// to the working set once (//kollaps:arena, growth branches
+// //kollaps:coldpath), like every other hot-path state in this package.
+package core
+
+import (
+	"math"
+
+	"repro/internal/units"
+)
+
+// IncrementalStats counts the incremental solver's decisions. Reads are
+// owner-thread only, like the state itself.
+type IncrementalStats struct {
+	// FullSolves counts calls that solved every component (first call,
+	// InvalidateAll, capacity-table length change).
+	FullSolves int64
+	// IncrementalSolves counts calls that took the diff path (even if
+	// every component turned out dirty).
+	IncrementalSolves int64
+	// DirtyComponents / CleanComponents count per-call component
+	// verdicts, summed over all calls (full solves count all components
+	// as dirty).
+	DirtyComponents int64
+	CleanComponents int64
+	// SolvedFlows / ReusedFlows count per-flow outcomes, summed over all
+	// calls: solved through solveComponent vs copied from the snapshot.
+	SolvedFlows int64
+	ReusedFlows int64
+}
+
+// ReuseRatio is the fraction of flow results served from the snapshot,
+// over the state's lifetime. 0 when nothing has been solved yet.
+func (s *IncrementalStats) ReuseRatio() float64 {
+	total := s.SolvedFlows + s.ReusedFlows
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ReusedFlows) / float64(total)
+}
+
+// IncrementalAllocState is the incremental form of ParallelAllocState:
+// same inputs, same bit-identical outputs, but between calls it keeps a
+// snapshot of the previous inputs, outputs and partition, diffs the new
+// inputs against it, and re-solves only the components the diff dirtied
+// — clean components' per-flow results are copied from the snapshot.
+// Dirty components still solve on the embedded worker pool (SetWorkers /
+// Close as on ParallelAllocState). One per solver pass per Emulation
+// Manager, owned by the simulation thread; the zero value is ready to
+// use and full-solves its first call.
+type IncrementalAllocState struct {
+	ParallelAllocState
+
+	// ---- previous-call snapshot ----
+	//
+	// prevFlows' Links alias prevLinks (an owned arena — the caller's
+	// Links backing storage is reused between periods by the Manager, so
+	// the snapshot must deep-copy it). prevComp/prevSize capture the
+	// previous partition for the shape check.
+
+	//kollaps:arena
+	prevCaps []float64
+	//kollaps:arena
+	prevFlows []FlowDemand
+	//kollaps:arena
+	prevLinks []int
+	//kollaps:arena
+	prevOut []Allocation
+	//kollaps:arena
+	prevComp []int32
+	//kollaps:arena
+	prevSize []int32
+	valid    bool
+
+	// ---- dirty-link machinery ----
+	//
+	// linkEpoch[l] == epoch marks link l dirty for the current call; the
+	// epoch bump replaces clearing the array (same trick as AllocState's
+	// touched/stamp generations). pendingDirty holds externally fed
+	// MarkLinkDirty ids, consumed (and cleared) by the next Allocate.
+
+	//kollaps:arena
+	linkEpoch []uint32
+	epoch     uint32
+	//kollaps:arena
+	pendingDirty []int32
+	forceFull    bool
+
+	// ---- per-call scratch ----
+
+	//kollaps:arena
+	flowChanged []bool
+	//kollaps:arena
+	compDirty []bool
+	//kollaps:arena
+	compPrev []int32
+	//kollaps:arena
+	dirtyComps []int32
+
+	stats IncrementalStats
+}
+
+// InvalidateAll drops every cached verdict: the next Allocate runs a
+// full solve. The runtime calls it for changes the positional diff
+// cannot be trusted to see whole — a live-topology generation change
+// (capacities, latencies and link liveness may all have moved within
+// one event group) and a manager restart (a fresh process has no warm
+// caches).
+func (s *IncrementalAllocState) InvalidateAll() { s.forceFull = true }
+
+// MarkLinkDirty force-dirties link l for the next Allocate: every
+// component crossing l re-solves even if its inputs diff clean. This is
+// the externally fed invalidation hook for callers that mutate state
+// the diff cannot observe (the unit suite uses it to model out-of-band
+// invalidation); the Manager's collectLocal/dissemination inputs are
+// covered by the diff itself and need no marking. Negative ids are
+// ignored; unknown ids dirty nothing.
+func (s *IncrementalAllocState) MarkLinkDirty(l int) {
+	if l >= 0 {
+		s.pendingDirty = append(s.pendingDirty, int32(l))
+	}
+}
+
+// Stats returns the lifetime solve/reuse counters.
+func (s *IncrementalAllocState) Stats() IncrementalStats { return s.stats }
+
+// flowEq reports whether two flow entries are content-identical — the
+// condition under which the solver's output for them (and their weight
+// contribution to shared links) is bit-identical.
+func flowEq(a, b *FlowDemand) bool {
+	return a.ID == b.ID && a.RTT == b.RTT && a.Demand == b.Demand &&
+		a.Weight == b.Weight && linksEq(a.Links, b.Links)
+}
+
+// linksEq reports element-wise equality of two link paths.
+func linksEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, l := range a {
+		if l != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// stampLinks marks every in-range link of a path dirty for this call.
+// Out-of-range ids constrain nothing, so they cannot dirty anything.
+func stampLinks(linkEpoch []uint32, epoch uint32, links []int) {
+	n := len(linkEpoch)
+	for _, l := range links {
+		if l >= 0 && l < n {
+			linkEpoch[l] = epoch
+		}
+	}
+}
+
+// Allocate computes the RTT-aware min-max allocation with the same
+// inputs, outputs and appended-into-out contract as AllocState.Allocate
+// and ParallelAllocState.Allocate, bit-identical to both. Components
+// whose inputs are unchanged since the previous call reuse their
+// previous per-flow results; the rest solve on the embedded pool.
+//
+//kollaps:hotpath
+func (s *IncrementalAllocState) Allocate(caps []float64, flows []FlowDemand, out []Allocation) []Allocation {
+	n := len(flows)
+	L := len(caps)
+	out = grow(out, n)
+	p := &s.ParallelAllocState
+
+	full := !s.valid || s.forceFull || L != len(s.prevCaps)
+	s.forceFull = false
+
+	// One dirty-stamp epoch per call; the wraparound clear runs once per
+	// 4·10⁹ calls.
+	s.epoch++
+	if s.epoch == 0 {
+		//kollaps:coldpath
+		whole := s.linkEpoch[:cap(s.linkEpoch)]
+		for i := range whole {
+			whole[i] = 0
+		}
+		s.epoch = 1
+	}
+	s.linkEpoch = growStamps(s.linkEpoch, L)
+	epoch := s.epoch
+
+	// Diff phase, before partitioning: besides stamping dirty links it
+	// decides whether the previous call's partition is still valid. The
+	// partition is a function of the flows' link paths, the flow order,
+	// and the capacity table's constrainedness (IsNaN) pattern ONLY —
+	// demand/RTT/weight edits and capacity value moves never reshape it.
+	// In the steady churn regime that skips the union-find entirely.
+	samePartition := false
+	if !full {
+		np := len(s.prevFlows)
+		samePartition = n == np
+		// Dirty links: externally marked, then capacity diffs. NaN melts
+		// equality, so unconstrained entries compare via IsNaN.
+		for _, l := range s.pendingDirty {
+			if int(l) < L {
+				s.linkEpoch[l] = epoch
+			}
+		}
+		for l := 0; l < L; l++ {
+			a, b := caps[l], s.prevCaps[l]
+			an, bn := math.IsNaN(a), math.IsNaN(b)
+			if an != bn {
+				samePartition = false
+			}
+			if a != b && !(an && bn) {
+				s.linkEpoch[l] = epoch
+			}
+		}
+		// Changed flows: positional content diff. A changed flow stamps
+		// both its current and previous paths — whoever shares either
+		// must re-solve. Removed tail flows stamp their previous paths.
+		s.flowChanged = grow(s.flowChanged, n)
+		for i := 0; i < n; i++ {
+			changed := i >= np || !flowEq(&flows[i], &s.prevFlows[i])
+			s.flowChanged[i] = changed
+			if changed {
+				stampLinks(s.linkEpoch, epoch, flows[i].Links)
+				if i < np {
+					stampLinks(s.linkEpoch, epoch, s.prevFlows[i].Links)
+					if !linksEq(flows[i].Links, s.prevFlows[i].Links) {
+						samePartition = false
+					}
+				}
+			}
+		}
+		for i := n; i < np; i++ {
+			stampLinks(s.linkEpoch, epoch, s.prevFlows[i].Links)
+		}
+	}
+
+	if !samePartition {
+		p.partition(caps, flows)
+	}
+	nComp := p.nComp
+
+	s.compDirty = grow(s.compDirty, nComp)
+	s.dirtyComps = s.dirtyComps[:0]
+
+	switch {
+	case full:
+		for c := 0; c < nComp; c++ {
+			s.compDirty[c] = true
+		}
+	case samePartition:
+		// The partition is unchanged, so the snapshot's prevComp/prevSize
+		// still describe it exactly: no merge/split/shape checks needed. A
+		// component re-solves iff it holds a changed flow or crosses a
+		// stamped link.
+		for c := 0; c < nComp; c++ {
+			s.compDirty[c] = false
+		}
+		for i := 0; i < n; i++ {
+			c := p.compOf[i]
+			if s.compDirty[c] {
+				continue
+			}
+			if s.flowChanged[i] {
+				s.compDirty[c] = true
+				continue
+			}
+			for _, l := range flows[i].Links {
+				if l >= 0 && l < L && s.linkEpoch[l] == epoch {
+					s.compDirty[c] = true
+					break
+				}
+			}
+		}
+	default:
+		// Component verdicts. compPrev[c] tracks which previous component
+		// c's unchanged flows came from: a mismatch means the partition
+		// merged around c — shape change, re-solve.
+		s.compPrev = grow(s.compPrev, nComp)
+		for c := 0; c < nComp; c++ {
+			s.compDirty[c] = false
+			s.compPrev[c] = -1
+		}
+		for i := 0; i < n; i++ {
+			c := p.compOf[i]
+			if s.compDirty[c] {
+				continue
+			}
+			if s.flowChanged[i] {
+				s.compDirty[c] = true
+				continue
+			}
+			pc := s.prevComp[i]
+			if s.compPrev[c] == -1 {
+				s.compPrev[c] = pc
+			} else if s.compPrev[c] != pc {
+				s.compDirty[c] = true
+				continue
+			}
+			for _, l := range flows[i].Links {
+				if l >= 0 && l < L && s.linkEpoch[l] == epoch {
+					s.compDirty[c] = true
+					break
+				}
+			}
+		}
+		// Shape check: a clean component must coincide exactly with its
+		// previous component. All members come from one previous
+		// component (checked above); equal size then forces set equality,
+		// which is what licenses verbatim reuse. A split (prev component
+		// larger) trips here; a merge trips the compPrev mismatch.
+		for c := 0; c < nComp; c++ {
+			if s.compDirty[c] {
+				continue
+			}
+			pc := s.compPrev[c]
+			if pc < 0 || p.compEnd[c]-p.compStart[c] != s.prevSize[pc] {
+				s.compDirty[c] = true
+			}
+		}
+	}
+	s.pendingDirty = s.pendingDirty[:0]
+
+	// Verdicts are in: copy clean components' results from the snapshot
+	// (clean flows are unchanged, so their indices are valid in prevOut)
+	// and queue the dirty ones.
+	for c := int32(0); c < int32(nComp); c++ {
+		if s.compDirty[c] {
+			s.dirtyComps = append(s.dirtyComps, c)
+			continue
+		}
+		for k := p.compStart[c]; k < p.compEnd[c]; k++ {
+			i := p.order[k]
+			out[i] = s.prevOut[i]
+		}
+	}
+	nDirty := len(s.dirtyComps)
+
+	// Solve the dirty components — inline when the pool or the dirty set
+	// is no wider than one, else dispatched like ParallelAllocState.
+	workers := p.poolSize()
+	if workers <= 1 || nDirty < 2 {
+		if len(p.ws) == 0 {
+			p.ws = make([]allocWorker, 1) //kollaps:coldpath
+		}
+		w := &p.ws[0]
+		for _, c := range s.dirtyComps {
+			p.solveComponent(w, c, caps, flows, out)
+		}
+	} else {
+		if p.tasks == nil {
+			p.startPool(workers)
+		}
+		p.caps, p.flows, p.out = caps, flows, out
+		p.pending.Add(nDirty)
+		for _, c := range s.dirtyComps {
+			p.tasks <- c
+		}
+		p.pending.Wait()
+		p.caps, p.flows, p.out = nil, nil, nil
+	}
+
+	if full {
+		s.stats.FullSolves++
+	} else {
+		s.stats.IncrementalSolves++
+	}
+	s.stats.DirtyComponents += int64(nDirty)
+	s.stats.CleanComponents += int64(nComp - nDirty)
+	solved := 0
+	for _, c := range s.dirtyComps {
+		solved += int(p.compEnd[c] - p.compStart[c])
+	}
+	s.stats.SolvedFlows += int64(solved)
+	s.stats.ReusedFlows += int64(n - solved)
+
+	// Snapshot this call's inputs, outputs and partition for the next
+	// diff. Links are deep-copied into the owned arena: the caller (the
+	// Manager's globalFlows) reuses its Links backing storage next
+	// period, so aliasing it would corrupt the diff.
+	if samePartition {
+		// Partition, link paths and flow count are unchanged: refresh only
+		// what moved. Changed flows differ in scalar fields alone (a path
+		// change forfeits samePartition), so the arena stays as is; clean
+		// components' outputs were copied *from* prevOut, so only dirty
+		// components need writing back.
+		copy(s.prevCaps, caps)
+		for i := 0; i < n; i++ {
+			if s.flowChanged[i] {
+				f, g := &s.prevFlows[i], &flows[i]
+				f.ID, f.RTT, f.Demand, f.Weight = g.ID, g.RTT, g.Demand, g.Weight
+			}
+		}
+		for _, c := range s.dirtyComps {
+			for k := p.compStart[c]; k < p.compEnd[c]; k++ {
+				i := p.order[k]
+				s.prevOut[i] = out[i]
+			}
+		}
+		return out
+	}
+	s.prevCaps = grow(s.prevCaps, L)
+	copy(s.prevCaps, caps)
+	s.prevOut = grow(s.prevOut, n)
+	copy(s.prevOut, out[:n])
+	s.prevComp = grow(s.prevComp, n)
+	copy(s.prevComp, p.compOf[:n])
+	s.prevSize = grow(s.prevSize, nComp)
+	for c := 0; c < nComp; c++ {
+		s.prevSize[c] = p.compEnd[c] - p.compStart[c]
+	}
+	s.prevFlows = grow(s.prevFlows, n)
+	arena := s.prevLinks[:0]
+	for i := range flows {
+		start := len(arena)
+		arena = append(arena, flows[i].Links...)
+		f := flows[i]
+		//kollaps:arenaok — prevFlows and prevLinks are one snapshot with one owner, rebuilt together
+		f.Links = arena[start:len(arena):len(arena)]
+		s.prevFlows[i] = f
+	}
+	s.prevLinks = arena
+	s.valid = true
+	return out
+}
+
+// ChurnDemands mutates ~frac of the flows' demands in place (seeded,
+// deterministic) and returns how many changed. This is the "1% churn
+// per period" workload driver shared by the incremental benchmarks, the
+// churn experiment table and the tests, so all of them measure the same
+// mutation distribution. next is any uint64 PRNG step function; pass
+// the Uint64 method of a seeded rand.Rand.
+func ChurnDemands(flows []FlowDemand, frac float64, next func() uint64) int {
+	n := len(flows)
+	if n == 0 {
+		return 0
+	}
+	k := int(float64(n)*frac + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	for j := 0; j < k; j++ {
+		i := int(next() % uint64(n))
+		flows[i].Demand = units.Bandwidth(1 + next()%uint64(200*units.Mbps))
+	}
+	return k
+}

@@ -1,0 +1,627 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+	"repro/internal/transport"
+	"repro/internal/units"
+)
+
+// The incremental solver's proof harness. The contract under test: under
+// ANY sequence of input mutations — demand edits, flow adds/removes,
+// link set/fail/heal, capacity-table growth, wholesale invalidation —
+// IncrementalAllocState.Allocate returns exactly what a full solve
+// returns, bit for bit, while re-solving only the components the
+// mutation dirtied.
+
+// capsToMap rebuilds the map form of a dense capacity table (NaN =
+// absent) so mutated instances can be checked against the reference
+// oracle, which takes the map form.
+func capsToMap(caps []float64) map[int]units.Bandwidth {
+	m := make(map[int]units.Bandwidth, len(caps))
+	for l, v := range caps {
+		if !math.IsNaN(v) {
+			m[l] = units.Bandwidth(v)
+		}
+	}
+	return m
+}
+
+// runIncrementalSequence drives one seeded mutation sequence: a random
+// initial instance, then nSteps rounds of 1–3 random mutations each,
+// solving after every round through the incremental state AND through a
+// full solve (the sequential indexed solver; plus the retained reference
+// oracle while the instance is unweighted), demanding bit-identical
+// allocations throughout. Mutations cover every invalidation source the
+// runtime can produce: demand/RTT/weight edits, flow add/remove, link
+// capacity set, link fail (tombstone), link unconstrain (NaN), capacity-
+// table growth, and InvalidateAll (the manager kill/restart model —
+// a restarted process re-solves from nothing).
+func runIncrementalSequence(t *testing.T, seed int64, nSteps, nFlows, nLinks, workers int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+
+	caps := make([]float64, nLinks)
+	for l := range caps {
+		switch rng.Intn(10) {
+		case 0:
+			caps[l] = math.NaN() // unconstrained
+		case 1:
+			caps[l] = -float64(1 + rng.Int63n(100)) // tombstone
+		default:
+			caps[l] = float64(rng.Int63n(int64(1000*units.Mbps)) + int64(100*units.Kbps))
+		}
+	}
+	weighted := false
+	nextID := 0
+	newFlow := func() FlowDemand {
+		k := 1 + rng.Intn(5)
+		links := make([]int, k)
+		for j := range links {
+			links[j] = rng.Intn(len(caps) + 2) // occasionally past the table
+		}
+		var demand units.Bandwidth
+		if rng.Intn(2) == 0 {
+			demand = units.Bandwidth(rng.Int63n(int64(300*units.Mbps)) + 1)
+		}
+		rtt := time.Duration(rng.Int63n(int64(250 * time.Millisecond)))
+		if rng.Intn(8) == 0 {
+			rtt = 0
+		}
+		wt := 0
+		if rng.Intn(5) == 0 {
+			wt = 1 + rng.Intn(3)
+			if wt > 1 {
+				weighted = true
+			}
+		}
+		f := FlowDemand{ID: FlowID(nextID), Links: links, RTT: rtt, Demand: demand, Weight: wt}
+		nextID++
+		return f
+	}
+	flows := make([]FlowDemand, 0, nFlows)
+	for i := 0; i < nFlows; i++ {
+		flows = append(flows, newFlow())
+	}
+
+	var inc IncrementalAllocState
+	inc.SetWorkers(workers)
+	defer inc.Close()
+	var oracle AllocState
+	var incOut, oraOut []Allocation
+	totalFlows := int64(0)
+	check := func(label string) {
+		incOut = inc.Allocate(caps, flows, incOut)
+		oraOut = oracle.Allocate(caps, flows, oraOut)
+		sameAllocations(t, label+" incremental vs full", incOut, oraOut)
+		if !weighted {
+			sameAllocations(t, label+" incremental vs reference", incOut, AllocateReference(capsToMap(caps), flows))
+		}
+		totalFlows += int64(len(flows))
+	}
+	check("initial")
+
+	mutate := func() {
+		switch rng.Intn(10) {
+		case 0: // demand edit
+			i := rng.Intn(len(flows))
+			flows[i].Demand = units.Bandwidth(rng.Int63n(int64(300 * units.Mbps)))
+		case 1: // RTT edit
+			i := rng.Intn(len(flows))
+			flows[i].RTT = time.Duration(rng.Int63n(int64(250 * time.Millisecond)))
+		case 2: // weight edit
+			i := rng.Intn(len(flows))
+			flows[i].Weight = 1 + rng.Intn(3)
+			if flows[i].Weight > 1 {
+				weighted = true
+			}
+		case 3: // flow add
+			flows = append(flows, newFlow())
+		case 4: // flow remove
+			if len(flows) > 1 {
+				i := rng.Intn(len(flows))
+				flows = append(flows[:i], flows[i+1:]...)
+			}
+		case 5: // link capacity set
+			l := rng.Intn(len(caps))
+			caps[l] = float64(rng.Int63n(int64(1000*units.Mbps)) + int64(100*units.Kbps))
+		case 6: // link fail: tombstone (constrained, zero effective capacity)
+			caps[rng.Intn(len(caps))] = -1
+		case 7: // link unconstrain: drops out of the capacity table
+			caps[rng.Intn(len(caps))] = math.NaN()
+		case 8: // manager kill/restart model: every cached verdict dropped
+			inc.InvalidateAll()
+		case 9: // capacity-table growth (fresh link joins)
+			caps = append(caps, float64(rng.Int63n(int64(1000*units.Mbps))+int64(100*units.Kbps)))
+		}
+	}
+	for step := 0; step < nSteps; step++ {
+		for j, n := 0, 1+rng.Intn(3); j < n; j++ {
+			mutate()
+		}
+		check(fmt.Sprintf("step %d", step))
+	}
+
+	// Accounting invariant: every flow of every call was either solved or
+	// reused — no third outcome, no double counting.
+	st := inc.Stats()
+	if st.SolvedFlows+st.ReusedFlows != totalFlows {
+		t.Fatalf("stats leak: solved %d + reused %d != %d flows fed", st.SolvedFlows, st.ReusedFlows, totalFlows)
+	}
+}
+
+// TestIncrementalMatchesFullUnderMutation is the deterministic slice of
+// the differential fuzz: seeded mutation sequences at several scales and
+// pool widths, run on every `go test`.
+func TestIncrementalMatchesFullUnderMutation(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		runIncrementalSequence(t, seed, 20, 1+int(seed)*7, 1+int(seed)*4, 1+int(seed)%4)
+	}
+}
+
+// incrementalFuzzSeeds is the committed seed corpus of
+// FuzzAllocateIncremental, shared with TestWriteIncrementalFuzzCorpus so
+// the testdata files provably match.
+var incrementalFuzzSeeds = []struct {
+	seed                   int64
+	steps, nf, nl, workers uint16
+}{
+	{1, 8, 24, 12, 2},
+	{7, 16, 64, 40, 3},
+	{42, 12, 200, 96, 4},
+	{-9, 24, 33, 5, 1},
+	{1024, 6, 500, 130, 4},
+	{77, 20, 16, 8, 2},
+}
+
+// FuzzAllocateIncremental is the mutation-sequence differential fuzz:
+// random interleavings of demand edits, flow adds/removes, link
+// set/fail/heal, table growth and kill/restart-style invalidation,
+// solved incrementally and checked bit-for-bit against the full solver
+// (and the reference oracle while unweighted) after every step.
+func FuzzAllocateIncremental(f *testing.F) {
+	for _, c := range incrementalFuzzSeeds {
+		f.Add(c.seed, c.steps, c.nf, c.nl, c.workers)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, steps, nf, nl, workers uint16) {
+		nSteps := int(steps)%32 + 1
+		nFlows := int(nf)%512 + 1
+		nLinks := int(nl)%192 + 1
+		w := int(workers)%8 + 1
+		runIncrementalSequence(t, seed, nSteps, nFlows, nLinks, w)
+	})
+}
+
+// TestWriteIncrementalFuzzCorpus pins the committed seed corpus under
+// testdata/fuzz/FuzzAllocateIncremental/ to incrementalFuzzSeeds, in the
+// same way dissem's TestWriteFuzzCorpus pins its frame corpus: a normal
+// test run verifies the files byte-for-byte; WRITE_FUZZ_CORPUS=1
+// regenerates them after a seed-table change.
+func TestWriteIncrementalFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzAllocateIncremental")
+	write := os.Getenv("WRITE_FUZZ_CORPUS") != ""
+	for i, c := range incrementalFuzzSeeds {
+		name := filepath.Join(dir, fmt.Sprintf("seed-%03d", i))
+		content := "go test fuzz v1\n" +
+			"int64(" + strconv.FormatInt(c.seed, 10) + ")\n" +
+			"uint16(" + strconv.FormatUint(uint64(c.steps), 10) + ")\n" +
+			"uint16(" + strconv.FormatUint(uint64(c.nf), 10) + ")\n" +
+			"uint16(" + strconv.FormatUint(uint64(c.nl), 10) + ")\n" +
+			"uint16(" + strconv.FormatUint(uint64(c.workers), 10) + ")\n"
+		if write {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("missing committed corpus file %s (regenerate with WRITE_FUZZ_CORPUS=1): %v", name, err)
+		}
+		if string(got) != content {
+			t.Errorf("%s is stale vs incrementalFuzzSeeds (regenerate with WRITE_FUZZ_CORPUS=1)", name)
+		}
+	}
+}
+
+// TestIncrementalDirtyTracking is the invalidation-source unit suite:
+// each mutation kind, applied in isolation to a fixed three-component
+// instance, must dirty exactly the expected components and reuse the
+// rest — verified through the solve counters, plus bit-identity of the
+// result against a fresh full solve.
+//
+// The instance: component 0 = {f0,f1} on link 0, component 1 = {f2,f3}
+// on links 1 and 3, component 2 = the misc batch {f4 (unconstrained
+// link 2), f5 (no links)}. Capacity table: [100M, 100M, NaN, 50M].
+func TestIncrementalDirtyTracking(t *testing.T) {
+	baseCaps := func() []float64 {
+		return []float64{100e6, 100e6, math.NaN(), 50e6}
+	}
+	baseFlows := func() []FlowDemand {
+		return []FlowDemand{
+			{ID: 0, Links: []int{0}, RTT: 10 * time.Millisecond},
+			{ID: 1, Links: []int{0}, RTT: 20 * time.Millisecond, Demand: 10 * units.Mbps},
+			{ID: 2, Links: []int{1}, RTT: 30 * time.Millisecond},
+			{ID: 3, Links: []int{1, 3}, RTT: 40 * time.Millisecond},
+			{ID: 4, Links: []int{2}, RTT: 50 * time.Millisecond},
+			{ID: 5, Links: nil, RTT: 60 * time.Millisecond},
+		}
+	}
+	type tc struct {
+		name string
+		// prep mutates the instance before the warm-up solve (for cases
+		// whose interesting transition starts from a non-base state).
+		prep func(caps []float64, flows []FlowDemand)
+		// mutate transforms the warm instance into the second call's.
+		mutate    func(inc *IncrementalAllocState, caps []float64, flows []FlowDemand) ([]float64, []FlowDemand)
+		wantFull  bool
+		wantDirty int64
+		wantClean int64
+	}
+	cases := []tc{
+		{
+			name: "no change",
+			mutate: func(_ *IncrementalAllocState, caps []float64, flows []FlowDemand) ([]float64, []FlowDemand) {
+				return caps, flows
+			},
+			wantDirty: 0, wantClean: 3,
+		},
+		{
+			name: "demand change",
+			mutate: func(_ *IncrementalAllocState, caps []float64, flows []FlowDemand) ([]float64, []FlowDemand) {
+				flows[0].Demand = 5 * units.Mbps
+				return caps, flows
+			},
+			wantDirty: 1, wantClean: 2,
+		},
+		{
+			name: "rtt change",
+			mutate: func(_ *IncrementalAllocState, caps []float64, flows []FlowDemand) ([]float64, []FlowDemand) {
+				flows[2].RTT = 35 * time.Millisecond
+				return caps, flows
+			},
+			wantDirty: 1, wantClean: 2,
+		},
+		{
+			name: "weight change",
+			mutate: func(_ *IncrementalAllocState, caps []float64, flows []FlowDemand) ([]float64, []FlowDemand) {
+				flows[3].Weight = 3
+				return caps, flows
+			},
+			wantDirty: 1, wantClean: 2,
+		},
+		{
+			name: "flow appended to misc batch",
+			mutate: func(_ *IncrementalAllocState, caps []float64, flows []FlowDemand) ([]float64, []FlowDemand) {
+				return caps, append(flows, FlowDemand{ID: 6, Links: []int{2}, RTT: 15 * time.Millisecond})
+			},
+			wantDirty: 1, wantClean: 2,
+		},
+		{
+			name: "flow appended on link 0",
+			mutate: func(_ *IncrementalAllocState, caps []float64, flows []FlowDemand) ([]float64, []FlowDemand) {
+				return caps, append(flows, FlowDemand{ID: 6, Links: []int{0}, RTT: 15 * time.Millisecond})
+			},
+			wantDirty: 1, wantClean: 2,
+		},
+		{
+			// Removing the last flow shrinks the misc batch: the shape
+			// check (current misc is smaller than its previous component)
+			// dirties it; the link-bearing components stay clean.
+			name: "last flow removed",
+			mutate: func(_ *IncrementalAllocState, caps []float64, flows []FlowDemand) ([]float64, []FlowDemand) {
+				return caps, flows[:5]
+			},
+			wantDirty: 1, wantClean: 2,
+		},
+		{
+			// Removing the FIRST flow shifts every index: the positional
+			// diff conservatively dirties everything.
+			name: "first flow removed",
+			mutate: func(_ *IncrementalAllocState, caps []float64, flows []FlowDemand) ([]float64, []FlowDemand) {
+				return caps, flows[1:]
+			},
+			wantDirty: 3, wantClean: 0,
+		},
+		{
+			name: "SetLink capacity",
+			mutate: func(_ *IncrementalAllocState, caps []float64, flows []FlowDemand) ([]float64, []FlowDemand) {
+				caps[3] = 25e6
+				return caps, flows
+			},
+			wantDirty: 1, wantClean: 2,
+		},
+		{
+			name: "FailLink tombstone",
+			mutate: func(_ *IncrementalAllocState, caps []float64, flows []FlowDemand) ([]float64, []FlowDemand) {
+				caps[0] = -1
+				return caps, flows
+			},
+			wantDirty: 1, wantClean: 2,
+		},
+		{
+			name: "RestoreLink heal",
+			prep: func(caps []float64, _ []FlowDemand) { caps[0] = -1 },
+			mutate: func(_ *IncrementalAllocState, caps []float64, flows []FlowDemand) ([]float64, []FlowDemand) {
+				caps[0] = 100e6
+				return caps, flows
+			},
+			wantDirty: 1, wantClean: 2,
+		},
+		{
+			name: "link leaves the capacity table",
+			mutate: func(_ *IncrementalAllocState, caps []float64, flows []FlowDemand) ([]float64, []FlowDemand) {
+				caps[3] = math.NaN()
+				return caps, flows
+			},
+			wantDirty: 1, wantClean: 2,
+		},
+		{
+			// Link 2 becoming constrained pulls f4 out of the misc batch
+			// into its own component (dirty: it crosses the changed link)
+			// and shrinks the misc batch (dirty: shape check). 4
+			// components now; the two link components stay clean.
+			name: "link newly constrained",
+			mutate: func(_ *IncrementalAllocState, caps []float64, flows []FlowDemand) ([]float64, []FlowDemand) {
+				caps[2] = 80e6
+				return caps, flows
+			},
+			wantDirty: 2, wantClean: 2,
+		},
+		{
+			name: "MarkLinkDirty",
+			mutate: func(inc *IncrementalAllocState, caps []float64, flows []FlowDemand) ([]float64, []FlowDemand) {
+				inc.MarkLinkDirty(1)
+				return caps, flows
+			},
+			wantDirty: 1, wantClean: 2,
+		},
+		{
+			name: "MarkLinkDirty out of table",
+			mutate: func(inc *IncrementalAllocState, caps []float64, flows []FlowDemand) ([]float64, []FlowDemand) {
+				inc.MarkLinkDirty(99)
+				return caps, flows
+			},
+			wantDirty: 0, wantClean: 3,
+		},
+		{
+			name: "InvalidateAll",
+			mutate: func(inc *IncrementalAllocState, caps []float64, flows []FlowDemand) ([]float64, []FlowDemand) {
+				inc.InvalidateAll()
+				return caps, flows
+			},
+			wantFull: true, wantDirty: 3, wantClean: 0,
+		},
+		{
+			name: "capacity table grows",
+			mutate: func(_ *IncrementalAllocState, caps []float64, flows []FlowDemand) ([]float64, []FlowDemand) {
+				return append(caps, 10e6), flows
+			},
+			wantFull: true, wantDirty: 3, wantClean: 0,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var inc IncrementalAllocState
+			inc.SetWorkers(1)
+			caps, flows := baseCaps(), baseFlows()
+			if c.prep != nil {
+				c.prep(caps, flows)
+			}
+			var out []Allocation
+			out = inc.Allocate(caps, flows, out)
+			before := inc.Stats()
+			if before.FullSolves != 1 || before.DirtyComponents != 3 {
+				t.Fatalf("warm-up: %+v, want 1 full solve over 3 components", before)
+			}
+			caps, flows = c.mutate(&inc, caps, flows)
+			out = inc.Allocate(caps, flows, out)
+			after := inc.Stats()
+			if gotFull := after.FullSolves > before.FullSolves; gotFull != c.wantFull {
+				t.Errorf("full solve = %v, want %v", gotFull, c.wantFull)
+			}
+			if got := after.DirtyComponents - before.DirtyComponents; got != c.wantDirty {
+				t.Errorf("dirty components = %d, want %d", got, c.wantDirty)
+			}
+			if got := after.CleanComponents - before.CleanComponents; got != c.wantClean {
+				t.Errorf("clean components = %d, want %d", got, c.wantClean)
+			}
+			var oracle AllocState
+			sameAllocations(t, c.name, out, oracle.Allocate(caps, flows, nil))
+		})
+	}
+}
+
+// TestIncrementalChurnReuse pins the reuse economics on the benchmark's
+// churn workload: at 1% demand churn per period over a 64-component
+// sharded instance, the steady state must re-solve only a small
+// minority of components and serve most flow results from the snapshot.
+func TestIncrementalChurnReuse(t *testing.T) {
+	capsMap, flows := SyntheticShardedAllocation(1024, 520, 64, 42)
+	caps := DenseCaps(capsMap, nil)
+	var inc IncrementalAllocState
+	inc.SetWorkers(4)
+	defer inc.Close()
+	var out []Allocation
+	out = inc.Allocate(caps, flows, out) // warm-up full solve
+	warm := inc.Stats()
+	rng := rand.New(rand.NewSource(7))
+	const periods = 50
+	var oracle AllocState
+	var want []Allocation
+	for i := 0; i < periods; i++ {
+		ChurnDemands(flows, 0.01, rng.Uint64)
+		out = inc.Allocate(caps, flows, out)
+		want = oracle.Allocate(caps, flows, want)
+		sameAllocations(t, "churn period", out, want)
+	}
+	st := inc.Stats()
+	if got := st.IncrementalSolves - warm.IncrementalSolves; got != periods {
+		t.Fatalf("%d incremental solves, want %d (no spurious full solves under pure churn)", got, periods)
+	}
+	reused := st.ReusedFlows - warm.ReusedFlows
+	solved := st.SolvedFlows - warm.SolvedFlows
+	ratio := float64(reused) / float64(reused+solved)
+	if ratio < 0.6 {
+		t.Fatalf("reuse ratio %.2f at 1%% churn, want >= 0.6 (reused %d, solved %d)", ratio, reused, solved)
+	}
+	t.Logf("1%% churn over %d periods: reuse ratio %.2f (%d reused, %d solved)", periods, ratio, reused, solved)
+}
+
+// TestIncrementalZeroAllocSteadyState pins the hot-path contract: once
+// arenas reach the working set, churn-and-solve rounds allocate nothing.
+func TestIncrementalZeroAllocSteadyState(t *testing.T) {
+	capsMap, flows := SyntheticShardedAllocation(1024, 520, 64, 42)
+	caps := DenseCaps(capsMap, nil)
+	var inc IncrementalAllocState
+	inc.SetWorkers(4)
+	defer inc.Close()
+	var out []Allocation
+	rng := rand.New(rand.NewSource(7))
+	out = inc.Allocate(caps, flows, out)
+	ChurnDemands(flows, 0.01, rng.Uint64)
+	out = inc.Allocate(caps, flows, out) // second call: all arenas sized
+	allocs := testing.AllocsPerRun(20, func() {
+		ChurnDemands(flows, 0.01, rng.Uint64)
+		out = inc.Allocate(caps, flows, out)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state churn round allocates %.1f times, want 0", allocs)
+	}
+}
+
+// TestIncrementalRuntimeBitIdentical deploys the same dynamic scenario
+// with and without Options.IncrementalSolve and demands identical
+// enforced allocations — the incremental caches (including their
+// generation-change full-solve fallbacks) must not perturb the emulation
+// by a single bit.
+func TestIncrementalRuntimeBitIdentical(t *testing.T) {
+	lat := 25 * time.Millisecond
+	run := func(incremental bool) map[string]units.Bandwidth {
+		rt := buildRuntime(t, fig8YAML, 2, Options{IncrementalSolve: incremental})
+		defer rt.Close()
+		if err := rt.ScheduleEvents(
+			topology.Event{At: 2 * time.Second, Kind: topology.EvSetLink, Orig: "c1", Dest: "b1", Props: topology.LinkPatch{Latency: &lat}},
+			topology.Event{At: 3 * time.Second, Kind: topology.EvLinkLeave, Orig: "c2", Dest: "b1"},
+			topology.Event{At: 4 * time.Second, Kind: topology.EvLinkJoin, Orig: "c2", Dest: "b1"},
+		); err != nil {
+			t.Fatal(err)
+		}
+		rt.Start()
+		c1, _ := rt.Container("c1")
+		c2, _ := rt.Container("c2")
+		s1, _ := rt.Container("s1")
+		s2, _ := rt.Container("s2")
+		startGreedy(rt.Eng, c1, s1, transport.Cubic)
+		startGreedy(rt.Eng, c2, s2, transport.Cubic)
+		rt.Eng.Run(5 * time.Second)
+		out := map[string]units.Bandwidth{}
+		for _, c := range rt.Containers() {
+			for _, dst := range c.TCAL().Destinations() {
+				props, _ := c.TCAL().Props(dst)
+				out[c.Name+"->"+dst.String()] = props.Bandwidth
+			}
+		}
+		return out
+	}
+	plain := run(false)
+	incr := run(true)
+	if len(plain) == 0 {
+		t.Fatal("no enforced allocations recorded")
+	}
+	if len(incr) != len(plain) {
+		t.Fatalf("allocation sets differ: %d vs %d", len(incr), len(plain))
+	}
+	for k, v := range plain {
+		if incr[k] != v {
+			t.Fatalf("%s: incremental enforced %v, full %v", k, incr[k], v)
+		}
+	}
+}
+
+// TestIncrementalRuntimeInvalidation drives every runtime-level
+// invalidation source through a live deployment and asserts each one
+// forces the incremental caches back to a full solve — and that between
+// events the loop actually runs incrementally.
+func TestIncrementalRuntimeInvalidation(t *testing.T) {
+	rt := buildRuntime(t, fig8YAML, 2, Options{IncrementalSolve: true})
+	defer rt.Close()
+	rt.Start()
+	c1, _ := rt.Container("c1")
+	s1, _ := rt.Container("s1")
+	startGreedy(rt.Eng, c1, s1, transport.Cubic)
+	now := 1 * time.Second
+	rt.Eng.Run(now)
+	m := rt.Managers()[0]
+	if st := m.IncrementalStats(); st.IncrementalSolves == 0 {
+		t.Fatalf("steady state never solved incrementally: %+v", st)
+	}
+
+	expectFull := func(label string, act func()) {
+		t.Helper()
+		before := m.IncrementalStats()
+		act()
+		now += time.Second
+		rt.Eng.Run(now)
+		after := m.IncrementalStats()
+		if after.FullSolves <= before.FullSolves {
+			t.Errorf("%s: full solves stayed at %d — invalidation not propagated", label, before.FullSolves)
+		}
+		// Steady state resumes after the one-shot invalidation: the last
+		// second (20 periods) cannot have been all full solves.
+		if after.IncrementalSolves <= before.IncrementalSolves {
+			t.Errorf("%s: no incremental solves after the event (full %d->%d)",
+				label, before.FullSolves, after.FullSolves)
+		}
+	}
+
+	lat := 15 * time.Millisecond
+	expectFull("SetLink", func() {
+		if err := rt.ApplyEvents(topology.Event{At: now, Kind: topology.EvSetLink, Orig: "c1", Dest: "b1", Props: topology.LinkPatch{Latency: &lat}}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	expectFull("FailLink", func() {
+		if err := rt.ApplyEvents(topology.Event{At: now, Kind: topology.EvLinkLeave, Orig: "c3", Dest: "b1"}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	expectFull("RestoreLink", func() {
+		if err := rt.ApplyEvents(topology.Event{At: now, Kind: topology.EvLinkJoin, Orig: "c3", Dest: "b1"}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	expectFull("node leave", func() {
+		if err := rt.ApplyEvents(topology.Event{At: now, Kind: topology.EvNodeLeave, Name: "c6"}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	expectFull("node join", func() {
+		if err := rt.ApplyEvents(topology.Event{At: now, Kind: topology.EvNodeJoin, Name: "c6"}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	expectFull("manager kill/restart", func() {
+		if err := rt.KillManager(0); err != nil {
+			t.Fatal(err)
+		}
+		// One outage period, then revive: the restarted manager's first
+		// live pass must full-solve (cold caches).
+		now += 100 * time.Millisecond
+		rt.Eng.Run(now)
+		if err := rt.RestartManager(0); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -15,6 +15,7 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"testing"
@@ -49,14 +50,15 @@ type AllocBenchReport struct {
 	Entries []AllocBenchEntry `json:"entries"`
 }
 
-// RunAllocBench benchmarks all four solver entry points at every size —
+// RunAllocBench benchmarks every solver entry point at every size —
 // indexed vs seed reference on the dense workload, monolithic vs
-// component-sharded parallel on the sharded workload — writes the JSON
-// report to path (skipped when path is empty) and returns one printable
-// table per comparison, each with its speedup column.
+// component-sharded parallel on the sharded workload, parallel re-solve
+// vs incremental on the 1% churn workload — writes the JSON report to
+// path (skipped when path is empty) and returns one printable table per
+// comparison, each with its speedup column.
 func RunAllocBench(path string) ([]*Table, *AllocBenchReport, error) {
 	report := &AllocBenchReport{
-		Workload: "core.SyntheticAllocation(n, n/2+8, seed 42); sharded: core.SyntheticShardedAllocation(n, n/2+8, 8, seed 42)",
+		Workload: "core.SyntheticAllocation(n, n/2+8, seed 42); sharded: core.SyntheticShardedAllocation(n, n/2+8, 8, seed 42); churn: core.SyntheticShardedAllocation(n, n/2+8, max(8,n/16), seed 42) + core.ChurnDemands(1%, seed 42) per op",
 		Cores:    runtime.GOMAXPROCS(0),
 	}
 	table := &Table{
@@ -166,6 +168,78 @@ func RunAllocBench(path string) ([]*Table, *AllocBenchReport, error) {
 			},
 		})
 	}
+	// The churn pair: a period loop under 1% demand churn per op, parallel
+	// full re-solve vs incremental dirty-component re-solve, on a sharded
+	// workload with ~16-flow components (the steady-state regime the
+	// incremental solver targets). Outputs are pinned bit-identical by
+	// core's differential fuzz; cmd/benchcheck gates the largest-N pair
+	// (incremental ≤ 0.3× parallel, 0 allocs/op).
+	incTable := &Table{
+		Title:   fmt.Sprintf("allocator: 1%% churn/period, parallel re-solve vs incremental (%d cores)", report.Cores),
+		Columns: []string{"parallel ns/op", "incremental ns/op", "speedup", "reuse ratio", "incremental allocs/op"},
+	}
+	for _, n := range AllocBenchSizes {
+		shards := n / 16
+		if shards < 8 {
+			shards = 8
+		}
+		capsMap, flows := core.SyntheticShardedAllocation(n, n/2+8, shards, 42)
+		caps := core.DenseCaps(capsMap, nil)
+
+		var p core.ParallelAllocState
+		var out []core.Allocation
+		out = p.Allocate(caps, flows, out) // warm the pool and arenas
+		prng := rand.New(rand.NewSource(42))
+		parallel := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.ChurnDemands(flows, 0.01, prng.Uint64)
+				out = p.Allocate(caps, flows, out)
+			}
+		})
+		p.Close()
+
+		var inc core.IncrementalAllocState
+		irng := rand.New(rand.NewSource(42))
+		out = inc.Allocate(caps, flows, out) // warm: full solve, snapshot
+		core.ChurnDemands(flows, 0.01, irng.Uint64)
+		out = inc.Allocate(caps, flows, out) // warm: arenas at working set
+		incremental := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.ChurnDemands(flows, 0.01, irng.Uint64)
+				out = inc.Allocate(caps, flows, out)
+			}
+		})
+		stats := inc.Stats()
+		inc.Close()
+
+		report.Entries = append(report.Entries,
+			AllocBenchEntry{
+				Name: fmt.Sprintf("AllocateChurnParallel/N=%d", n), Flows: n,
+				NsPerOp:    float64(parallel.NsPerOp()),
+				BytesPerOp: parallel.AllocedBytesPerOp(), AllocsPerOp: parallel.AllocsPerOp(),
+			},
+			AllocBenchEntry{
+				Name: fmt.Sprintf("AllocateChurnIncremental/N=%d", n), Flows: n,
+				NsPerOp:    float64(incremental.NsPerOp()),
+				BytesPerOp: incremental.AllocedBytesPerOp(), AllocsPerOp: incremental.AllocsPerOp(),
+			})
+		speedup := "n/a"
+		if incremental.NsPerOp() > 0 {
+			speedup = fmt.Sprintf("%.1fx", float64(parallel.NsPerOp())/float64(incremental.NsPerOp()))
+		}
+		incTable.Rows = append(incTable.Rows, Row{
+			Label: fmt.Sprintf("N=%d flows", n),
+			Values: []string{
+				fmt.Sprintf("%d", parallel.NsPerOp()),
+				fmt.Sprintf("%d", incremental.NsPerOp()),
+				speedup,
+				fmt.Sprintf("%.2f", stats.ReuseRatio()),
+				fmt.Sprintf("%d", incremental.AllocsPerOp()),
+			},
+		})
+	}
 	if path != "" {
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -176,5 +250,5 @@ func RunAllocBench(path string) ([]*Table, *AllocBenchReport, error) {
 			return nil, nil, err
 		}
 	}
-	return []*Table{table, parTable}, report, nil
+	return []*Table{table, parTable, incTable}, report, nil
 }

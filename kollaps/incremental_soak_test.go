@@ -1,0 +1,153 @@
+package kollaps
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/units"
+)
+
+// TestIncrementalSoakBitIdentical is the incremental solver's long-haul
+// proof: a 200-period (10s at the default 50ms period) live-mutation
+// soak — the dynamic scenario's scheduled topology events, seeded node
+// churn on a sender, seeded manager kill/restart churn, and a chaos
+// profile dropping and delaying control datagrams — run twice, with and
+// without IncrementalSolve(true). Everything observable must match byte
+// for byte: per-flow received bytes, metadata traffic, the final
+// enforced per-destination views on every container, and the chaos
+// schedule hash (the solver must not perturb a single PRNG draw). The
+// stats assertions pin that the incremental run really mixed both
+// regimes: steady incremental solves AND churn-forced full solves.
+func TestIncrementalSoakBitIdentical(t *testing.T) {
+	type result struct {
+		received [2]int64
+		meta     [2]int64
+		views    map[string]units.Bandwidth
+		hash     uint64
+	}
+	run := func(incremental bool) result {
+		exp, err := Load(equivDynamicYAML)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := []Option{WithSeed(13), WithDissem("gossip", DissemFanout(2)), WithPlacement(equivPlacement)}
+		if incremental {
+			opts = append(opts, IncrementalSolve(true))
+		}
+		if err := exp.Deploy(4, opts...); err != nil {
+			t.Fatal(err)
+		}
+		defer exp.Close()
+		if err := exp.Chaos(chaos.Profile{
+			Drop:     0.05,
+			Delay:    0.1,
+			DelayMin: 5 * time.Millisecond,
+			DelayMax: 30 * time.Millisecond,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		stopManagers, err := exp.ManagerChurn(1.5, ChurnDowntime(300*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stopNodes, err := exp.Churn(0.5, ChurnTargets("c"), ChurnDowntime(400*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var received [2]int64
+		const payload = 1000
+		interval := time.Duration(float64(payload*8) / 8e6 * float64(time.Second))
+		for i, pair := range [][2]string{{"a", "b"}, {"c", "d"}} {
+			i := i
+			src, err := exp.Container(pair[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst, err := exp.Container(pair[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst.Stack.HandleUDP(9000, func(_ packet.IP, _ uint16, size int, _ any) {
+				received[i] += int64(size)
+			})
+			dstIP := dst.IP
+			exp.Eng.Every(interval, func() {
+				src.Stack.SendUDP(dstIP, 9000, 9000, payload, nil)
+			})
+		}
+
+		// 180 churning periods, then stop the churn and let the last 20
+		// settle so every manager and node is back up at the 10s mark.
+		if err := exp.Run(9 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		stopManagers()
+		stopNodes()
+		if err := exp.Run(10 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		for h := 0; h < 4; h++ {
+			if exp.Runtime.ManagerDown(h) {
+				t.Fatalf("manager %d still down after churn stopped", h)
+			}
+		}
+
+		if incremental {
+			var st core.IncrementalStats
+			for _, m := range exp.Runtime.Managers() {
+				s := m.IncrementalStats()
+				st.FullSolves += s.FullSolves
+				st.IncrementalSolves += s.IncrementalSolves
+				st.SolvedFlows += s.SolvedFlows
+				st.ReusedFlows += s.ReusedFlows
+			}
+			if st.IncrementalSolves == 0 {
+				t.Error("soak never solved incrementally")
+			}
+			// Scheduled events + node churn + manager restarts each force
+			// full solves; a soak this hostile must show a pile of them.
+			if st.FullSolves < 10 {
+				t.Errorf("soak forced only %d full solves, want >= 10 (churn not exercised?)", st.FullSolves)
+			}
+			t.Logf("incremental soak: %d full, %d incremental solves, reuse ratio %.2f",
+				st.FullSolves, st.IncrementalSolves, st.ReuseRatio())
+		}
+
+		views := map[string]units.Bandwidth{}
+		for _, c := range exp.Runtime.Containers() {
+			for _, dst := range c.TCAL().Destinations() {
+				props, _ := c.TCAL().Props(dst)
+				views[c.Name+"->"+dst.String()] = props.Bandwidth
+			}
+		}
+		sent, recvd := exp.MetadataTraffic()
+		return result{received: received, meta: [2]int64{sent, recvd}, views: views, hash: exp.ChaosScheduleHash()}
+	}
+
+	full := run(false)
+	incr := run(true)
+	if full.received != incr.received {
+		t.Errorf("per-flow bytes diverge: full %v, incremental %v", full.received, incr.received)
+	}
+	if full.meta != incr.meta {
+		t.Errorf("metadata traffic diverges: full %v, incremental %v", full.meta, incr.meta)
+	}
+	if full.hash != incr.hash {
+		t.Errorf("chaos schedule hash diverges: full %#x, incremental %#x", full.hash, incr.hash)
+	}
+	if len(full.views) == 0 {
+		t.Fatal("no enforced views recorded")
+	}
+	if len(incr.views) != len(full.views) {
+		t.Fatalf("view sets differ: %d vs %d", len(incr.views), len(full.views))
+	}
+	for k, v := range full.views {
+		if incr.views[k] != v {
+			t.Errorf("%s: incremental enforced %v, full %v", k, incr.views[k], v)
+		}
+	}
+}

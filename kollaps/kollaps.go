@@ -121,13 +121,14 @@ func (e *Experiment) Deploy(hosts int, opts ...Option) error {
 		probe = obs.NewProbe(cfg.probeEvery)
 	}
 	rt, err := core.NewRuntimeFromTopology(e.Eng, e.Topology, hosts, cfg.placement, core.Options{
-		Period:        cfg.period,
-		InjectLoss:    cfg.injectLoss,
-		ParallelSolve: cfg.parallel,
-		Dissem:        cfg.dissemConfig(kind),
-		Tracer:        tracer,
-		Registry:      reg,
-		Probe:         probe,
+		Period:           cfg.period,
+		InjectLoss:       cfg.injectLoss,
+		ParallelSolve:    cfg.parallel,
+		IncrementalSolve: cfg.incremental,
+		Dissem:           cfg.dissemConfig(kind),
+		Tracer:           tracer,
+		Registry:         reg,
+		Probe:            probe,
 	})
 	if err != nil {
 		e.Eng = nil
@@ -182,10 +183,11 @@ func (e *Experiment) Run(until time.Duration) error {
 }
 
 // Close releases resources whose lifetime outlives the virtual-time
-// simulation — today the parallel solver's worker pools (ParallelSolve).
-// The experiment stays queryable after Close, and running it further
-// simply respawns the pools. Close before Deploy, or on a deployment
-// without pools, is a no-op, so callers may defer it unconditionally.
+// simulation — today the parallel and incremental solvers' worker pools
+// (ParallelSolve, IncrementalSolve). The experiment stays queryable
+// after Close, and running it further simply respawns the pools. Close
+// before Deploy, or on a deployment without pools, is a no-op, so
+// callers may defer it unconditionally.
 func (e *Experiment) Close() {
 	if e.Runtime != nil {
 		e.Runtime.Close()

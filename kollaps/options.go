@@ -30,6 +30,7 @@ type config struct {
 	traceEvents int // 0 = tracing disabled, <0 = default capacity
 	probeEvery  int // 0 = probe disabled
 	parallel    bool
+	incremental bool
 }
 
 type dissemConfig struct {
@@ -149,6 +150,22 @@ func WithTrace(events int) Option {
 // or sharded topologies; see DESIGN.md "Parallel solve".
 func ParallelSolve(enabled bool) Option {
 	return optionFunc(func(c *config) { c.parallel = enabled })
+}
+
+// IncrementalSolve selects the incremental sharing-model solver
+// (core.IncrementalAllocState): between emulation periods each Manager
+// re-solves only the link-connected components whose flows, demands,
+// weights or link capacities changed, reusing the previous period's
+// per-flow results for clean components bit for bit. Full solves happen
+// on topology mutations, manager restarts and partition-shape changes.
+// Results are bit-identical to the sequential and parallel solvers' —
+// and therefore to the paper's reference — so this only changes
+// wall-clock cost per period, never emulation behavior. It subsumes
+// ParallelSolve (dirty components still solve on the worker pool).
+// Worth enabling on steady workloads with low per-period churn; see
+// DESIGN.md "Incremental solve".
+func IncrementalSolve(enabled bool) Option {
+	return optionFunc(func(c *config) { c.incremental = enabled })
 }
 
 // WithAccuracyProbe enables the emulation-accuracy probe: every
